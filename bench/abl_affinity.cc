@@ -1,0 +1,87 @@
+// Ablation A6: processor-affinity dispatch window (Section 5 future work).
+//
+// "SMP-based time-sharing schedulers ... take processor affinities into account
+// ... SFS currently ignores processor affinities while making scheduling
+// decisions."  The extension lets a dispatch accept any thread whose surplus is
+// within `tolerance` of the minimum if it last ran on the dispatching CPU.
+// This sweep shows the trade: migrations (cache-cold starts) drop sharply with
+// a small tolerance while the allocation stays proportional.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/sched/sfs.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+namespace {
+
+struct Outcome {
+  std::int64_t migrations = 0;
+  double worst_share_error = 0.0;  // vs the weight-proportional entitlement
+  double useful_utilization = 0.0;  // service / capacity with the cache model on
+};
+
+Outcome Run(sfs::Tick tolerance) {
+  using namespace sfs;
+  sched::SchedConfig config;
+  config.num_cpus = 2;
+  config.quantum = Msec(50);
+  config.affinity_tolerance = tolerance;
+  sched::Sfs scheduler(config);
+  sim::EngineConfig engine_config;
+  engine_config.cache_restore_per_kb = Usec(10);  // 640us to refill a 64KB set
+  sim::Engine engine(scheduler, engine_config);
+
+  const std::vector<double> weights = {1, 2, 3, 4, 5, 6};
+  double total_weight = 0;
+  for (double w : weights) {
+    total_weight += w;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    auto task = workload::MakeInf(static_cast<sched::ThreadId>(i + 1), weights[i], "t");
+    task->set_working_set_kb(64);
+    engine.AddTaskAt(0, std::move(task));
+  }
+  const Tick horizon = Sec(60);
+  engine.RunUntil(horizon);
+
+  Outcome out;
+  out.migrations = engine.migrations();
+  double total_service = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double got = static_cast<double>(
+        engine.ServiceIncludingRunning(static_cast<sched::ThreadId>(i + 1)));
+    total_service += got;
+    const double expect = static_cast<double>(2 * horizon) * weights[i] / total_weight;
+    out.worst_share_error = std::max(out.worst_share_error, std::abs(got - expect) / expect);
+  }
+  out.useful_utilization = total_service / static_cast<double>(2 * horizon);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using sfs::common::Table;
+
+  std::cout << "=== Ablation A6: processor-affinity tolerance ===\n"
+            << "2 CPUs, 6 Inf threads (weights 1..6, 64KB working sets), 50ms quantum,\n"
+            << "60s horizon, cache-restore model 10us/KB.\n\n";
+
+  Table table({"tolerance (ms)", "migrations", "worst share error (%)", "useful util (%)"});
+  for (const sfs::Tick tol : {sfs::Msec(0), sfs::Msec(10), sfs::Msec(25), sfs::Msec(50),
+                              sfs::Msec(100), sfs::Msec(200)}) {
+    const Outcome out = Run(tol);
+    table.AddRow({Table::Cell(tol / sfs::kTicksPerMsec), Table::Cell(out.migrations),
+                  Table::Cell(100.0 * out.worst_share_error, 2),
+                  Table::Cell(100.0 * out.useful_utilization, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: migrations collapse with a tolerance of a fraction of a quantum,\n"
+            << "useful utilization rises as cache refills are avoided, and proportional\n"
+            << "shares stay intact (error bounded by the tolerance).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A2: cost/accuracy trade-off of the Section 3.2 scheduling heuristic.
+//
+// Complements Figure 3 (accuracy) with the other half of the trade: decision
+// latency.  With the heuristic, scheduling cost is bounded by k examinations of
+// each queue (plus a periodic amortized refresh) instead of growing with the
+// run-queue length.
+
+#include <benchmark/benchmark.h>
+
+#include "src/sched/sfs.h"
+
+namespace {
+
+using sfs::sched::SchedConfig;
+using sfs::sched::Sfs;
+using sfs::sched::ThreadId;
+
+void DecisionLoop(benchmark::State& state, int heuristic_k) {
+  SchedConfig config;
+  config.num_cpus = 4;
+  config.heuristic_k = heuristic_k;
+  Sfs scheduler(config);
+  const int threads = static_cast<int>(state.range(0));
+  for (ThreadId tid = 0; tid < threads; ++tid) {
+    scheduler.AddThread(tid, 1.0 + (tid % 9));
+  }
+  ThreadId current = scheduler.PickNext(0);
+  for (auto _ : state) {
+    scheduler.Charge(current, sfs::Msec(1 + (current % 200)));
+    current = scheduler.PickNext(0);
+    benchmark::DoNotOptimize(current);
+  }
+}
+
+void BM_SfsDecision_Exact(benchmark::State& state) { DecisionLoop(state, 0); }
+void BM_SfsDecision_K5(benchmark::State& state) { DecisionLoop(state, 5); }
+void BM_SfsDecision_K20(benchmark::State& state) { DecisionLoop(state, 20); }
+void BM_SfsDecision_K60(benchmark::State& state) { DecisionLoop(state, 60); }
+
+}  // namespace
+
+BENCHMARK(BM_SfsDecision_Exact)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+BENCHMARK(BM_SfsDecision_K5)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+BENCHMARK(BM_SfsDecision_K20)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+BENCHMARK(BM_SfsDecision_K60)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+
+BENCHMARK_MAIN();

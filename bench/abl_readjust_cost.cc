@@ -1,0 +1,66 @@
+// Ablation A3: cost of the weight readjustment algorithm (Section 2.1).
+//
+// The paper claims O(p) cost independent of the number of runnable threads t,
+// because at most p-1 threads can violate the feasibility constraint and the
+// weight-sorted queue lets the scan stop at the first feasible prefix.  Sweep t
+// with p fixed (flat) and p with t fixed (linear).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sched/readjust.h"
+
+namespace {
+
+using sfs::sched::Entity;
+using sfs::sched::ReadjustQueue;
+using sfs::sched::ThreadId;
+using sfs::sched::WeightQueue;
+
+struct Fixture {
+  explicit Fixture(int threads, int heavy) {
+    entities.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      auto e = std::make_unique<Entity>();
+      e->tid = static_cast<ThreadId>(i);
+      // `heavy` infeasible candidates at the front of the queue.
+      e->weight = i < heavy ? 100000.0 + i : 1.0 + (i % 5);
+      e->phi = e->weight;
+      total += e->weight;
+      queue.Insert(e.get());
+      entities.push_back(std::move(e));
+    }
+  }
+  ~Fixture() { queue.Clear(); }
+
+  std::vector<std::unique_ptr<Entity>> entities;
+  WeightQueue queue;
+  sfs::sched::ReadjustState state;
+  double total = 0.0;
+};
+
+// Sweep t (runnable threads) with p=4: cost should stay flat.
+void BM_Readjust_VsThreads(benchmark::State& state) {
+  Fixture fx(static_cast<int>(state.range(0)), /*heavy=*/2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadjustQueue(fx.queue, fx.total, 4, fx.state));
+  }
+}
+
+// Sweep p (processors) with t=1024: cost grows with the number of caps.
+void BM_Readjust_VsCpus(benchmark::State& state) {
+  const int cpus = static_cast<int>(state.range(0));
+  Fixture fx(1024, /*heavy=*/cpus - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadjustQueue(fx.queue, fx.total, cpus, fx.state));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Readjust_VsThreads)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_Readjust_VsCpus)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Ablation A4: grafting the readjustment algorithm onto other GPS schedulers.
+//
+// Section 2.1: "Our weight readjustment algorithm can be employed with most
+// existing GPS-based scheduling algorithms to deal with the problem of
+// infeasible weights."  This harness runs the Example 1 starvation scenario and
+// a GMS-deviation audit for SFQ, stride, WFQ and BVT with readjustment off/on.
+
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/eval/scenarios.h"
+
+int main() {
+  using sfs::common::Table;
+  using sfs::sched::SchedKind;
+
+  std::cout << "=== Ablation A4: weight readjustment grafted onto GPS baselines ===\n"
+            << "Scenario: Example 1 (T1 starvation, ms) and deviation from the GMS fluid\n"
+            << "reference for the same late-arrival workload (w=1 and w=50 from t=0,\n"
+            << "w=1 arriving at t=15s; 2 CPUs, 60s horizon).\n\n";
+
+  Table table({"scheduler", "readjust", "T1 starvation (ms)", "GMS deviation (ms)"});
+  const std::vector<sfs::eval::TimedArrival> arrivals = {
+      {0, 1.0}, {0, 50.0}, {sfs::Sec(15), 1.0}};
+  struct Row {
+    SchedKind kind;
+    bool readjust;
+  };
+  for (const Row row : {Row{SchedKind::kSfq, false}, Row{SchedKind::kSfq, true},
+                        Row{SchedKind::kStride, false}, Row{SchedKind::kStride, true},
+                        Row{SchedKind::kWfq, false}, Row{SchedKind::kWfq, true},
+                        Row{SchedKind::kBvt, false}, Row{SchedKind::kBvt, true},
+                        Row{SchedKind::kSfs, true}}) {
+    const auto ex1 = sfs::eval::RunExample1(row.kind, row.readjust);
+    const double deviation_ms =
+        sfs::eval::GmsDeviationForArrivals(row.kind, arrivals, 2, sfs::Sec(60),
+                                           sfs::kDefaultQuantum, -1, row.readjust) /
+        1000.0;
+    table.AddRow({std::string(ex1.series.scheduler_name), row.readjust ? "yes" : "no",
+                  Table::Cell(ex1.t1_starvation / sfs::kTicksPerMsec),
+                  Table::Cell(deviation_ms, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: without readjustment every GPS baseline starves T1 for ~900ms\n"
+            << "and diverges from GMS by seconds; with readjustment both collapse to a\n"
+            << "few quanta.  SFS (always readjusted) matches the repaired baselines.\n";
+  return 0;
+}

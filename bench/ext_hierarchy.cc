@@ -1,0 +1,75 @@
+// Extension E1: hierarchical SFS (Section 5 future work).
+//
+// Demonstrates class-level proportional sharing on an SMP: three hosting
+// domains with purchased shares 50/30/20 run wildly different thread mixes
+// (steady hogs, a churning short-job stream, a bursty compile farm).  H-SFS
+// delivers each domain its aggregate share; the flat scheduler with per-thread
+// weight 1 would instead split by thread count.
+
+#include <iostream>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/sched/hsfs.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+int main() {
+  using namespace sfs;
+  using common::Table;
+
+  sched::SchedConfig config;
+  config.num_cpus = 4;
+  sched::HierarchicalSfs scheduler(config);
+  scheduler.CreateClass(1, sched::kRootClass, 5.0);  // domain A: 50%
+  scheduler.CreateClass(2, sched::kRootClass, 3.0);  // domain B: 30%
+  scheduler.CreateClass(3, sched::kRootClass, 2.0);  // domain C: 20%
+  sim::Engine engine(scheduler);
+
+  sched::ThreadId next_tid = 1;
+  // Domain A: 3 steady hogs.
+  for (int i = 0; i < 3; ++i) {
+    scheduler.RouteThread(next_tid, 1);
+    engine.AddTaskAt(0, workload::MakeInf(next_tid++, 1.0, "A"));
+  }
+  // Domain B: a churning stream of 200 ms jobs, two at a time.
+  engine.SetExitHook([&](sim::Engine& e, sim::Task& task) {
+    if (task.label() == "B") {
+      scheduler.RouteThread(next_tid, 2);
+      e.AddTaskAt(e.now(), workload::MakeFixedWork(next_tid++, 1.0, Msec(200), "B"));
+    }
+  });
+  for (int i = 0; i < 2; ++i) {
+    scheduler.RouteThread(next_tid, 2);
+    engine.AddTaskAt(0, workload::MakeFixedWork(next_tid++, 1.0, Msec(200), "B"));
+  }
+  // Domain C: 8 compile jobs (mixed CPU/IO).
+  for (int i = 0; i < 8; ++i) {
+    workload::CompileJob::Params params;
+    params.seed = 100 + static_cast<std::uint64_t>(i);
+    scheduler.RouteThread(next_tid, 3);
+    engine.AddTaskAt(0, workload::MakeCompileJob(next_tid++, 1.0, params, "C"));
+  }
+
+  const Tick horizon = Sec(60);
+  engine.RunUntil(horizon);
+
+  std::cout << "=== Extension E1: hierarchical SFS — domain-level shares ===\n"
+            << "4 CPUs, 60s; domains weighted 5:3:2 with heterogeneous workloads.\n\n";
+  Table table({"domain", "workload", "purchased", "received"});
+  const double capacity = static_cast<double>(4 * horizon);
+  const char* kinds[] = {"3 steady hogs", "short-job churn (2x200ms)", "8 compile jobs"};
+  const double purchased[] = {50.0, 30.0, 20.0};
+  for (int cls = 1; cls <= 3; ++cls) {
+    table.AddRow({"domain-" + std::string(1, static_cast<char>('A' + cls - 1)),
+                  kinds[cls - 1], Table::Cell(purchased[cls - 1], 0) + "%",
+                  Table::Cell(100.0 * static_cast<double>(scheduler.ClassService(cls)) / capacity,
+                              1) +
+                      "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote: domain B's churning jobs keep only ~2 threads runnable, so its\n"
+            << "capacity cap is min(p, runnable)/p; with 4 CPUs it can consume at most\n"
+            << "2 CPUs-worth — above its 30% purchase, so the purchase binds, not the cap.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 1 / Examples 1 & 2 (Section 1.2): the two motivating pathologies.
+//
+// Part 1 — infeasible weights: T1 (w=1) and T2 (w=10) on two CPUs with q=1ms;
+// T3 (w=1) arrives at t=1s.  Under plain SFQ, T1 starves ~0.9s; readjustment or
+// SFS eliminates the starvation.
+//
+// Part 2 — frequent arrivals/departures with feasible weights: a heavy thread,
+// many light threads and a back-to-back chain of short jobs.  SFQ over-serves
+// the short jobs; SFS keeps them at their requested share.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/eval/scenarios.h"
+
+int main() {
+  using sfs::common::Table;
+  using sfs::sched::SchedKind;
+
+  std::cout << "=== Figure 1 / Example 1: the infeasible weights problem ===\n"
+            << "2 CPUs, q=1ms; T1(w=1), T2(w=10) from t=0; T3(w=1) arrives at t=1s.\n"
+            << "Paper: under SFQ, T1 starves ~900 quanta (0.9s) after T3 arrives.\n\n";
+
+  Table t1({"scheduler", "readjust", "T1 starvation (ms)", "T1 svc (ms)", "T2 svc (ms)",
+            "T3 svc (ms)"});
+  struct Case {
+    SchedKind kind;
+    bool readjust;
+  };
+  for (const Case c : {Case{SchedKind::kSfq, false}, Case{SchedKind::kSfq, true},
+                       Case{SchedKind::kStride, false}, Case{SchedKind::kStride, true},
+                       Case{SchedKind::kWfq, false}, Case{SchedKind::kWfq, true},
+                       Case{SchedKind::kSfs, true}}) {
+    const auto result = sfs::eval::RunExample1(c.kind, c.readjust);
+    t1.AddRow({std::string(result.series.scheduler_name), c.readjust ? "yes" : "no",
+               Table::Cell(result.t1_starvation / sfs::kTicksPerMsec),
+               Table::Cell(result.series.Of("T1").back() / sfs::kTicksPerMsec),
+               Table::Cell(result.series.Of("T2").back() / sfs::kTicksPerMsec),
+               Table::Cell(result.series.Of("T3").back() / sfs::kTicksPerMsec)});
+  }
+  t1.Print(std::cout);
+
+  std::cout << "\n=== Example 2: short jobs with feasible weights ===\n"
+            << "2 CPUs; heavy(w=50), 100 x light(w=1), chained shorts (w=15, 300ms).\n"
+            << "Requested shorts:heavy ratio = 0.30.  Paper: SFQ gives each short job\n"
+            << "as much bandwidth as the heavy thread; SFS restores proportions.\n\n";
+
+  Table t2({"scheduler", "heavy svc (ms)", "shorts svc (ms)", "lights svc (ms)",
+            "shorts/heavy"});
+  for (const SchedKind kind : {SchedKind::kSfq, SchedKind::kSfs}) {
+    const auto result = sfs::eval::RunExample2(kind);
+    t2.AddRow({std::string(sfs::sched::SchedKindName(kind)),
+               Table::Cell(result.heavy_service / sfs::kTicksPerMsec),
+               Table::Cell(result.shorts_service / sfs::kTicksPerMsec),
+               Table::Cell(result.light_service / sfs::kTicksPerMsec),
+               Table::Cell(result.shorts_to_heavy_ratio, 3)});
+  }
+  t2.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 3 (Section 3.2): efficacy of the scheduling heuristic.
+//
+// Plots the percentage of scheduling decisions where the bounded heuristic
+// (examine the first k threads of each of the three queues) picks the same
+// thread as the exact minimum-surplus algorithm, for a quad-processor system
+// with 100-400 runnable threads.  Paper: >99% accuracy at k=20 even for 400
+// runnable threads.
+
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/eval/scenarios.h"
+
+int main() {
+  using sfs::common::Table;
+
+  std::cout << "=== Figure 3: efficacy of the scheduling heuristic ===\n"
+            << "Quad-processor, random weights 1..20, variable 1-200ms quanta.\n"
+            << "Accuracy (%) of the k-bounded heuristic vs the exact algorithm.\n\n";
+
+  const int runnable_counts[] = {100, 200, 300, 400};
+  Table table({"k examined", "100 threads", "200 threads", "300 threads", "400 threads"});
+  for (const int k : {1, 2, 5, 10, 20, 40, 60, 80, 100}) {
+    std::vector<std::string> row = {Table::Cell(static_cast<std::int64_t>(k))};
+    for (const int runnable : runnable_counts) {
+      row.push_back(Table::Cell(sfs::eval::HeuristicAccuracy(runnable, k), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper's claim: examining ~20 threads per queue achieves >99% accuracy\n"
+            << "for up to 400 runnable threads (Section 3.2, Figure 3).\n";
+  return 0;
+}

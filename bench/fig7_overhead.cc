@@ -1,0 +1,69 @@
+// Figure 7 (Section 4.5): scheduling overhead vs number of runnable processes.
+//
+// The paper measures lmbench context-switch time for 0 KB processes as the run
+// queue grows (0-50 processes), comparing SFS against the Linux time-sharing
+// scheduler.  The real-code analogue here times one full reschedule operation —
+// Charge(previous) + PickNext(cpu) — on the actual scheduler data structures,
+// as a function of runnable-thread count.  The paper's shape: SFS costs more
+// than time sharing and grows with the number of processes (Section 3.2
+// complexity analysis); both are negligible vs the 200 ms quantum.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/sched/factory.h"
+
+namespace {
+
+using sfs::sched::CreateScheduler;
+using sfs::sched::SchedConfig;
+using sfs::sched::SchedKind;
+using sfs::sched::Scheduler;
+using sfs::sched::ThreadId;
+
+// One full reschedule on CPU 0 with `threads` runnable 0 KB processes.
+void RescheduleCycle(benchmark::State& state, SchedKind kind, int heuristic_k) {
+  SchedConfig config;
+  config.num_cpus = 2;
+  config.heuristic_k = heuristic_k;
+  auto scheduler = CreateScheduler(kind, config);
+  const int threads = static_cast<int>(state.range(0));
+  for (ThreadId tid = 0; tid < threads; ++tid) {
+    scheduler->AddThread(tid, 1.0 + (tid % 7));
+  }
+  ThreadId current = scheduler->PickNext(0);
+  for (auto _ : state) {
+    scheduler->Charge(current, sfs::Msec(1 + (current % 200)));
+    current = scheduler->PickNext(0);
+    benchmark::DoNotOptimize(current);
+  }
+  state.SetLabel(std::string(scheduler->name()));
+}
+
+void BM_Reschedule_SFS(benchmark::State& state) {
+  RescheduleCycle(state, SchedKind::kSfs, /*heuristic_k=*/0);
+}
+
+void BM_Reschedule_SFS_Heuristic(benchmark::State& state) {
+  RescheduleCycle(state, SchedKind::kSfs, /*heuristic_k=*/20);
+}
+
+void BM_Reschedule_Timeshare(benchmark::State& state) {
+  RescheduleCycle(state, SchedKind::kTimeshare, 0);
+}
+
+void BM_Reschedule_SFQ(benchmark::State& state) {
+  RescheduleCycle(state, SchedKind::kSfq, 0);
+}
+
+}  // namespace
+
+// 2..50 processes, matching the x-axis of Figure 7 (plus larger counts to show
+// the asymptotic trend the heuristic flattens).
+BENCHMARK(BM_Reschedule_Timeshare)->DenseRange(2, 50, 8)->Arg(100)->Arg(400);
+BENCHMARK(BM_Reschedule_SFS)->DenseRange(2, 50, 8)->Arg(100)->Arg(400);
+BENCHMARK(BM_Reschedule_SFS_Heuristic)->DenseRange(2, 50, 8)->Arg(100)->Arg(400);
+BENCHMARK(BM_Reschedule_SFQ)->DenseRange(2, 50, 8)->Arg(100)->Arg(400);
+
+BENCHMARK_MAIN();

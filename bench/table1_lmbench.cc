@@ -1,0 +1,192 @@
+// Table 1 (Section 4.5): lmbench-style scheduling overheads.
+//
+// The paper reports lmbench latencies on the real kernel.  The user-level
+// analogues measured here exercise the same scheduler code paths (see DESIGN.md
+// "Substitutions"):
+//
+//   lmbench row                      -> analogue
+//   syscall overhead                 -> getweight lookup (thread-table access)
+//   fork()                           -> AddThread + RemoveThread (entity setup,
+//                                       queue insertion, readjustment)
+//   exec()                           -> SetWeight (weight change + readjustment)
+//   ctx switch (2 proc / 0KB)        -> Charge+PickNext with 2 threads
+//   ctx switch (8 proc / 16KB)       -> Charge+PickNext with 8 threads, each
+//                                       touching a 16KB working set on switch
+//   ctx switch (16 proc / 64KB)      -> same with 16 threads x 64KB
+//
+// Run for both the time-sharing baseline and SFS; the paper's shape is that SFS
+// costs a few microseconds more per switch, vanishing against the 200 ms
+// quantum, with the gap narrowing as working sets dominate.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/exec/executor.h"
+#include "src/sched/factory.h"
+
+namespace {
+
+using sfs::sched::CreateScheduler;
+using sfs::sched::SchedConfig;
+using sfs::sched::SchedKind;
+using sfs::sched::ThreadId;
+
+std::unique_ptr<sfs::sched::Scheduler> Make(SchedKind kind, int threads) {
+  SchedConfig config;
+  config.num_cpus = 2;
+  auto scheduler = CreateScheduler(kind, config);
+  for (ThreadId tid = 0; tid < threads; ++tid) {
+    scheduler->AddThread(tid, 1.0);
+  }
+  return scheduler;
+}
+
+void BM_Syscall_GetWeight(benchmark::State& state, SchedKind kind) {
+  auto scheduler = Make(kind, 16);
+  ThreadId tid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler->GetWeight(tid));
+    tid = (tid + 1) % 16;
+  }
+  state.SetLabel(std::string(scheduler->name()));
+}
+
+void BM_Fork_AddRemoveThread(benchmark::State& state, SchedKind kind) {
+  auto scheduler = Make(kind, 16);
+  ThreadId next = 1000;
+  for (auto _ : state) {
+    scheduler->AddThread(next, 2.0);
+    scheduler->RemoveThread(next);
+    ++next;
+  }
+  state.SetLabel(std::string(scheduler->name()));
+}
+
+void BM_Exec_SetWeight(benchmark::State& state, SchedKind kind) {
+  auto scheduler = Make(kind, 16);
+  double w = 1.0;
+  for (auto _ : state) {
+    scheduler->SetWeight(3, w);
+    w = w >= 64.0 ? 1.0 : w * 2.0;
+  }
+  state.SetLabel(std::string(scheduler->name()));
+}
+
+// Context switch with `threads` processes each owning a `kb` KiB working set
+// that the incoming thread touches (lmbench's array-walk model).
+void CtxSwitch(benchmark::State& state, SchedKind kind, int threads, int kb) {
+  auto scheduler = Make(kind, threads);
+  std::vector<std::vector<char>> working_sets(static_cast<std::size_t>(threads));
+  for (auto& ws : working_sets) {
+    ws.assign(static_cast<std::size_t>(kb) * 1024, 1);
+  }
+  ThreadId current = scheduler->PickNext(0);
+  std::int64_t sum = 0;
+  for (auto _ : state) {
+    scheduler->Charge(current, sfs::Msec(10));
+    current = scheduler->PickNext(0);
+    auto& ws = working_sets[static_cast<std::size_t>(current)];
+    for (std::size_t i = 0; i < ws.size(); i += 64) {
+      sum += ws[i]++;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(std::string(scheduler->name()));
+}
+
+void BM_CtxSwitch_2p_0KB(benchmark::State& state, SchedKind kind) {
+  CtxSwitch(state, kind, 2, 0);
+}
+void BM_CtxSwitch_8p_16KB(benchmark::State& state, SchedKind kind) {
+  CtxSwitch(state, kind, 8, 16);
+}
+void BM_CtxSwitch_16p_64KB(benchmark::State& state, SchedKind kind) {
+  CtxSwitch(state, kind, 16, 64);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Syscall_GetWeight, timeshare, SchedKind::kTimeshare);
+BENCHMARK_CAPTURE(BM_Syscall_GetWeight, sfs, SchedKind::kSfs);
+BENCHMARK_CAPTURE(BM_Fork_AddRemoveThread, timeshare, SchedKind::kTimeshare);
+BENCHMARK_CAPTURE(BM_Fork_AddRemoveThread, sfs, SchedKind::kSfs);
+BENCHMARK_CAPTURE(BM_Exec_SetWeight, timeshare, SchedKind::kTimeshare);
+BENCHMARK_CAPTURE(BM_Exec_SetWeight, sfs, SchedKind::kSfs);
+BENCHMARK_CAPTURE(BM_CtxSwitch_2p_0KB, timeshare, SchedKind::kTimeshare);
+BENCHMARK_CAPTURE(BM_CtxSwitch_2p_0KB, sfs, SchedKind::kSfs);
+BENCHMARK_CAPTURE(BM_CtxSwitch_8p_16KB, timeshare, SchedKind::kTimeshare);
+BENCHMARK_CAPTURE(BM_CtxSwitch_8p_16KB, sfs, SchedKind::kSfs);
+BENCHMARK_CAPTURE(BM_CtxSwitch_16p_64KB, timeshare, SchedKind::kTimeshare);
+BENCHMARK_CAPTURE(BM_CtxSwitch_16p_64KB, sfs, SchedKind::kSfs);
+
+namespace {
+
+// Real-thread section: actual std::threads under the user-level executor, with
+// lmbench's working-set-touch model inside each work unit.  The reported value
+// is the preempt-flag-to-yield latency — the cooperative analogue of lmbench's
+// context-switch time.
+void RealThreadSection() {
+  using sfs::exec::Executor;
+  sfs::common::Table table(
+      {"config", "scheduler", "median switch (us)", "p95 (us)", "switches"});
+  struct Shape {
+    int procs;
+    int kb;
+  };
+  for (const Shape shape : {Shape{2, 0}, Shape{8, 16}, Shape{16, 64}}) {
+    for (const SchedKind kind : {SchedKind::kTimeshare, SchedKind::kSfs}) {
+      SchedConfig config;
+      config.num_cpus = 2;
+      auto scheduler = CreateScheduler(kind, config);
+      Executor::Config exec_config;
+      exec_config.quantum = sfs::Msec(2);
+      Executor executor(*scheduler, exec_config);
+      for (ThreadId tid = 0; tid < shape.procs; ++tid) {
+        auto buffer = std::make_shared<std::vector<char>>(
+            static_cast<std::size_t>(shape.kb) * 1024, 1);
+        executor.AddTask(tid, 1.0, [buffer] {
+          const auto end =
+              std::chrono::steady_clock::now() + std::chrono::microseconds(30);
+          std::int64_t sum = 0;
+          do {
+            for (std::size_t i = 0; i < buffer->size(); i += 64) {
+              sum += (*buffer)[i]++;
+            }
+          } while (std::chrono::steady_clock::now() < end);
+          benchmark::DoNotOptimize(sum);
+          return true;
+        });
+      }
+      executor.Run(sfs::Msec(400));
+      const auto& lat = executor.preempt_latencies();
+      table.AddRow({std::to_string(shape.procs) + " proc/" + std::to_string(shape.kb) + "KB",
+                    std::string(scheduler->name()),
+                    sfs::common::Table::Cell(lat.Percentile(50), 1),
+                    sfs::common::Table::Cell(lat.Percentile(95), 1),
+                    sfs::common::Table::Cell(lat.count())});
+    }
+  }
+  std::cout << "\n=== Table 1 (real threads): cooperative switch latency under the\n"
+            << "user-level executor (2 virtual CPUs, 2ms quantum, 30us work units) ===\n\n";
+  table.Print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RealThreadSection();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: schedule three compute-bound tasks with 1:2:4 weights on a
+// dual-processor simulated machine under Surplus Fair Scheduling, and watch the
+// allocation track the weights.
+//
+//   $ ./examples/quickstart
+
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/sched/factory.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+int main() {
+  using namespace sfs;
+
+  // 1. Configure the scheduler: 2 CPUs, the paper's 200 ms quantum.
+  sched::SchedConfig config;
+  config.num_cpus = 2;
+  config.quantum = kDefaultQuantum;
+  auto scheduler = sched::CreateScheduler(sched::SchedKind::kSfs, config);
+
+  // 2. Attach a simulated SMP machine.
+  sim::Engine engine(*scheduler);
+
+  // 3. Add workloads: three infinite compute loops with weights 1 : 2 : 4.
+  //    (Weights 1:2:4 on 2 CPUs are not all feasible — 4/7 of two CPUs exceeds
+  //    one processor, so the readjustment algorithm caps the heavy task at one
+  //    CPU and splits the remainder 1:2.)
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "light"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 2.0, "medium"));
+  engine.AddTaskAt(0, workload::MakeInf(3, 4.0, "heavy"));
+
+  // 4. Run 30 simulated seconds.
+  engine.RunUntil(Sec(30));
+
+  // 5. Report CPU time received.
+  common::Table table({"task", "weight", "phi (readjusted)", "CPU time (s)", "share of 2 CPUs"});
+  for (sched::ThreadId tid = 1; tid <= 3; ++tid) {
+    const double secs = ToSeconds(engine.ServiceIncludingRunning(tid));
+    table.AddRow({std::string(engine.task(tid).label()),
+                  common::Table::Cell(scheduler->GetWeight(tid), 0),
+                  common::Table::Cell(scheduler->GetPhi(tid), 2),
+                  common::Table::Cell(secs, 2),
+                  common::Table::Cell(secs / 60.0, 3)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nThe heavy task is capped at one full processor (share 0.5); the light\n"
+            << "and medium tasks split the second processor 1:2 — exactly what the\n"
+            << "weight readjustment algorithm (paper Section 2.1) prescribes.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Lightweight CHECK/DCHECK assertion macros.
+//
+// The scheduling hot paths in this library are allocation-free and exception-free
+// (os-systems style); invariant violations are programming errors and abort the
+// process with a source location rather than unwinding.
+
+#ifndef SFS_COMMON_ASSERT_H_
+#define SFS_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sfs::common {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace sfs::common
+
+// Always-on invariant check. Use for conditions whose violation would corrupt
+// scheduler state (e.g. unknown thread ids, double dispatch).
+#define SFS_CHECK(cond)                                           \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::sfs::common::CheckFailed(#cond, __FILE__, __LINE__);      \
+    }                                                             \
+  } while (0)
+
+// Debug-only check for hot paths; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SFS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SFS_DCHECK(cond) SFS_CHECK(cond)
+#endif
+
+#endif  // SFS_COMMON_ASSERT_H_

@@ -1,0 +1,9 @@
+#include "src/common/fixed_point.h"
+
+namespace sfs::common {
+
+// Header-only; this translation unit exists to give the library an anchor and to
+// force the template definitions through a compile with the project's warning set.
+template class FixedPoint<4>;
+
+}  // namespace sfs::common

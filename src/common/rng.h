@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every experiment in this repository must be exactly reproducible, so all
+// randomness flows through this explicitly-seeded generator (xoshiro256**,
+// seeded via SplitMix64).  <random> engines are avoided because their
+// distributions are not specified bit-for-bit across standard library
+// implementations.
+
+#ifndef SFS_COMMON_RNG_H_
+#define SFS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sfs::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound); bound must be > 0.  Uses rejection sampling, so the
+  // distribution is exactly uniform.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sfs::common
+
+#endif  // SFS_COMMON_RNG_H_

@@ -1,0 +1,192 @@
+// Deterministic skip list keyed like SortedList.
+//
+// Section 3.2 notes the run-queue insertion cost "can be further reduced to
+// O(log t) if binary search is used to determine the insert position" — linked
+// lists cannot binary-search, but a skip list delivers the same bound with the
+// same ordering semantics.  This container mirrors SortedList's interface
+// (Insert / Remove / Front / PopFront / ForFirstK) so the two structures are
+// directly comparable; `bench/abl_queue_structures` measures the crossover on
+// the scheduler's charge-reposition pattern.
+//
+// Tower heights come from an internal, fixed-seed generator, so behaviour is
+// fully deterministic.  The list does not own its elements.
+
+#ifndef SFS_COMMON_SKIP_LIST_H_
+#define SFS_COMMON_SKIP_LIST_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/assert.h"
+
+namespace sfs::common {
+
+// KeyFn: struct with `static KeyType Key(const T&)`; KeyType totally ordered.
+// Equal keys keep insertion order (FIFO), like SortedList.
+template <typename T, typename KeyFn>
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  SkipList() : rng_state_(0x9E3779B97F4A7C15ULL) {
+    head_ = NewNode(nullptr, kMaxLevel);
+  }
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      DeleteNode(n);
+      n = next;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  bool empty() const { return head_->next[0] == nullptr; }
+  std::size_t size() const { return size_; }
+
+  T* Front() {
+    Node* first = head_->next[0];
+    return first == nullptr ? nullptr : first->elem;
+  }
+
+  // Inserts keeping ascending key order; equal keys go after existing ones.
+  void Insert(T* elem) {
+    const auto key = KeyFn::Key(*elem);
+    std::array<Node*, kMaxLevel> update;
+    Node* n = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      while (n->next[level] != nullptr && !(key < KeyFn::Key(*n->next[level]->elem))) {
+        n = n->next[level];
+      }
+      update[static_cast<std::size_t>(level)] = n;
+    }
+    const int height = RandomHeight();
+    Node* node = NewNode(elem, height);
+    for (int level = 0; level < height; ++level) {
+      node->next[level] = update[static_cast<std::size_t>(level)]->next[level];
+      update[static_cast<std::size_t>(level)]->next[level] = node;
+    }
+    ++size_;
+  }
+
+  // Removes `elem`; CHECK-fails if absent.  O(log n) to locate the key run,
+  // then linear within equal keys.
+  void Remove(T* elem) {
+    const auto key = KeyFn::Key(*elem);
+    std::array<Node*, kMaxLevel> update;
+    Node* n = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      while (n->next[level] != nullptr && KeyFn::Key(*n->next[level]->elem) < key) {
+        n = n->next[level];
+      }
+      update[static_cast<std::size_t>(level)] = n;
+    }
+    // Walk the equal-key run at the bottom until we find the exact element,
+    // keeping the update pointers in sync.
+    Node* target = update[0]->next[0];
+    while (target != nullptr && target->elem != elem &&
+           !(key < KeyFn::Key(*target->elem))) {
+      for (int level = 0; level < kMaxLevel; ++level) {
+        if (update[static_cast<std::size_t>(level)]->next[level] == target) {
+          update[static_cast<std::size_t>(level)] = target;
+        }
+      }
+      target = target->next[0];
+    }
+    SFS_CHECK(target != nullptr && target->elem == elem);
+    for (int level = 0; level < kMaxLevel; ++level) {
+      if (update[static_cast<std::size_t>(level)]->next[level] == target) {
+        update[static_cast<std::size_t>(level)]->next[level] = target->next[level];
+      }
+    }
+    DeleteNode(target);
+    --size_;
+  }
+
+  T* PopFront() {
+    Node* first = head_->next[0];
+    if (first == nullptr) {
+      return nullptr;
+    }
+    T* elem = first->elem;
+    for (int level = 0; level < kMaxLevel; ++level) {
+      if (head_->next[level] == first) {
+        head_->next[level] = first->next[level];
+      }
+    }
+    DeleteNode(first);
+    --size_;
+    return elem;
+  }
+
+  // Visits the first k elements in key order.
+  template <typename Fn>
+  std::size_t ForFirstK(std::size_t k, Fn&& fn) {
+    std::size_t visited = 0;
+    for (Node* n = head_->next[0]; n != nullptr && visited < k; n = n->next[0]) {
+      fn(n->elem);
+      ++visited;
+    }
+    return visited;
+  }
+
+  // Debug helper: true iff keys are non-decreasing bottom-level order.
+  bool IsSorted() {
+    Node* n = head_->next[0];
+    while (n != nullptr && n->next[0] != nullptr) {
+      if (KeyFn::Key(*n->next[0]->elem) < KeyFn::Key(*n->elem)) {
+        return false;
+      }
+      n = n->next[0];
+    }
+    return true;
+  }
+
+ private:
+  struct Node {
+    T* elem = nullptr;
+    // Variable-height tower; allocated with the node.
+    Node* next[1];
+  };
+
+  static Node* NewNode(T* elem, int height) {
+    // Over-allocate for the tower (height >= 1): nodes are raw storage, freed
+    // with DeleteNode.
+    const std::size_t bytes = sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(height - 1);
+    Node* node = static_cast<Node*>(::operator new(bytes));
+    node->elem = elem;
+    for (int i = 0; i < height; ++i) {
+      node->next[i] = nullptr;
+    }
+    return node;
+  }
+
+  static void DeleteNode(Node* node) { ::operator delete(node); }
+
+  int RandomHeight() {
+    // SplitMix64: deterministic tower heights, geometric with p = 1/4.
+    rng_state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    int height = 1;
+    while (height < kMaxLevel && (z & 3) == 0) {
+      z >>= 2;
+      ++height;
+    }
+    return height;
+  }
+
+  Node* head_;
+  std::size_t size_ = 0;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace sfs::common
+
+#endif  // SFS_COMMON_SKIP_LIST_H_

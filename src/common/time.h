@@ -1,0 +1,39 @@
+// Simulated-time units.
+//
+// All simulator and scheduler time is integral microseconds (`Tick`).  The paper's
+// testbed used a 200 ms maximum quantum on Linux 2.2 (10 ms timer tick); both
+// constants are reproduced here as defaults.
+
+#ifndef SFS_COMMON_TIME_H_
+#define SFS_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace sfs {
+
+// One tick is one microsecond of simulated (or measured) time.
+using Tick = std::int64_t;
+
+inline constexpr Tick kTicksPerUsec = 1;
+inline constexpr Tick kTicksPerMsec = 1000;
+inline constexpr Tick kTicksPerSec = 1000 * 1000;
+
+// A compute demand that never completes (used by Inf-style workloads).
+inline constexpr Tick kTickInfinity = INT64_MAX / 4;
+
+constexpr Tick Usec(std::int64_t us) { return us * kTicksPerUsec; }
+constexpr Tick Msec(std::int64_t ms) { return ms * kTicksPerMsec; }
+constexpr Tick Sec(std::int64_t s) { return s * kTicksPerSec; }
+
+constexpr double ToSeconds(Tick t) { return static_cast<double>(t) / kTicksPerSec; }
+constexpr double ToMillis(Tick t) { return static_cast<double>(t) / kTicksPerMsec; }
+
+// Default maximum quantum used throughout the paper's evaluation (Section 4.1).
+inline constexpr Tick kDefaultQuantum = Msec(200);
+
+// Linux 2.2 timer tick (HZ=100), used by the time-sharing baseline.
+inline constexpr Tick kLinuxTimerTick = Msec(10);
+
+}  // namespace sfs
+
+#endif  // SFS_COMMON_TIME_H_

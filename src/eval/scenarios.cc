@@ -1,0 +1,310 @@
+#include "src/eval/scenarios.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/assert.h"
+#include "src/common/rng.h"
+#include "src/metrics/fairness.h"
+#include "src/metrics/service_sampler.h"
+#include "src/sched/gms.h"
+#include "src/sched/sfs.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+namespace sfs::eval {
+
+namespace {
+
+using sched::SchedConfig;
+using sched::SchedKind;
+using sched::ThreadId;
+
+SchedConfig BaseConfig(int cpus, Tick quantum, bool readjust) {
+  SchedConfig config;
+  config.num_cpus = cpus;
+  config.quantum = quantum;
+  config.use_readjustment = readjust;
+  return config;
+}
+
+SeriesResult CollectSeries(const metrics::ServiceSampler& sampler, std::string scheduler_name) {
+  SeriesResult result;
+  result.times = sampler.times();
+  for (const auto& label : sampler.labels()) {
+    result.series[label] = sampler.Series(label);
+  }
+  result.scheduler_name = std::move(scheduler_name);
+  return result;
+}
+
+}  // namespace
+
+const std::vector<Tick>& SeriesResult::Of(const std::string& label) const {
+  auto it = series.find(label);
+  SFS_CHECK(it != series.end());
+  return it->second;
+}
+
+Example1Result RunExample1(sched::SchedKind kind, bool readjust, Tick t3_arrival, Tick horizon,
+                           Tick quantum) {
+  auto scheduler = CreateScheduler(kind, BaseConfig(/*cpus=*/2, quantum, readjust));
+  sim::Engine engine(*scheduler);
+
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "T1"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 10.0, "T2"));
+  engine.AddTaskAt(t3_arrival, workload::MakeInf(3, 1.0, "T3"));
+
+  const Tick sample_period = std::max<Tick>(quantum, Msec(1));
+  metrics::ServiceSampler sampler(engine, sample_period, {"T1", "T2", "T3"});
+  engine.RunUntil(horizon);
+
+  Example1Result result;
+  result.series = CollectSeries(sampler, std::string(scheduler->name()));
+  result.t1_starvation = metrics::LongestStarvation(result.series.Of("T1"), sample_period);
+  return result;
+}
+
+Example2Result RunExample2(sched::SchedKind kind, int heavy_weight, int light_threads,
+                           int short_weight, Tick short_len, Tick horizon) {
+  auto scheduler =
+      CreateScheduler(kind, BaseConfig(/*cpus=*/2, kDefaultQuantum, /*readjust=*/true));
+  sim::Engine engine(*scheduler);
+
+  ThreadId next_tid = 1;
+  engine.AddTaskAt(0, workload::MakeInf(next_tid++, heavy_weight, "heavy"));
+  for (int i = 0; i < light_threads; ++i) {
+    engine.AddTaskAt(0, workload::MakeInf(next_tid++, 1.0, "light"));
+  }
+
+  // Back-to-back short jobs: "each short task was introduced only after the
+  // previous one finished."
+  engine.SetExitHook([&next_tid, short_weight, short_len](sim::Engine& e, sim::Task& task) {
+    if (task.label() == "short") {
+      e.AddTaskAt(e.now(), workload::MakeFixedWork(next_tid++, short_weight, short_len, "short"));
+    }
+  });
+  engine.AddTaskAt(0, workload::MakeFixedWork(next_tid++, short_weight, short_len, "short"));
+
+  metrics::ServiceSampler sampler(engine, Sec(1), {"heavy", "light", "short"});
+  engine.RunUntil(horizon);
+
+  Example2Result result;
+  result.heavy_service = sampler.Series("heavy").back();
+  result.light_service = sampler.Series("light").back();
+  result.shorts_service = sampler.Series("short").back();
+  result.shorts_to_heavy_ratio =
+      static_cast<double>(result.shorts_service) / static_cast<double>(result.heavy_service);
+  return result;
+}
+
+double HeuristicAccuracy(int runnable, int k, int cpus, int decisions, std::uint64_t seed) {
+  SFS_CHECK(runnable > cpus);
+  SchedConfig config = BaseConfig(cpus, kDefaultQuantum, /*readjust=*/true);
+  config.heuristic_k = k;
+  sched::Sfs sfs(config);
+  common::Rng rng(seed);
+
+  for (ThreadId tid = 0; tid < runnable; ++tid) {
+    sfs.AddThread(tid, static_cast<double>(rng.UniformInt(1, 20)));
+  }
+
+  // Fill the processors, then cycle: release the longest-running thread with a
+  // variable-length quantum, audit the next decision, dispatch.  This emulates a
+  // loaded system's un-synchronized scheduling instants.
+  std::vector<std::pair<ThreadId, sched::CpuId>> running;
+  for (sched::CpuId cpu = 0; cpu < cpus; ++cpu) {
+    const ThreadId picked = sfs.PickNext(cpu);
+    SFS_CHECK(picked != sched::kInvalidThread);
+    running.emplace_back(picked, cpu);
+  }
+
+  std::int64_t hits = 0;
+  std::int64_t total = 0;
+  for (int i = 0; i < runnable * 4 + decisions; ++i) {
+    const auto [victim, cpu] = running.front();
+    running.erase(running.begin());
+    sfs.Charge(victim, Msec(rng.UniformInt(1, 200)));
+    const bool audit = i >= runnable * 4;  // skip the tag-spreading warm-up
+    if (audit) {
+      const auto verdict = sfs.AuditHeuristic(k);
+      ++total;
+      if (verdict.heuristic_pick == verdict.exact_pick) {
+        ++hits;
+      }
+    }
+    const ThreadId picked = sfs.PickNext(cpu);
+    SFS_CHECK(picked != sched::kInvalidThread);
+    running.emplace_back(picked, cpu);
+  }
+  return total == 0 ? 100.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(total);
+}
+
+SeriesResult RunFig4(sched::SchedKind kind, bool readjust, Tick horizon) {
+  auto scheduler = CreateScheduler(kind, BaseConfig(/*cpus=*/2, kDefaultQuantum, readjust));
+  sim::Engine engine(*scheduler);
+
+  // "At t=0, we started two Inf applications (T1 and T2) with weights 1:10.  At
+  // t=15s, we started a third Inf application (T3) with a weight of 1.  Task T2
+  // was then stopped at t=30s."
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "T1"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 10.0, "T2"));
+  engine.AddTaskAt(Sec(15), workload::MakeInf(3, 1.0, "T3"));
+
+  metrics::ServiceSampler sampler(engine, Msec(500), {"T1", "T2", "T3"});
+
+  engine.RunUntil(Sec(30));
+  engine.KillTask(2);
+  engine.RunUntil(horizon);
+  return CollectSeries(sampler, std::string(scheduler->name()));
+}
+
+SeriesResult RunFig5(sched::SchedKind kind, Tick horizon, Tick quantum) {
+  auto scheduler = CreateScheduler(kind, BaseConfig(/*cpus=*/2, quantum,
+                                                    /*readjust=*/true));
+  sim::Engine engine(*scheduler);
+
+  ThreadId next_tid = 1;
+  engine.AddTaskAt(0, workload::MakeInf(next_tid++, 20.0, "T1"));
+  for (int i = 0; i < 20; ++i) {
+    engine.AddTaskAt(0, workload::MakeInf(next_tid++, 1.0, "T2-21"));
+  }
+  engine.SetExitHook([&next_tid](sim::Engine& e, sim::Task& task) {
+    if (task.label() == "T_short") {
+      e.AddTaskAt(e.now(), workload::MakeFixedWork(next_tid++, 5.0, Msec(300), "T_short"));
+    }
+  });
+  engine.AddTaskAt(0, workload::MakeFixedWork(next_tid++, 5.0, Msec(300), "T_short"));
+
+  metrics::ServiceSampler sampler(engine, Msec(500), {"T1", "T2-21", "T_short"});
+  engine.RunUntil(horizon);
+  return CollectSeries(sampler, std::string(scheduler->name()));
+}
+
+Fig6aResult RunFig6a(sched::SchedKind kind, int wa, int wb, Tick horizon) {
+  auto scheduler = CreateScheduler(kind, BaseConfig(/*cpus=*/2, kDefaultQuantum,
+                                                    /*readjust=*/true));
+  sim::Engine engine(*scheduler);
+
+  ThreadId next_tid = 1;
+  // "20 background dhrystone processes, each with a weight of 1 ... necessary to
+  // ensure that all weights were feasible at all times."
+  for (int i = 0; i < 20; ++i) {
+    engine.AddTaskAt(0, workload::MakeDhrystone(next_tid++, 1.0, "bg"));
+  }
+  const ThreadId a = next_tid++;
+  const ThreadId b = next_tid++;
+  engine.AddTaskAt(0, workload::MakeDhrystone(a, wa, "A"));
+  engine.AddTaskAt(0, workload::MakeDhrystone(b, wb, "B"));
+
+  engine.RunUntil(horizon);
+
+  Fig6aResult result;
+  const double secs = ToSeconds(horizon);
+  result.loops_per_sec_a = static_cast<double>(engine.ServiceIncludingRunning(a)) *
+                           workload::Dhrystone::kLoopsPerUsec / secs;
+  result.loops_per_sec_b = static_cast<double>(engine.ServiceIncludingRunning(b)) *
+                           workload::Dhrystone::kLoopsPerUsec / secs;
+  result.ratio = result.loops_per_sec_b / result.loops_per_sec_a;
+  return result;
+}
+
+double RunFig6b(sched::SchedKind kind, int compile_jobs, Tick horizon) {
+  auto scheduler = CreateScheduler(kind, BaseConfig(/*cpus=*/2, kDefaultQuantum,
+                                                    /*readjust=*/true));
+  sim::Engine engine(*scheduler);
+
+  ThreadId next_tid = 1;
+  const ThreadId decoder_tid = next_tid++;
+  // "The decoder was given a large weight": the readjustment algorithm caps it at
+  // one full processor; the compilations share the other.
+  workload::MpegDecoder::Params mpeg;
+  engine.AddTaskAt(0, workload::MakeMpeg(decoder_tid, 100.0, mpeg, "mpeg"));
+
+  for (int i = 0; i < compile_jobs; ++i) {
+    workload::CompileJob::Params params;
+    params.seed = 1000 + static_cast<std::uint64_t>(i);
+    engine.AddTaskAt(0, workload::MakeCompileJob(next_tid++, 1.0, params, "gcc"));
+  }
+
+  engine.RunUntil(horizon);
+  auto& decoder = static_cast<workload::MpegDecoder&>(engine.task(decoder_tid).behavior());
+  return static_cast<double>(decoder.frames_decoded()) / ToSeconds(horizon);
+}
+
+metrics::ResponseStats RunFig6c(sched::SchedKind kind, int disksim_jobs, Tick horizon) {
+  auto scheduler = CreateScheduler(kind, BaseConfig(/*cpus=*/2, kDefaultQuantum,
+                                                    /*readjust=*/true));
+  sim::Engine engine(*scheduler);
+
+  common::SampleSet responses;
+  ThreadId next_tid = 1;
+  workload::Interact::Params params;
+  params.seed = 7;
+  engine.AddTaskAt(0, workload::MakeInteract(next_tid++, 1.0, params, &responses, "interact"));
+  for (int i = 0; i < disksim_jobs; ++i) {
+    engine.AddTaskAt(0, workload::MakeDiskSim(next_tid++, 1.0, "disksim"));
+  }
+
+  engine.RunUntil(horizon);
+  return metrics::Summarize(responses);
+}
+
+double GmsDeviationForWeights(sched::SchedKind kind, const std::vector<double>& weights, int cpus,
+                              Tick horizon, Tick quantum, int fixed_point_digits,
+                              bool scheduler_readjust) {
+  std::vector<TimedArrival> arrivals;
+  arrivals.reserve(weights.size());
+  for (double w : weights) {
+    arrivals.push_back({0, w});
+  }
+  return GmsDeviationForArrivals(kind, arrivals, cpus, horizon, quantum, fixed_point_digits,
+                                 scheduler_readjust);
+}
+
+double GmsDeviationForArrivals(sched::SchedKind kind, const std::vector<TimedArrival>& arrivals,
+                               int cpus, Tick horizon, Tick quantum, int fixed_point_digits,
+                               bool scheduler_readjust) {
+  SchedConfig config = BaseConfig(cpus, quantum, scheduler_readjust);
+  config.fixed_point_digits = fixed_point_digits;
+  auto scheduler = CreateScheduler(kind, config);
+  sim::Engine engine(*scheduler);
+  sched::GmsReference gms(cpus);
+
+  engine.SetSchedEventHook([&gms](sim::SchedEvent event, const sim::Task& task, Tick now) {
+    switch (event) {
+      case sim::SchedEvent::kArrival:
+        gms.AddThread(task.tid(), task.weight(), now);
+        break;
+      case sim::SchedEvent::kDeparture:
+        gms.RemoveThread(task.tid(), now);
+        break;
+      case sim::SchedEvent::kBlock:
+        gms.Block(task.tid(), now);
+        break;
+      case sim::SchedEvent::kWakeup:
+        gms.Wakeup(task.tid(), now);
+        break;
+    }
+  });
+
+  std::vector<ThreadId> tids;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto tid = static_cast<ThreadId>(i + 1);
+    tids.push_back(tid);
+    engine.AddTaskAt(arrivals[i].at, workload::MakeInf(tid, arrivals[i].weight, "w"));
+  }
+  engine.RunUntil(horizon);
+  gms.AdvanceTo(horizon);
+
+  std::vector<double> actual;
+  std::vector<double> fluid;
+  for (ThreadId tid : tids) {
+    actual.push_back(static_cast<double>(engine.ServiceIncludingRunning(tid)));
+    fluid.push_back(gms.Service(tid));
+  }
+  return metrics::MaxGmsDeviation(actual, fluid);
+}
+
+}  // namespace sfs::eval

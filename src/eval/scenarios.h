@@ -1,0 +1,134 @@
+// Reusable experiment runners: one per figure/table of the paper's evaluation.
+//
+// Each runner builds the exact workload of the corresponding experiment, drives
+// it through the discrete-event simulator, and returns structured data.  The
+// bench binaries print these as tables/series; the integration tests assert the
+// paper's qualitative results (who wins, who starves, what's proportional).
+// See DESIGN.md section 4 for the experiment index.
+
+#ifndef SFS_EVAL_SCENARIOS_H_
+#define SFS_EVAL_SCENARIOS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/metrics/response.h"
+#include "src/sched/factory.h"
+
+namespace sfs::eval {
+
+// Cumulative service per label sampled over time.
+struct SeriesResult {
+  std::vector<Tick> times;
+  std::map<std::string, std::vector<Tick>> series;  // label -> cumulative ticks
+  std::string scheduler_name;
+
+  const std::vector<Tick>& Of(const std::string& label) const;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 1 / Example 1 (Section 1.2): the infeasible weights problem.
+// Two CPUs, q = 1 ms; T1 (w=1) and T2 (w=10) run from t=0; T3 (w=1) arrives at
+// `t3_arrival`.  Under plain SFQ, T1 starves from T3's arrival until the start
+// tags catch up (~0.9 * t3_arrival).  Returns a sampled series plus the longest
+// observed starvation window for T1.
+struct Example1Result {
+  SeriesResult series;
+  Tick t1_starvation = 0;  // longest window with zero T1 progress
+};
+Example1Result RunExample1(sched::SchedKind kind, bool readjust,
+                           Tick t3_arrival = Sec(1), Tick horizon = Sec(3),
+                           Tick quantum = Msec(1));
+
+// Example 2 (Section 1.2): frequent arrivals/departures with feasible weights.
+// Two CPUs; one thread with a huge weight, `light_threads` threads of weight 1,
+// and a back-to-back chain of short jobs of weight `short_weight` running
+// `short_len` each.  Reports the service rates of the heavy thread and of the
+// short-job chain; SFQ gives the chain ~a full CPU, proportional schedulers
+// give it ~short_weight/heavy_weight of the heavy thread's service.
+struct Example2Result {
+  Tick heavy_service = 0;
+  Tick shorts_service = 0;
+  Tick light_service = 0;  // aggregate over the weight-1 threads
+  double shorts_to_heavy_ratio = 0.0;
+};
+Example2Result RunExample2(sched::SchedKind kind, int heavy_weight = 50,
+                           int light_threads = 100, int short_weight = 15,
+                           Tick short_len = Msec(300), Tick horizon = Sec(60));
+
+// ---------------------------------------------------------------------------
+// Figure 3 (Section 3.2): efficacy of the scheduling heuristic.
+// Quad-processor system with `runnable` compute-bound threads of random weights;
+// drives SFS in heuristic mode and audits every decision against the exact
+// algorithm.  Returns the percentage of decisions where the heuristic picked the
+// true minimum-surplus thread.
+double HeuristicAccuracy(int runnable, int k, int cpus = 4, int decisions = 4000,
+                         std::uint64_t seed = 42);
+
+// ---------------------------------------------------------------------------
+// Figure 4 (Section 4.2): impact of the weight readjustment algorithm.
+// Two CPUs, q = 200 ms.  T1 (w=1) and T2 (w=10) start at t=0; T3 (w=1) arrives
+// at t=15s; T2 departs at t=30s; horizon 40s.  Labels: "T1", "T2", "T3".
+SeriesResult RunFig4(sched::SchedKind kind, bool readjust, Tick horizon = Sec(40));
+
+// ---------------------------------------------------------------------------
+// Figure 5 (Section 4.3): the short jobs problem, SFQ vs SFS.
+// Two CPUs; T1 (w=20), T2-T21 (20 threads, w=1 each), and a chain of short jobs
+// (w=5, 300 ms each, back to back).  Labels: "T1", "T2-21", "T_short".
+// `quantum` defaults to the paper's 200 ms; the residual over-allocation of the
+// short jobs under SFS shrinks with the quantum (tag quantization q/phi), which
+// the fig5 bench sweeps.
+SeriesResult RunFig5(sched::SchedKind kind, Tick horizon = Sec(30),
+                     Tick quantum = kDefaultQuantum);
+
+// ---------------------------------------------------------------------------
+// Figure 6(a) (Section 4.4): proportionate allocation.
+// 20 background dhrystones (w=1) plus two dhrystones at weights wa:wb; returns
+// loops/sec of the two foreground benchmarks over the horizon.
+struct Fig6aResult {
+  double loops_per_sec_a = 0.0;
+  double loops_per_sec_b = 0.0;
+  double ratio = 0.0;
+};
+Fig6aResult RunFig6a(sched::SchedKind kind, int wa, int wb, Tick horizon = Sec(20));
+
+// ---------------------------------------------------------------------------
+// Figure 6(b) (Section 4.4): application isolation.
+// MPEG decoder (large weight) + `compile_jobs` gcc-like jobs (w=1) on 2 CPUs;
+// returns achieved frames/sec.  SFS isolates (~30 fps flat); time sharing decays.
+double RunFig6b(sched::SchedKind kind, int compile_jobs, Tick horizon = Sec(60));
+
+// ---------------------------------------------------------------------------
+// Figure 6(c) (Section 4.4): interactive performance.
+// Interact (w=1) + `disksim_jobs` background simulations (w=1) on 2 CPUs;
+// returns response-time statistics in milliseconds.
+metrics::ResponseStats RunFig6c(sched::SchedKind kind, int disksim_jobs,
+                                Tick horizon = Sec(120));
+
+// ---------------------------------------------------------------------------
+// Fairness audit (used by property tests and the ablation benches): runs
+// compute-bound threads with the given weights on `cpus` processors and returns
+// the max |A_i - A_i^GMS| deviation at the horizon, in ticks.  The GMS reference
+// always uses readjusted instantaneous weights (that is its definition);
+// `scheduler_readjust` toggles the algorithm under test only.
+double GmsDeviationForWeights(sched::SchedKind kind, const std::vector<double>& weights,
+                              int cpus, Tick horizon, Tick quantum = kDefaultQuantum,
+                              int fixed_point_digits = -1, bool scheduler_readjust = true);
+
+// Generalization with per-thread arrival times.  Static infeasible workloads
+// self-cap under any work-conserving scheduler (a thread cannot use more than
+// one processor), so the Example 1 divergence only shows with late arrivals.
+struct TimedArrival {
+  Tick at = 0;
+  double weight = 1.0;
+};
+double GmsDeviationForArrivals(sched::SchedKind kind, const std::vector<TimedArrival>& arrivals,
+                               int cpus, Tick horizon, Tick quantum = kDefaultQuantum,
+                               int fixed_point_digits = -1, bool scheduler_readjust = true);
+
+}  // namespace sfs::eval
+
+#endif  // SFS_EVAL_SCENARIOS_H_

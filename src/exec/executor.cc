@@ -1,0 +1,267 @@
+#include "src/exec/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/assert.h"
+
+namespace sfs::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Tick ToTicks(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+}  // namespace
+
+Executor::Executor(sched::Scheduler& scheduler, const Config& config)
+    : scheduler_(scheduler), config_(config) {
+  SFS_CHECK(config_.quantum > 0);
+}
+
+Executor::~Executor() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->shutdown.store(true);
+      {
+        std::lock_guard<std::mutex> lk(w->mu);
+      }
+      w->cv.notify_all();
+      w->thread.join();
+    }
+  }
+}
+
+void Executor::AddTask(sched::ThreadId tid, sched::Weight weight, std::function<bool()> work) {
+  SFS_CHECK(!started_);
+  auto worker = std::make_unique<Worker>();
+  worker->tid = tid;
+  worker->weight = weight;
+  worker->work = std::move(work);
+  workers_.push_back(std::move(worker));
+}
+
+void Executor::WorkerBody(Worker& w) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(w.mu);
+      w.cv.wait(lk, [&] { return w.granted || w.shutdown.load(); });
+      if (w.shutdown.load()) {
+        return;
+      }
+    }
+    const Clock::time_point start = Clock::now();
+    bool done = false;
+    while (!w.preempt.load(std::memory_order_relaxed)) {
+      if (!w.work()) {
+        done = true;
+        break;
+      }
+    }
+    const Clock::time_point end = Clock::now();
+    {
+      std::lock_guard<std::mutex> lk(w.mu);
+      w.granted = false;
+    }
+    w.preempt.store(false);
+
+    Report report;
+    report.tid = w.tid;
+    report.ran = std::max<Tick>(0, ToTicks(end - start));
+    report.done = done;
+    report.yield_delay = ToTicks(end.time_since_epoch());  // absolute; resolved by dispatcher
+    {
+      std::lock_guard<std::mutex> lk(report_mu_);
+      reports_.push_back(report);
+    }
+    report_cv_.notify_one();
+    if (done) {
+      return;
+    }
+  }
+}
+
+void Executor::Grant(Worker& w) {
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.granted = true;
+  }
+  w.cv.notify_one();
+}
+
+Tick Executor::Run(Tick wall_limit) {
+  SFS_CHECK(!started_);
+  started_ = true;
+
+  struct CpuState {
+    Worker* running = nullptr;
+    Clock::time_point deadline;
+    Clock::time_point preempt_sent_at;
+    bool preempt_sent = false;
+  };
+
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point wall_end = t0 + std::chrono::microseconds(wall_limit);
+
+  // Register and launch every worker (they start waiting for a grant).
+  for (auto& w : workers_) {
+    scheduler_.AddThread(w->tid, w->weight);
+    w->thread = std::thread([this, worker = w.get()] { WorkerBody(*worker); });
+  }
+
+  std::vector<CpuState> cpus(static_cast<std::size_t>(scheduler_.num_cpus()));
+  auto find_worker = [&](sched::ThreadId tid) -> Worker* {
+    for (auto& w : workers_) {
+      if (w->tid == tid) {
+        return w.get();
+      }
+    }
+    SFS_CHECK(false);
+    return nullptr;
+  };
+
+  int active = static_cast<int>(workers_.size());
+  int running_count = 0;
+
+  auto dispatch = [&](std::size_t cpu_idx) {
+    const sched::ThreadId tid = scheduler_.PickNext(static_cast<sched::CpuId>(cpu_idx));
+    if (tid == sched::kInvalidThread) {
+      cpus[cpu_idx].running = nullptr;
+      return;
+    }
+    Worker* w = find_worker(tid);
+    cpus[cpu_idx].running = w;
+    cpus[cpu_idx].deadline = Clock::now() + std::chrono::microseconds(config_.quantum);
+    cpus[cpu_idx].preempt_sent = false;
+    ++dispatches_;
+    ++running_count;
+    Grant(*w);
+  };
+
+  for (std::size_t c = 0; c < cpus.size(); ++c) {
+    dispatch(c);
+  }
+
+  while (active > 0 && Clock::now() < wall_end) {
+    // Next timer event: earliest quantum deadline among running CPUs.
+    Clock::time_point next_deadline = wall_end;
+    for (const auto& cpu : cpus) {
+      if (cpu.running != nullptr && !cpu.preempt_sent) {
+        next_deadline = std::min(next_deadline, cpu.deadline);
+      }
+    }
+
+    Report report;
+    bool have_report = false;
+    {
+      std::unique_lock<std::mutex> lk(report_mu_);
+      report_cv_.wait_until(lk, next_deadline, [&] { return !reports_.empty(); });
+      if (!reports_.empty()) {
+        report = reports_.front();
+        reports_.pop_front();
+        have_report = true;
+      }
+    }
+
+    if (have_report) {
+      // Find the CPU this worker was running on.
+      std::size_t cpu_idx = cpus.size();
+      for (std::size_t c = 0; c < cpus.size(); ++c) {
+        if (cpus[c].running != nullptr && cpus[c].running->tid == report.tid) {
+          cpu_idx = c;
+          break;
+        }
+      }
+      SFS_CHECK(cpu_idx < cpus.size());
+      CpuState& cpu = cpus[cpu_idx];
+      Worker* w = cpu.running;
+      cpu.running = nullptr;
+      --running_count;
+
+      scheduler_.Charge(report.tid, report.ran);
+      w->cpu_time += report.ran;
+      if (cpu.preempt_sent) {
+        const Tick latency =
+            report.yield_delay - ToTicks(cpu.preempt_sent_at.time_since_epoch());
+        preempt_latencies_.Add(static_cast<double>(std::max<Tick>(0, latency)));
+      }
+      if (report.done) {
+        scheduler_.RemoveThread(report.tid);
+        --active;
+      }
+      dispatch(cpu_idx);
+      continue;
+    }
+
+    // Timer: preempt every CPU whose quantum expired.
+    const Clock::time_point now = Clock::now();
+    for (auto& cpu : cpus) {
+      if (cpu.running != nullptr && !cpu.preempt_sent && now >= cpu.deadline) {
+        cpu.preempt_sent = true;
+        cpu.preempt_sent_at = now;
+        cpu.running->preempt.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Wind down: stop everything still on a CPU and drain their final reports.
+  for (auto& cpu : cpus) {
+    if (cpu.running != nullptr) {
+      cpu.running->preempt.store(true, std::memory_order_relaxed);
+    }
+  }
+  while (running_count > 0) {
+    Report report;
+    {
+      std::unique_lock<std::mutex> lk(report_mu_);
+      report_cv_.wait(lk, [&] { return !reports_.empty(); });
+      report = reports_.front();
+      reports_.pop_front();
+    }
+    for (auto& cpu : cpus) {
+      if (cpu.running != nullptr && cpu.running->tid == report.tid) {
+        scheduler_.Charge(report.tid, report.ran);
+        cpu.running->cpu_time += report.ran;
+        if (report.done) {
+          scheduler_.RemoveThread(report.tid);
+          --active;
+        }
+        cpu.running = nullptr;
+        --running_count;
+        break;
+      }
+    }
+  }
+  // Unregister tasks that never finished, then stop their (waiting) threads.
+  for (auto& w : workers_) {
+    if (scheduler_.Contains(w->tid)) {
+      scheduler_.RemoveThread(w->tid);
+    }
+    w->shutdown.store(true);
+    {
+      std::lock_guard<std::mutex> lk(w->mu);
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+  return ToTicks(Clock::now() - t0);
+}
+
+Tick Executor::CpuTime(sched::ThreadId tid) const {
+  for (const auto& w : workers_) {
+    if (w->tid == tid) {
+      return w->cpu_time;
+    }
+  }
+  SFS_CHECK(false);
+  return 0;
+}
+
+}  // namespace sfs::exec

@@ -1,0 +1,89 @@
+#include "src/metrics/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace sfs::metrics {
+
+double WeightedServiceSpread(const std::vector<double>& services,
+                             const std::vector<double>& phis) {
+  SFS_CHECK(services.size() == phis.size());
+  if (services.empty()) {
+    return 0.0;
+  }
+  double lo = services[0] / phis[0];
+  double hi = lo;
+  for (std::size_t i = 1; i < services.size(); ++i) {
+    SFS_CHECK(phis[i] > 0);
+    const double x = services[i] / phis[i];
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  return hi - lo;
+}
+
+double JainIndex(const std::vector<double>& services, const std::vector<double>& phis) {
+  SFS_CHECK(services.size() == phis.size());
+  if (services.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    SFS_CHECK(phis[i] > 0);
+    const double x = services[i] / phis[i];
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  const auto n = static_cast<double>(services.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double MaxGmsDeviation(const std::vector<double>& actual, const std::vector<double>& fluid) {
+  SFS_CHECK(actual.size() == fluid.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    worst = std::max(worst, std::abs(actual[i] - fluid[i]));
+  }
+  return worst;
+}
+
+Tick LongestStarvation(const std::vector<Tick>& cumulative_series, Tick period) {
+  SFS_CHECK(period > 0);
+  Tick longest = 0;
+  Tick current = 0;
+  Tick prev = 0;
+  bool first = true;
+  for (Tick v : cumulative_series) {
+    if (first) {
+      first = false;
+      prev = v;
+      continue;
+    }
+    if (v == prev) {
+      current += period;
+      longest = std::max(longest, current);
+    } else {
+      current = 0;
+    }
+    prev = v;
+  }
+  return longest;
+}
+
+double TailSlopeRatio(const std::vector<Tick>& num, const std::vector<Tick>& den,
+                      std::size_t from) {
+  SFS_CHECK(num.size() == den.size());
+  SFS_CHECK(from < num.size());
+  const double dn = static_cast<double>(num.back() - num[from]);
+  const double dd = static_cast<double>(den.back() - den[from]);
+  SFS_CHECK(dd != 0.0);
+  return dn / dd;
+}
+
+}  // namespace sfs::metrics

@@ -1,0 +1,42 @@
+// Fairness metrics.
+//
+// Quantifies what the paper's figures show qualitatively: proportional-share
+// error relative to GMS (Equations 2-3), Jain's fairness index over normalized
+// services, and starvation windows (the Figure 1/4(a) pathology).
+
+#ifndef SFS_METRICS_FAIRNESS_H_
+#define SFS_METRICS_FAIRNESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace sfs::metrics {
+
+// Max pairwise difference of weighted services |A_i/phi_i - A_j/phi_j| — the
+// quantity GMS keeps at zero for continuously-runnable threads (Equation 2).
+// `services` and `phis` are parallel arrays.
+double WeightedServiceSpread(const std::vector<double>& services,
+                             const std::vector<double>& phis);
+
+// Jain's fairness index over x_i = A_i / phi_i; 1.0 = perfectly proportional.
+double JainIndex(const std::vector<double>& services, const std::vector<double>& phis);
+
+// Largest absolute deviation |A_i - A_i^GMS| (the paper's surplus, Equation 3).
+double MaxGmsDeviation(const std::vector<double>& actual, const std::vector<double>& fluid);
+
+// Longest run of consecutive zero increments in a sampled cumulative-service
+// series, in ticks (`period` = sampling period).  A starving thread (Figure
+// 4(a)) shows a window comparable to the starvation duration; a fairly treated
+// thread shows ~0.
+Tick LongestStarvation(const std::vector<Tick>& cumulative_series, Tick period);
+
+// Ratio of two slopes over the tail [from, end) of sampled series; used to check
+// that e.g. a 1:2 weight assignment yields a ~2.0 service-rate ratio.
+double TailSlopeRatio(const std::vector<Tick>& num, const std::vector<Tick>& den,
+                      std::size_t from);
+
+}  // namespace sfs::metrics
+
+#endif  // SFS_METRICS_FAIRNESS_H_

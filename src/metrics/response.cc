@@ -1,0 +1,14 @@
+#include "src/metrics/response.h"
+
+namespace sfs::metrics {
+
+ResponseStats Summarize(const common::SampleSet& samples) {
+  ResponseStats stats;
+  stats.samples = samples.count();
+  stats.mean_ms = samples.mean();
+  stats.p95_ms = samples.Percentile(95.0);
+  stats.max_ms = samples.max();
+  return stats;
+}
+
+}  // namespace sfs::metrics

@@ -1,0 +1,24 @@
+// Response-time statistics for interactive workloads (Figure 6(c)).
+
+#ifndef SFS_METRICS_RESPONSE_H_
+#define SFS_METRICS_RESPONSE_H_
+
+#include <cstddef>
+
+#include "src/common/stats.h"
+
+namespace sfs::metrics {
+
+// Summary of a set of response-time samples (milliseconds).
+struct ResponseStats {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t samples = 0;
+};
+
+ResponseStats Summarize(const common::SampleSet& samples);
+
+}  // namespace sfs::metrics
+
+#endif  // SFS_METRICS_RESPONSE_H_

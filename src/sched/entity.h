@@ -1,0 +1,67 @@
+// Per-thread scheduling state ("task struct" fields).
+//
+// One Entity exists per thread known to a scheduler.  It carries the union of the
+// state used by the schedulers in this library; each scheduler uses the subset it
+// needs.  All queue membership is intrusive (Section 3.1 keeps each runnable thread
+// on three sorted queues simultaneously), so entities are never copied or moved
+// while linked.
+
+#ifndef SFS_SCHED_ENTITY_H_
+#define SFS_SCHED_ENTITY_H_
+
+#include "src/common/intrusive_list.h"
+#include "src/common/time.h"
+#include "src/sched/types.h"
+
+namespace sfs::sched {
+
+struct Entity {
+  ThreadId tid = kInvalidThread;
+
+  // Requested weight w_i (set by the user, Section 2).
+  Weight weight = 1.0;
+  // Instantaneous weight phi_i produced by the readjustment algorithm (Section 2.1).
+  // Equal to `weight` whenever the assignment is feasible.
+  Weight phi = 1.0;
+  // True while the readjustment algorithm holds this thread's share capped at 1/p.
+  // Maintained by ReadjustQueue so that restoring former caps costs O(p), not O(t).
+  bool capped = false;
+
+  // SFS / SFQ / WFQ virtual-time tags (Section 2.3).
+  double start_tag = 0.0;   // S_i
+  double finish_tag = 0.0;  // F_i
+  // SFS surplus alpha_i = phi_i * (S_i - v), maintained for runnable threads.
+  double surplus = 0.0;
+
+  // Stride scheduling pass value / BVT actual virtual time.
+  double pass = 0.0;
+
+  // BVT latency parameter: while warp_enabled, the effective virtual time is
+  // pass - warp.
+  double warp = 0.0;
+  bool warp_enabled = false;
+
+  // Linux 2.2-style time-sharing state: remaining timeslice in timer ticks and
+  // the static priority added at every epoch recalculation.
+  std::int64_t counter = 0;
+  int priority = 0;
+
+  // --- generic state maintained by the Scheduler base class ---
+  bool runnable = false;
+  bool running = false;
+  CpuId cpu = kInvalidCpu;        // processor currently running this thread
+  CpuId last_cpu = kInvalidCpu;   // processor that last ran it (affinity hint)
+  CpuId partition = kInvalidCpu;  // home partition (partitioned baseline only)
+  Tick total_service = 0;         // cumulative CPU time received
+
+  // Intrusive queue hooks (Section 3.1's three queues plus one generic run queue
+  // used by the non-GPS baselines).
+  common::ListHook by_weight;   // runnable threads, descending weight
+  common::ListHook by_start;    // runnable threads, ascending start tag
+  common::ListHook by_surplus;  // runnable threads, ascending surplus
+  common::ListHook by_rq;       // scheduler-specific run queue (RR/timeshare/stride/...)
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_ENTITY_H_

@@ -1,0 +1,79 @@
+#include "src/sched/factory.h"
+
+#include "src/common/assert.h"
+#include "src/sched/bvt.h"
+#include "src/sched/hsfs.h"
+#include "src/sched/lottery.h"
+#include "src/sched/round_robin.h"
+#include "src/sched/sfq.h"
+#include "src/sched/sfs.h"
+#include "src/sched/stride.h"
+#include "src/sched/timeshare.h"
+#include "src/sched/wfq.h"
+
+namespace sfs::sched {
+
+std::string_view SchedKindName(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kSfs:
+      return "sfs";
+    case SchedKind::kHsfs:
+      return "hsfs";
+    case SchedKind::kSfq:
+      return "sfq";
+    case SchedKind::kStride:
+      return "stride";
+    case SchedKind::kWfq:
+      return "wfq";
+    case SchedKind::kBvt:
+      return "bvt";
+    case SchedKind::kTimeshare:
+      return "timeshare";
+    case SchedKind::kRoundRobin:
+      return "rr";
+    case SchedKind::kLottery:
+      return "lottery";
+  }
+  return "unknown";
+}
+
+std::optional<SchedKind> ParseSchedKind(std::string_view name) {
+  for (SchedKind kind :
+       {SchedKind::kSfs, SchedKind::kHsfs, SchedKind::kSfq, SchedKind::kStride, SchedKind::kWfq,
+        SchedKind::kBvt, SchedKind::kTimeshare, SchedKind::kRoundRobin, SchedKind::kLottery}) {
+    if (name == SchedKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Scheduler> CreateScheduler(SchedKind kind, const SchedConfig& config) {
+  switch (kind) {
+    case SchedKind::kSfs: {
+      SchedConfig c = config;
+      c.use_readjustment = true;  // SFS is defined with readjusted weights
+      return std::make_unique<Sfs>(c);
+    }
+    case SchedKind::kHsfs:
+      return std::make_unique<HierarchicalSfs>(config);
+    case SchedKind::kSfq:
+      return std::make_unique<Sfq>(config);
+    case SchedKind::kStride:
+      return std::make_unique<Stride>(config);
+    case SchedKind::kWfq:
+      return std::make_unique<Wfq>(config);
+    case SchedKind::kBvt:
+      return std::make_unique<Bvt>(config);
+    case SchedKind::kTimeshare:
+      return std::make_unique<Timeshare>(config);
+    case SchedKind::kRoundRobin:
+      return std::make_unique<RoundRobin>(config);
+    case SchedKind::kLottery:
+      return std::make_unique<Lottery>(config);
+  }
+  SFS_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace sfs::sched

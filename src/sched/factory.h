@@ -1,0 +1,38 @@
+// Scheduler factory: constructs any policy in the library by kind.
+
+#ifndef SFS_SCHED_FACTORY_H_
+#define SFS_SCHED_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "src/sched/scheduler.h"
+
+namespace sfs::sched {
+
+enum class SchedKind {
+  kSfs,        // surplus fair scheduling (this paper)
+  kHsfs,       // hierarchical SFS (the paper's future-work extension)
+  kSfq,        // start-time fair queueing
+  kStride,     // stride scheduling
+  kWfq,        // weighted fair queueing
+  kBvt,        // borrowed virtual time
+  kTimeshare,  // Linux 2.2-style time sharing
+  kRoundRobin,
+  kLottery,    // lottery scheduling (randomized proportional share)
+};
+
+// Canonical lower-case name ("sfs", "sfq", ...).
+std::string_view SchedKindName(SchedKind kind);
+
+// Parses a canonical name; nullopt if unknown.
+std::optional<SchedKind> ParseSchedKind(std::string_view name);
+
+// Constructs the scheduler.  SchedConfig::use_readjustment selects the
+// with/without-readjustment variants of the GPS baselines (SFS always readjusts).
+std::unique_ptr<Scheduler> CreateScheduler(SchedKind kind, const SchedConfig& config);
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_FACTORY_H_

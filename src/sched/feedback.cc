@@ -1,0 +1,43 @@
+#include "src/sched/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.h"
+
+namespace sfs::sched {
+
+WeightController::WeightController(Scheduler& scheduler, ThreadId tid, const Params& params)
+    : scheduler_(scheduler), tid_(tid), params_(params) {
+  SFS_CHECK(params_.target_share > 0.0 && params_.target_share <= 1.0);
+  SFS_CHECK(params_.gain > 0.0 && params_.gain <= 1.0);
+  SFS_CHECK(params_.min_weight > 0.0 && params_.min_weight < params_.max_weight);
+  SFS_CHECK(scheduler.Contains(tid));
+  weight_ = scheduler.GetWeight(tid);
+}
+
+void WeightController::Observe(Tick service_delta, Tick window) {
+  SFS_CHECK(window > 0);
+  if (!scheduler_.Contains(tid_)) {
+    return;
+  }
+  const double capacity =
+      static_cast<double>(window) * static_cast<double>(scheduler_.num_cpus());
+  last_share_ = static_cast<double>(service_delta) / capacity;
+
+  // Smooth the observation (quantum granularity makes single windows noisy) and
+  // clamp the per-step correction: near the 1/p saturation cap the share stops
+  // responding to weight, and unbounded multiplicative steps would oscillate.
+  ema_share_ = ema_share_ < 0.0 ? last_share_ : 0.5 * ema_share_ + 0.5 * last_share_;
+  double correction;
+  if (ema_share_ <= 0.0) {
+    correction = 2.0;  // starved: ramp up decisively
+  } else {
+    correction =
+        std::clamp(std::pow(params_.target_share / ema_share_, params_.gain), 0.5, 2.0);
+  }
+  weight_ = std::clamp(weight_ * correction, params_.min_weight, params_.max_weight);
+  scheduler_.SetWeight(tid_, weight_);
+}
+
+}  // namespace sfs::sched

@@ -1,0 +1,58 @@
+// Progress-based weight regulation — the paper's last future-work item.
+//
+// Section 5: "proportional-share schedulers such as SFS need to be combined
+// with tools that enable a user to determine an application's resource
+// requirements ... translate these requirements to appropriate weights, and
+// modify weights dynamically if these resource requirements change", citing
+// progress-based regulation [7] and feedback-driven proportion allocation [24].
+//
+// WeightController implements the feedback loop: the caller periodically
+// reports the CPU service a thread actually received over a window, and the
+// controller multiplicatively steers the thread's weight so its *share*
+// converges to a target fraction of the machine.  Because shares are relative,
+// the controller is robust to competitors arriving and departing — it simply
+// re-converges.
+
+#ifndef SFS_SCHED_FEEDBACK_H_
+#define SFS_SCHED_FEEDBACK_H_
+
+#include "src/common/time.h"
+#include "src/sched/scheduler.h"
+
+namespace sfs::sched {
+
+class WeightController {
+ public:
+  struct Params {
+    // Desired fraction of total machine bandwidth (0, 1].  Note a single thread
+    // cannot exceed 1/p of an SMP's bandwidth (Equation 1); targets above that
+    // saturate there.
+    double target_share = 0.25;
+    // Correction exponent per observation: 1.0 = full multiplicative step,
+    // smaller = smoother convergence.
+    double gain = 0.5;
+    Weight min_weight = 1e-3;
+    Weight max_weight = 1e6;
+  };
+
+  WeightController(Scheduler& scheduler, ThreadId tid, const Params& params);
+
+  // Reports the service received over the last observation window of length
+  // `window` ticks.  Adjusts the thread's weight; no-op if the thread is gone.
+  void Observe(Tick service_delta, Tick window);
+
+  Weight current_weight() const { return weight_; }
+  double last_observed_share() const { return last_share_; }
+
+ private:
+  Scheduler& scheduler_;
+  ThreadId tid_;
+  Params params_;
+  Weight weight_;
+  double last_share_ = 0.0;
+  double ema_share_ = -1.0;  // exponential moving average; <0 = no sample yet
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_FEEDBACK_H_

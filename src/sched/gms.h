@@ -1,0 +1,74 @@
+// Generalized Multiprocessor Sharing (Section 2.2) — fluid-flow reference.
+//
+// GMS is the idealized algorithm SFS approximates: threads are served with
+// infinitesimal quanta, p at a time, in proportion to their instantaneous
+// (readjusted) weights.  With feasible weights the service *rate* of thread i is
+//
+//     rate_i = min(1, p * phi_i / sum_j phi_j)      [processors of capacity 1]
+//
+// and A_i^GMS integrates that rate over time.  This class mirrors the event
+// stream a real scheduler sees (arrival/departure/block/wakeup/weight change) and
+// integrates exact fluid service between events.  It is used to
+//   * compute the paper's surplus definition (Equation 3) exactly in tests, and
+//   * bound the deviation |A_i - A_i^GMS| of the discrete schedulers.
+
+#ifndef SFS_SCHED_GMS_H_
+#define SFS_SCHED_GMS_H_
+
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/sched/types.h"
+
+namespace sfs::sched {
+
+class GmsReference {
+ public:
+  explicit GmsReference(int num_cpus);
+
+  // Event mirror.  `now` must be non-decreasing across calls.
+  void AddThread(ThreadId tid, Weight weight, Tick now);
+  void RemoveThread(ThreadId tid, Tick now);
+  void Block(ThreadId tid, Tick now);
+  void Wakeup(ThreadId tid, Tick now);
+  void SetWeight(ThreadId tid, Weight weight, Tick now);
+
+  // Integrates fluid service up to `now` with the current rates.
+  void AdvanceTo(Tick now);
+
+  // Cumulative fluid service A_i^GMS in (fractional) ticks.  Valid for departed
+  // threads as well.
+  double Service(ThreadId tid) const;
+
+  // Current service rate in units of one processor (0..1).
+  double Rate(ThreadId tid) const;
+
+  // Instantaneous (readjusted) weight phi_i currently in effect.
+  double Phi(ThreadId tid) const;
+
+  int num_cpus() const { return num_cpus_; }
+
+ private:
+  struct Member {
+    Weight weight = 1.0;
+    double phi = 1.0;
+    double rate = 0.0;
+    double service = 0.0;
+    bool runnable = false;
+    bool departed = false;
+  };
+
+  Member& Find(ThreadId tid);
+  const Member& Find(ThreadId tid) const;
+
+  // Recomputes phi (via the readjustment algorithm) and rates for the runnable set.
+  void RecomputeRates();
+
+  int num_cpus_;
+  Tick last_advance_ = 0;
+  std::unordered_map<ThreadId, Member> members_;
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_GMS_H_

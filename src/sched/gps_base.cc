@@ -1,0 +1,4 @@
+#include "src/sched/gps_base.h"
+
+// GpsSchedulerBase is header-only; this translation unit anchors the vtable-less
+// helpers under the project warning set.

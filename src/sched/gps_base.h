@@ -1,0 +1,103 @@
+// Shared base for GPS-derived schedulers (SFS, SFQ, stride, WFQ, BVT).
+//
+// Maintains the weight-sorted runnable queue from Section 3.1 and invokes the
+// weight readjustment algorithm at every point the paper requires: "every time the
+// set of runnable threads changes (i.e., after each arrival, departure, blocking
+// event or wakeup event), or if the user changes the weight of a thread."
+//
+// The readjustment can be disabled per SchedConfig::use_readjustment to reproduce
+// the paper's with/without comparisons (Figure 4); instantaneous weights then
+// simply track the requested weights.
+
+#ifndef SFS_SCHED_GPS_BASE_H_
+#define SFS_SCHED_GPS_BASE_H_
+
+#include "src/sched/readjust.h"
+#include "src/sched/scheduler.h"
+#include "src/sched/tag_arith.h"
+
+namespace sfs::sched {
+
+class GpsSchedulerBase : public Scheduler {
+ public:
+  // True iff the current runnable weight assignment satisfies Equation 1.
+  bool WeightsFeasible() const {
+    return IsFeasible(weight_queue_, runnable_weight_sum_, num_cpus());
+  }
+
+  // Number of readjustment passes that modified at least one phi.
+  std::int64_t readjust_changes() const { return readjust_changes_; }
+
+ protected:
+  explicit GpsSchedulerBase(const SchedConfig& config)
+      : Scheduler(config), arith_(config.fixed_point_digits) {}
+
+  ~GpsSchedulerBase() override { weight_queue_.Clear(); }
+
+  // Adds a (newly runnable) entity to the weight queue and readjusts.
+  // Returns true iff any instantaneous weight changed.
+  bool AdmitWeight(Entity& e) {
+    weight_queue_.Insert(&e);
+    runnable_weight_sum_ += e.weight;
+    return MaybeReadjust();
+  }
+
+  // Removes a (no longer runnable) entity from the weight queue and readjusts.
+  bool RetireWeight(Entity& e) {
+    weight_queue_.Remove(&e);
+    runnable_weight_sum_ -= e.weight;
+    readjust_state_.Forget(e);
+    return MaybeReadjust();
+  }
+
+  // Re-sorts after a weight change (entity may be runnable or blocked).
+  bool UpdateWeight(Entity& e, Weight old_weight) {
+    if (weight_queue_.contains(&e)) {
+      runnable_weight_sum_ += e.weight - old_weight;
+      weight_queue_.Reposition(&e);
+      // An uncapped thread's instantaneous weight must track the new request
+      // (ReadjustQueue only rewrites the phis of threads entering or leaving
+      // the cap set); a capped thread's phi is recomputed by the pass below.
+      bool phi_changed = false;
+      if (!e.capped && e.phi != e.weight) {
+        e.phi = e.weight;
+        phi_changed = true;
+      }
+      const bool readjusted = MaybeReadjust();
+      return readjusted || phi_changed;
+    }
+    // Blocked: phi will be recomputed on wakeup; track the request now.
+    e.phi = e.weight;
+    return false;
+  }
+
+  // Runs the readjustment algorithm over the runnable set if enabled (without
+  // readjustment, phi is pinned to the requested weight at admission and weight
+  // changes, so nothing needs recomputing).  Returns true iff any phi changed.
+  bool MaybeReadjust() {
+    if (!config().use_readjustment) {
+      return false;
+    }
+    const bool changed =
+        ReadjustQueue(weight_queue_, runnable_weight_sum_, num_cpus(), readjust_state_);
+    if (changed) {
+      ++readjust_changes_;
+    }
+    return changed;
+  }
+
+  const WeightQueue& weight_queue() const { return weight_queue_; }
+  WeightQueue& weight_queue() { return weight_queue_; }
+  const TagArith& arith() const { return arith_; }
+
+ private:
+  WeightQueue weight_queue_;
+  ReadjustState readjust_state_;
+  double runnable_weight_sum_ = 0.0;
+  TagArith arith_;
+  std::int64_t readjust_changes_ = 0;
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_GPS_BASE_H_

@@ -1,0 +1,60 @@
+#include "src/sched/lottery.h"
+
+namespace sfs::sched {
+
+Lottery::Lottery(const SchedConfig& config, std::uint64_t seed)
+    : Scheduler(config), rng_(seed) {}
+
+Lottery::~Lottery() { runnable_.clear(); }
+
+void Lottery::OnAdmit(Entity& e) { runnable_.push_back(&e); }
+
+void Lottery::OnRemove(Entity& e) {
+  if (runnable_.contains(&e)) {
+    runnable_.erase(&e);
+  }
+}
+
+void Lottery::OnBlocked(Entity& e) { runnable_.erase(&e); }
+
+void Lottery::OnWoken(Entity& e) { runnable_.push_back(&e); }
+
+void Lottery::OnWeightChanged(Entity& e, Weight old_weight) {
+  (void)e;
+  (void)old_weight;  // ticket counts are read from e.weight at draw time
+}
+
+Entity* Lottery::PickNextEntity(CpuId cpu) {
+  (void)cpu;
+  // Draw over the tickets of eligible (runnable, not running) threads.
+  double total = 0.0;
+  for (Entity* e : runnable_) {
+    if (!e->running) {
+      total += e->weight;
+    }
+  }
+  if (total <= 0.0) {
+    return nullptr;
+  }
+  const double draw = rng_.UniformDouble(0.0, total);
+  double acc = 0.0;
+  Entity* last = nullptr;
+  for (Entity* e : runnable_) {
+    if (e->running) {
+      continue;
+    }
+    acc += e->weight;
+    last = e;
+    if (draw < acc) {
+      return e;
+    }
+  }
+  return last;  // floating-point edge: the draw landed on the boundary
+}
+
+void Lottery::OnCharge(Entity& e, Tick ran_for) {
+  (void)e;
+  (void)ran_for;  // memoryless: no per-thread scheduling state to update
+}
+
+}  // namespace sfs::sched

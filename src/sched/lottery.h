@@ -1,0 +1,49 @@
+// Lottery scheduling (Waldspurger & Weihl, OSDI '94) — the randomized
+// proportional-share baseline the paper cites [30].
+//
+// Each runnable thread holds tickets proportional to its weight; every dispatch
+// draws a winner uniformly over the eligible tickets.  Expected allocation is
+// proportional with no per-thread state, which gives it two interesting
+// contrasts with the deterministic schedulers here:
+//
+//   * it is memoryless, so the Example 1 arrival cannot be starved (there is no
+//     tag debt to pay off) — but it also cannot *owe* anything, so its
+//     short-horizon allocation error is O(sqrt(t)) rather than O(1) quanta;
+//   * infeasible weights are implicitly capped by the one-CPU-per-thread rule
+//     on the winning draw, like any work-conserving scheduler on a static mix.
+//
+// The RNG is seeded explicitly, so runs are deterministic.
+
+#ifndef SFS_SCHED_LOTTERY_H_
+#define SFS_SCHED_LOTTERY_H_
+
+#include "src/common/intrusive_list.h"
+#include "src/common/rng.h"
+#include "src/sched/scheduler.h"
+
+namespace sfs::sched {
+
+class Lottery : public Scheduler {
+ public:
+  explicit Lottery(const SchedConfig& config, std::uint64_t seed = 42);
+  ~Lottery() override;
+
+  std::string_view name() const override { return "lottery"; }
+
+ protected:
+  void OnAdmit(Entity& e) override;
+  void OnRemove(Entity& e) override;
+  void OnBlocked(Entity& e) override;
+  void OnWoken(Entity& e) override;
+  void OnWeightChanged(Entity& e, Weight old_weight) override;
+  Entity* PickNextEntity(CpuId cpu) override;
+  void OnCharge(Entity& e, Tick ran_for) override;
+
+ private:
+  common::IntrusiveList<Entity, &Entity::by_rq> runnable_;
+  common::Rng rng_;
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_LOTTERY_H_

@@ -1,0 +1,154 @@
+#include "src/sched/readjust.h"
+
+#include "src/common/assert.h"
+
+namespace sfs::sched {
+
+namespace {
+
+// Verbatim recursion from Figure 2.  `weights` is sorted descending; `i` is the
+// 0-based index under examination; `p` the processors still unassigned.  Suffix
+// sums of the *original* weights are read before any assignment happens (the paper
+// assigns bottom-up, after the recursive call returns).
+void ReadjustRecursive(std::vector<double>& weights, std::size_t i, int p) {
+  if (i >= weights.size() || p <= 1) {
+    return;
+  }
+  double suffix = 0.0;
+  for (std::size_t j = i; j < weights.size(); ++j) {
+    suffix += weights[j];
+  }
+  // Feasibility constraint (Equation 1): w_i / suffix <= 1/p.
+  if (weights[i] * static_cast<double>(p) > suffix) {
+    ReadjustRecursive(weights, i + 1, p - 1);
+    double sum_after = 0.0;
+    for (std::size_t j = i + 1; j < weights.size(); ++j) {
+      sum_after += weights[j];
+    }
+    weights[i] = sum_after / static_cast<double>(p - 1);
+  }
+}
+
+}  // namespace
+
+std::vector<double> ReadjustVector(const std::vector<double>& weights, int num_cpus) {
+  SFS_CHECK(num_cpus >= 1);
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    SFS_CHECK(weights[i - 1] >= weights[i]);  // must be sorted descending
+  }
+  std::vector<double> result = weights;
+  // With at most p runnable threads every thread can be granted a full processor;
+  // the recursion's tail case degenerates (empty remainder), so the closest
+  // feasible assignment is simply equal shares.
+  if (result.size() <= static_cast<std::size_t>(num_cpus)) {
+    for (auto& w : result) {
+      w = 1.0;
+    }
+    return result;
+  }
+  ReadjustRecursive(result, 0, num_cpus);
+  return result;
+}
+
+void ReadjustState::Forget(Entity& e) {
+  if (!e.capped) {
+    return;
+  }
+  e.capped = false;
+  for (std::size_t i = 0; i < capped.size(); ++i) {
+    if (capped[i] == &e) {
+      capped[i] = capped.back();
+      capped.pop_back();
+      return;
+    }
+  }
+  SFS_CHECK(false);  // flag set but not tracked
+}
+
+bool ReadjustQueue(WeightQueue& queue, double total_weight, int num_cpus,
+                   ReadjustState& state) {
+  SFS_CHECK(num_cpus >= 1);
+  const std::size_t t = queue.size();
+  bool changed = false;
+
+  auto set_phi = [&changed](Entity* e, double phi) {
+    if (e->phi != phi) {
+      e->phi = phi;
+      changed = true;
+    }
+  };
+
+  // Determine the capped prefix: how many of the heaviest threads violate the
+  // feasibility constraint, and the instantaneous weight they all receive.
+  std::size_t new_capped = 0;
+  double phi_cap = 0.0;
+  if (t == 0) {
+    new_capped = 0;
+  } else if (t <= static_cast<std::size_t>(num_cpus)) {
+    // Every runnable thread can consume a full processor; cap all shares at 1/p
+    // by making the instantaneous weights equal.
+    new_capped = t;
+    phi_cap = 1.0;
+  } else {
+    // Walk the queue front-to-back (largest weights first).  Thread k (0-based)
+    // is infeasible iff  w_k / rem_sum > 1 / (p - k)  where rem_sum sums the
+    // original weights from k onward.  The loop exits at the first feasible
+    // thread — all smaller weights are feasible too — and cannot cap more than
+    // p-1 threads because at k = p-1 the test becomes w > rem_sum, impossible.
+    double rem_sum = total_weight;
+    Entity* cursor = queue.front();
+    while (cursor != nullptr) {
+      const auto rem_cpus = static_cast<double>(num_cpus) - static_cast<double>(new_capped);
+      if (rem_cpus <= 1.0) {
+        break;
+      }
+      if (cursor->weight * rem_cpus > rem_sum) {
+        rem_sum -= cursor->weight;
+        ++new_capped;
+        cursor = queue.next(cursor);
+      } else {
+        break;
+      }
+    }
+    // Every capped thread receives the same instantaneous weight T / (p - k):
+    // each then holds a share of exactly 1/p.  Feasible threads keep w_i.
+    phi_cap = new_capped > 0
+                  ? rem_sum / (static_cast<double>(num_cpus) - static_cast<double>(new_capped))
+                  : 0.0;
+  }
+
+  // Swap out the previous cap set, then mark and weight the new prefix.
+  std::swap(state.capped, state.scratch);
+  state.capped.clear();
+  for (Entity* e : state.scratch) {
+    e->capped = false;
+  }
+  std::size_t index = 0;
+  for (Entity* e = queue.front(); e != nullptr && index < new_capped;
+       e = queue.next(e), ++index) {
+    set_phi(e, phi_cap);
+    e->capped = true;
+    state.capped.push_back(e);
+  }
+  // Threads that fell out of the cap set go back to their requested weight;
+  // never-capped threads already carry it ("weights of threads that satisfy the
+  // feasibility constraint never change").
+  for (Entity* e : state.scratch) {
+    if (!e->capped) {
+      set_phi(e, e->weight);
+    }
+  }
+  state.scratch.clear();
+  return changed;
+}
+
+bool IsFeasible(const WeightQueue& queue, double total_weight, int num_cpus) {
+  const Entity* heaviest = queue.front();
+  if (heaviest == nullptr) {
+    return true;
+  }
+  // Equation 1 for the largest weight; all smaller weights request smaller shares.
+  return heaviest->weight * static_cast<double>(num_cpus) <= total_weight;
+}
+
+}  // namespace sfs::sched

@@ -1,0 +1,78 @@
+// The optimal weight readjustment algorithm (Section 2.1, Figure 2).
+//
+// A weight assignment is *feasible* iff no thread requests more than the bandwidth
+// of one processor:  w_i / sum_j w_j <= 1/p  (Equation 1).  The readjustment
+// algorithm maps an infeasible assignment to the closest feasible one:
+//
+//   * threads that satisfy the constraint keep their weight unchanged;
+//   * each violating thread gets the smallest weight that caps its share at exactly
+//     1/p, found by recursing on the remaining threads and remaining processors.
+//
+// All violating threads end up with the *same* instantaneous weight
+// T / (p - k), where k is the number of violators and T the weight sum of the
+// non-violators — each then holds share exactly 1/p.  At most p-1 threads can
+// violate the constraint (shares sum to 1), so the scan is O(p) given the
+// weight-sorted queue the scheduler already maintains (Section 3.1).
+//
+// Special case: when at most p threads are runnable (t <= p), every thread can be
+// given a full processor, so all instantaneous weights are set equal (share capped
+// at 1/p each).  This is what makes a 1:10 assignment on two processors behave as
+// 1:1 (Figure 4(b), interval [0, 15s)).
+//
+// Two implementations are provided and cross-checked by property tests:
+//   * `ReadjustVector` — the recursive specification, verbatim from Figure 2, for
+//     reference and for the GMS fluid baseline;
+//   * `ReadjustQueue` — the production form used by the schedulers: iterative,
+//     early-exiting, operating in place on the weight-sorted entity queue.
+
+#ifndef SFS_SCHED_READJUST_H_
+#define SFS_SCHED_READJUST_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/sorted_list.h"
+#include "src/sched/entity.h"
+
+namespace sfs::sched {
+
+// Key for the weight-sorted queue: descending by requested weight.  The thread id
+// tie-break makes every queue ordering in the library a deterministic total order
+// (the paper's "ties are broken arbitrarily" made reproducible).
+struct ByWeightDesc {
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {-e.weight, e.tid}; }
+};
+using WeightQueue = common::SortedList<Entity, &Entity::by_weight, ByWeightDesc>;
+
+// Recursive reference implementation (Figure 2).  `weights` must be sorted in
+// descending order; returns the instantaneous weights in the same order.
+// `num_cpus` is p >= 1.
+std::vector<double> ReadjustVector(const std::vector<double>& weights, int num_cpus);
+
+// Persistent bookkeeping that makes each readjustment pass O(p): the set of
+// currently capped entities (at most p), so former caps can be restored without
+// scanning the whole queue.  Owned by the scheduler; `capped` must list exactly
+// the runnable entities whose Entity::capped flag is set.
+struct ReadjustState {
+  std::vector<Entity*> capped;
+  std::vector<Entity*> scratch;  // reused buffer for the previous cap set
+
+  // Forgets an entity leaving the runnable set (block/departure).
+  void Forget(Entity& e);
+};
+
+// Production form: recomputes Entity::phi for the threads on `queue` (the
+// runnable set, descending by weight).  `total_weight` must equal the sum of the
+// requested weights of the queued threads (the caller maintains it incrementally).
+// Returns true iff any phi changed.  Examines O(p) queue entries: the candidate
+// prefix plus the previous cap set.
+bool ReadjustQueue(WeightQueue& queue, double total_weight, int num_cpus,
+                   ReadjustState& state);
+
+// True iff the assignment on `queue` is feasible as-is (Equation 1 holds for the
+// largest weight, which implies it for all others).
+bool IsFeasible(const WeightQueue& queue, double total_weight, int num_cpus);
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_READJUST_H_

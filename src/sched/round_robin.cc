@@ -1,0 +1,43 @@
+#include "src/sched/round_robin.h"
+
+namespace sfs::sched {
+
+RoundRobin::RoundRobin(const SchedConfig& config) : Scheduler(config) {}
+
+RoundRobin::~RoundRobin() { fifo_.clear(); }
+
+void RoundRobin::OnAdmit(Entity& e) { fifo_.push_back(&e); }
+
+void RoundRobin::OnRemove(Entity& e) {
+  if (fifo_.contains(&e)) {
+    fifo_.erase(&e);
+  }
+}
+
+void RoundRobin::OnBlocked(Entity& e) {
+  if (fifo_.contains(&e)) {
+    fifo_.erase(&e);
+  }
+}
+
+void RoundRobin::OnWoken(Entity& e) { fifo_.push_back(&e); }
+
+void RoundRobin::OnWeightChanged(Entity& e, Weight old_weight) {
+  (void)e;
+  (void)old_weight;
+}
+
+Entity* RoundRobin::PickNextEntity(CpuId cpu) {
+  (void)cpu;
+  Entity* e = fifo_.pop_front();
+  return e;
+}
+
+void RoundRobin::OnCharge(Entity& e, Tick ran_for) {
+  (void)ran_for;
+  if (e.runnable) {
+    fifo_.push_back(&e);
+  }
+}
+
+}  // namespace sfs::sched

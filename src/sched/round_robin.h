@@ -1,0 +1,38 @@
+// Plain round-robin scheduler — control baseline.
+//
+// Equal time slices in FIFO order, ignoring weights.  Used by tests as the
+// simplest possible work-conserving policy and by benchmarks as a floor for
+// scheduling overhead.
+
+#ifndef SFS_SCHED_ROUND_ROBIN_H_
+#define SFS_SCHED_ROUND_ROBIN_H_
+
+#include "src/common/intrusive_list.h"
+#include "src/sched/scheduler.h"
+
+namespace sfs::sched {
+
+class RoundRobin : public Scheduler {
+ public:
+  explicit RoundRobin(const SchedConfig& config);
+  ~RoundRobin() override;
+
+  std::string_view name() const override { return "round-robin"; }
+
+ protected:
+  void OnAdmit(Entity& e) override;
+  void OnRemove(Entity& e) override;
+  void OnBlocked(Entity& e) override;
+  void OnWoken(Entity& e) override;
+  void OnWeightChanged(Entity& e, Weight old_weight) override;
+  Entity* PickNextEntity(CpuId cpu) override;
+  void OnCharge(Entity& e, Tick ran_for) override;
+
+ private:
+  // FIFO of runnable, not-running threads; the running ones are unlinked.
+  common::IntrusiveList<Entity, &Entity::by_rq> fifo_;
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_ROUND_ROBIN_H_

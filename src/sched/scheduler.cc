@@ -1,0 +1,137 @@
+#include "src/sched/scheduler.h"
+
+#include "src/common/assert.h"
+
+namespace sfs::sched {
+
+Scheduler::Scheduler(const SchedConfig& config) : config_(config) {
+  SFS_CHECK(config_.num_cpus >= 1);
+  SFS_CHECK(config_.quantum > 0);
+  running_.assign(static_cast<std::size_t>(config_.num_cpus), kInvalidThread);
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::AddThread(ThreadId tid, Weight weight) {
+  SFS_CHECK(tid != kInvalidThread);
+  SFS_CHECK(weight > 0);
+  SFS_CHECK(threads_.find(tid) == threads_.end());
+  auto entity = std::make_unique<Entity>();
+  entity->tid = tid;
+  entity->weight = weight;
+  entity->phi = weight;
+  entity->runnable = true;
+  Entity& e = *entity;
+  threads_.emplace(tid, std::move(entity));
+  ++runnable_count_;
+  OnAdmit(e);
+}
+
+void Scheduler::RemoveThread(ThreadId tid) {
+  Entity& e = FindEntity(tid);
+  SFS_CHECK(!e.running);
+  if (e.runnable) {
+    --runnable_count_;
+  }
+  OnRemove(e);
+  threads_.erase(tid);
+}
+
+void Scheduler::Block(ThreadId tid) {
+  Entity& e = FindEntity(tid);
+  SFS_CHECK(e.runnable);
+  SFS_CHECK(!e.running);
+  e.runnable = false;
+  --runnable_count_;
+  OnBlocked(e);
+}
+
+void Scheduler::Wakeup(ThreadId tid) {
+  Entity& e = FindEntity(tid);
+  SFS_CHECK(!e.runnable);
+  e.runnable = true;
+  ++runnable_count_;
+  OnWoken(e);
+}
+
+void Scheduler::SetWeight(ThreadId tid, Weight weight) {
+  SFS_CHECK(weight > 0);
+  Entity& e = FindEntity(tid);
+  const Weight old_weight = e.weight;
+  e.weight = weight;
+  OnWeightChanged(e, old_weight);
+}
+
+ThreadId Scheduler::PickNext(CpuId cpu) {
+  SFS_CHECK(cpu >= 0 && cpu < num_cpus());
+  SFS_CHECK(running_[static_cast<std::size_t>(cpu)] == kInvalidThread);
+  Entity* e = PickNextEntity(cpu);
+  if (e == nullptr) {
+    return kInvalidThread;
+  }
+  SFS_DCHECK(e->runnable && !e->running);
+  e->running = true;
+  e->cpu = cpu;
+  running_[static_cast<std::size_t>(cpu)] = e->tid;
+  return e->tid;
+}
+
+void Scheduler::Charge(ThreadId tid, Tick ran_for) {
+  SFS_CHECK(ran_for >= 0);
+  Entity& e = FindEntity(tid);
+  SFS_CHECK(e.running);
+  const CpuId cpu = e.cpu;
+  e.running = false;
+  e.last_cpu = cpu;
+  e.cpu = kInvalidCpu;
+  e.total_service += ran_for;
+  running_[static_cast<std::size_t>(cpu)] = kInvalidThread;
+  OnCharge(e, ran_for);
+}
+
+Tick Scheduler::QuantumFor(ThreadId tid) {
+  (void)tid;
+  return config_.quantum;
+}
+
+CpuId Scheduler::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
+  (void)woken;
+  (void)elapsed;
+  return kInvalidCpu;
+}
+
+bool Scheduler::Contains(ThreadId tid) const { return threads_.find(tid) != threads_.end(); }
+
+bool Scheduler::IsRunnable(ThreadId tid) const { return FindEntity(tid).runnable; }
+
+bool Scheduler::IsRunning(ThreadId tid) const { return FindEntity(tid).running; }
+
+Weight Scheduler::GetWeight(ThreadId tid) const { return FindEntity(tid).weight; }
+
+Weight Scheduler::GetPhi(ThreadId tid) const { return FindEntity(tid).phi; }
+
+Tick Scheduler::TotalService(ThreadId tid) const { return FindEntity(tid).total_service; }
+
+ThreadId Scheduler::RunningOn(CpuId cpu) const {
+  SFS_CHECK(cpu >= 0 && cpu < num_cpus());
+  return running_[static_cast<std::size_t>(cpu)];
+}
+
+Entity& Scheduler::FindEntity(ThreadId tid) {
+  auto it = threads_.find(tid);
+  SFS_CHECK(it != threads_.end());
+  return *it->second;
+}
+
+const Entity& Scheduler::FindEntity(ThreadId tid) const {
+  auto it = threads_.find(tid);
+  SFS_CHECK(it != threads_.end());
+  return *it->second;
+}
+
+Entity* Scheduler::FindEntityOrNull(ThreadId tid) {
+  auto it = threads_.find(tid);
+  return it == threads_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace sfs::sched

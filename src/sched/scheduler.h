@@ -1,0 +1,141 @@
+// Abstract multiprocessor scheduler interface.
+//
+// The interface mirrors the points where the Linux kernel invokes the scheduler in
+// the paper's implementation (Section 3.1): thread arrival/departure, block/wakeup,
+// weight changes, quantum expiry and dispatch.  The driver (discrete-event simulator
+// in src/sim, or the real-thread executor in src/exec) must follow this protocol:
+//
+//   * `PickNext(cpu)` selects a runnable, not-currently-running thread and marks it
+//     running on `cpu`.  Each CPU dispatches independently — quanta on different
+//     processors are not synchronized (Section 3.1).
+//   * When the thread stops running for any reason (quantum expiry, blocking,
+//     exit, preemption) the driver calls `Charge(tid, ran_for)` with the actual
+//     time it ran.  Variable-length quanta are the norm: threads often block
+//     before the quantum ends, and SFS is explicitly designed to not need the
+//     quantum length at dispatch time (Section 2.3).
+//   * `Block`/`RemoveThread` on a running thread must be preceded by `Charge`.
+//
+// All bookkeeping common to every policy (the thread table, runnable/running state,
+// cumulative service accounting) lives here; concrete schedulers implement the
+// `On*` hooks and the dispatch decision.
+
+#ifndef SFS_SCHED_SCHEDULER_H_
+#define SFS_SCHED_SCHEDULER_H_
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sched/entity.h"
+#include "src/sched/types.h"
+
+namespace sfs::sched {
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedConfig& config);
+  virtual ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Short policy name ("SFS", "SFQ", ...), used in benchmark output.
+  virtual std::string_view name() const = 0;
+
+  const SchedConfig& config() const { return config_; }
+  int num_cpus() const { return config_.num_cpus; }
+
+  // --- Thread lifecycle -------------------------------------------------------
+
+  // Registers a new thread; it becomes runnable immediately.  `tid` must be unused.
+  void AddThread(ThreadId tid, Weight weight);
+
+  // Unregisters a thread (exit).  Must not be currently running (Charge first).
+  void RemoveThread(ThreadId tid);
+
+  // Thread blocked (I/O, sleep).  Must be runnable and not running (Charge first).
+  void Block(ThreadId tid);
+
+  // Blocked thread became runnable again.
+  void Wakeup(ThreadId tid);
+
+  // Changes a thread's weight on the fly (the setweight system call, Section 3.1).
+  void SetWeight(ThreadId tid, Weight weight);
+
+  // --- Dispatch ---------------------------------------------------------------
+
+  // Chooses the next thread to run on `cpu` and marks it running there.  Returns
+  // kInvalidThread if there is no eligible thread.  `cpu` must be free
+  // (the driver must Charge the previous thread first).
+  ThreadId PickNext(CpuId cpu);
+
+  // Accounts `ran_for` ticks of CPU time to the running thread `tid` and releases
+  // its processor.  The thread stays runnable (preemption / quantum expiry) unless
+  // the driver follows up with Block or RemoveThread.
+  void Charge(ThreadId tid, Tick ran_for);
+
+  // Maximum quantum the driver should grant this thread at dispatch.  Defaults to
+  // config().quantum; the time-sharing baseline returns its remaining timeslice.
+  virtual Tick QuantumFor(ThreadId tid);
+
+  // Asks whether dispatching the just-woken/arrived thread `woken` warrants
+  // preempting a running thread; returns the CPU to preempt or kInvalidCpu.
+  // Mirrors Linux's reschedule_idle() as invoked from the timer tick: the driver
+  // supplies `elapsed[cpu]` = uncharged run time of the thread currently on each
+  // CPU, so policies can evaluate up-to-date tags/counters.  Policies override
+  // with their own criterion; the default never preempts.
+  virtual CpuId SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed);
+
+  // --- Introspection ----------------------------------------------------------
+
+  bool Contains(ThreadId tid) const;
+  bool IsRunnable(ThreadId tid) const;
+  bool IsRunning(ThreadId tid) const;
+  Weight GetWeight(ThreadId tid) const;
+  // Instantaneous (readjusted) weight phi_i; equals GetWeight for feasible
+  // assignments or non-GPS policies.
+  Weight GetPhi(ThreadId tid) const;
+  Tick TotalService(ThreadId tid) const;
+  ThreadId RunningOn(CpuId cpu) const;
+  int runnable_count() const { return runnable_count_; }
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+ protected:
+  // Policy hooks.  The base class has already updated the generic state
+  // (runnable/running flags, accounting) when these are invoked.
+  virtual void OnAdmit(Entity& e) = 0;           // new thread, already runnable
+  virtual void OnRemove(Entity& e) = 0;          // thread leaving (runnable or blocked)
+  virtual void OnBlocked(Entity& e) = 0;         // runnable -> blocked
+  virtual void OnWoken(Entity& e) = 0;           // blocked -> runnable
+  virtual void OnWeightChanged(Entity& e, Weight old_weight) = 0;  // weight updated
+  virtual Entity* PickNextEntity(CpuId cpu) = 0;  // dispatch decision
+  virtual void OnCharge(Entity& e, Tick ran_for) = 0;  // tag/accounting update
+
+  // Lookup helpers; CHECK-fail on unknown tid.
+  Entity& FindEntity(ThreadId tid);
+  const Entity& FindEntity(ThreadId tid) const;
+  Entity* FindEntityOrNull(ThreadId tid);
+
+  // Entities currently running, indexed by CPU (kInvalidThread slots are free CPUs).
+  const std::vector<ThreadId>& running_threads() const { return running_; }
+
+  // Iterates all known entities (any state); order unspecified.
+  template <typename Fn>
+  void ForEachEntity(Fn&& fn) {
+    for (auto& [tid, entity] : threads_) {
+      fn(*entity);
+    }
+  }
+
+ private:
+  SchedConfig config_;
+  std::unordered_map<ThreadId, std::unique_ptr<Entity>> threads_;
+  std::vector<ThreadId> running_;
+  int runnable_count_ = 0;
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_SCHEDULER_H_

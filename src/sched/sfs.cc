@@ -1,0 +1,292 @@
+#include "src/sched/sfs.h"
+
+#include <algorithm>
+
+#include "src/common/assert.h"
+
+namespace sfs::sched {
+
+Sfs::Sfs(const SchedConfig& config) : GpsSchedulerBase(config) {
+  SFS_CHECK(config.heuristic_k >= 0);
+  SFS_CHECK(config.heuristic_refresh_period > 0);
+}
+
+Sfs::~Sfs() {
+  start_queue_.Clear();
+  surplus_queue_.Clear();
+}
+
+double Sfs::VirtualTime() const {
+  const Entity* head = start_queue_.front();
+  return head == nullptr ? idle_virtual_time_ : head->start_tag;
+}
+
+double Sfs::Surplus(ThreadId tid) const {
+  const Entity& e = FindEntity(tid);
+  SFS_CHECK(e.runnable);
+  return FreshSurplus(e, VirtualTime());
+}
+
+void Sfs::SetWarp(ThreadId tid, double warp) {
+  Entity& e = FindEntity(tid);
+  e.warp = warp;
+  e.warp_enabled = warp != 0.0;
+  if (e.runnable) {
+    e.surplus = FreshSurplus(e, VirtualTime());
+    surplus_queue_.Reposition(&e);
+  }
+}
+
+void Sfs::OnAdmit(Entity& e) {
+  // New threads start at the virtual time: S_i = v (Section 2.3).
+  e.start_tag = VirtualTime();
+  e.finish_tag = e.start_tag;
+  if (AdmitWeight(e)) {
+    need_refresh_ = true;
+  }
+  EnqueueRunnable(e);
+}
+
+void Sfs::OnRemove(Entity& e) {
+  if (e.runnable) {
+    DequeueRunnable(e);
+    if (RetireWeight(e)) {
+      need_refresh_ = true;
+    }
+  }
+}
+
+void Sfs::OnBlocked(Entity& e) {
+  DequeueRunnable(e);
+  if (RetireWeight(e)) {
+    need_refresh_ = true;
+  }
+  if (start_queue_.empty()) {
+    // All processors idle: freeze the virtual time at the finish tag of the
+    // thread that ran last (Section 2.3).
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag);
+  }
+}
+
+void Sfs::OnWoken(Entity& e) {
+  // S_i = max(F_i, v): no credit accumulates while sleeping (Equation 6).
+  e.start_tag = std::max(e.finish_tag, VirtualTime());
+  if (AdmitWeight(e)) {
+    need_refresh_ = true;
+  }
+  EnqueueRunnable(e);
+}
+
+void Sfs::OnWeightChanged(Entity& e, Weight old_weight) {
+  if (UpdateWeight(e, old_weight)) {
+    need_refresh_ = true;
+  }
+}
+
+Entity* Sfs::PickNextEntity(CpuId cpu) {
+  const double v = VirtualTime();
+  MaybeRebase(v);
+  ++decisions_;
+
+  if (config().heuristic_k <= 0) {
+    // Exact algorithm: refresh surpluses whenever the virtual time advanced or
+    // instantaneous weights changed, then take the head of the surplus queue.
+    if (need_refresh_ || VirtualTime() != last_refresh_v_) {
+      RefreshSurpluses(VirtualTime());
+    }
+    return ExactPick(cpu);
+  }
+
+  // Heuristic (Section 3.2): bounded examination; periodic full refresh keeps the
+  // surplus queue ordering accurate between heuristic decisions.
+  if (need_refresh_ || ++decisions_since_refresh_ >= config().heuristic_refresh_period) {
+    RefreshSurpluses(VirtualTime());
+  }
+  return HeuristicPick(VirtualTime(), config().heuristic_k, cpu);
+}
+
+void Sfs::OnCharge(Entity& e, Tick ran_for) {
+  // F_i = S_i + q / phi_i with q the *actual* time run (Equation 5); a thread that
+  // stays runnable continues from its finish tag (Equation 6).
+  e.finish_tag = e.start_tag + arith().WeightedService(ran_for, e.phi);
+  e.start_tag = e.finish_tag;
+  // Reposition in both queues; the key grew, so scan from the back.
+  start_queue_.Remove(&e);
+  start_queue_.InsertFromBack(&e);
+  e.surplus = FreshSurplus(e, VirtualTime());
+  surplus_queue_.Remove(&e);
+  surplus_queue_.InsertFromBack(&e);
+  if (start_queue_.size() == 1) {
+    // Only this thread runnable: remember its finish tag for the idle rule.
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag);
+  }
+}
+
+CpuId Sfs::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
+  const Entity& w = FindEntity(woken);
+  if (!w.runnable || w.running) {
+    return kInvalidCpu;
+  }
+  const double v = VirtualTime();
+  const double woken_surplus = FreshSurplus(w, v);
+  CpuId victim = kInvalidCpu;
+  double worst = woken_surplus;
+  for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
+    const ThreadId running = RunningOn(cpu);
+    if (running == kInvalidThread) {
+      continue;
+    }
+    const Entity& r = FindEntity(running);
+    // Surplus the running thread would have if charged right now (its start tag
+    // advances by elapsed / phi, so its surplus grows by ~elapsed).
+    const double s = FreshSurplus(r, v) +
+                     arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi) * r.phi;
+    if (s > worst) {
+      worst = s;
+      victim = cpu;
+    }
+  }
+  return victim;
+}
+
+void Sfs::EnqueueRunnable(Entity& e) {
+  e.surplus = FreshSurplus(e, VirtualTime());
+  start_queue_.Insert(&e);
+  surplus_queue_.Insert(&e);
+}
+
+void Sfs::DequeueRunnable(Entity& e) {
+  start_queue_.Remove(&e);
+  surplus_queue_.Remove(&e);
+}
+
+void Sfs::RefreshSurpluses(double v) {
+  for (Entity* e = start_queue_.front(); e != nullptr; e = start_queue_.next(e)) {
+    e->surplus = FreshSurplus(*e, v);
+  }
+  surplus_queue_.Resort();
+  last_refresh_v_ = v;
+  need_refresh_ = false;
+  decisions_since_refresh_ = 0;
+  ++full_refreshes_;
+}
+
+void Sfs::MaybeRebase(double v) {
+  if (v <= config().tag_rebase_threshold) {
+    return;
+  }
+  // Shift all tags (including blocked threads' finish tags, which seed S on
+  // wakeup) down by the minimum start tag.  Orderings and surpluses are
+  // invariant; queue structures need no resort.
+  const double delta = v;
+  ForEachEntity([delta](Entity& e) {
+    e.start_tag -= delta;
+    e.finish_tag -= delta;
+  });
+  idle_virtual_time_ = std::max(0.0, idle_virtual_time_ - delta);
+  if (last_refresh_v_ >= 0.0) {
+    last_refresh_v_ -= delta;
+  }
+  ++rebases_;
+}
+
+Entity* Sfs::ExactPick(CpuId cpu) {
+  Entity* head = nullptr;
+  for (Entity* e = surplus_queue_.front(); e != nullptr; e = surplus_queue_.next(e)) {
+    if (!e->running) {
+      head = e;
+      break;
+    }
+  }
+  if (head == nullptr || config().affinity_tolerance <= 0) {
+    return head;
+  }
+  // Affinity extension: accept a slightly-larger surplus to stay cache-warm.
+  const double window = head->surplus + static_cast<double>(config().affinity_tolerance);
+  if (head->last_cpu == cpu) {
+    return head;
+  }
+  for (Entity* e = surplus_queue_.next(head); e != nullptr && e->surplus <= window;
+       e = surplus_queue_.next(e)) {
+    if (!e->running && e->last_cpu == cpu) {
+      return e;
+    }
+  }
+  return head;
+}
+
+Entity* Sfs::HeuristicPick(double v, int k, CpuId cpu) {
+  Entity* best = nullptr;
+  double best_surplus = 0.0;
+  Entity* best_affine = nullptr;
+  double best_affine_surplus = 0.0;
+  auto consider = [&](Entity* e) {
+    if (e->running) {
+      return;
+    }
+    const double s = FreshSurplus(*e, v);
+    // Deterministic tie-break on thread id ("ties are broken arbitrarily").
+    if (best == nullptr || s < best_surplus ||
+        (s == best_surplus && e->tid < best->tid)) {
+      best = e;
+      best_surplus = s;
+    }
+    if (cpu != kInvalidCpu && e->last_cpu == cpu &&
+        (best_affine == nullptr || s < best_affine_surplus ||
+         (s == best_affine_surplus && e->tid < best_affine->tid))) {
+      best_affine = e;
+      best_affine_surplus = s;
+    }
+  };
+  const auto kk = static_cast<std::size_t>(k);
+  surplus_queue_.ForFirstK(kk, consider);
+  start_queue_.ForFirstK(kk, consider);
+  // The weight queue is descending; examine it backwards — smallest weights first
+  // (footnote 8).
+  weight_queue().ForLastK(kk, consider);
+  if (best == nullptr) {
+    // Degenerate small k: every examined thread is already running on another
+    // processor.  Fall back to the surplus queue head scan (at most p-1 skips).
+    for (Entity* e = surplus_queue_.front(); e != nullptr; e = surplus_queue_.next(e)) {
+      if (!e->running) {
+        return e;
+      }
+    }
+    return nullptr;
+  }
+  if (best_affine != nullptr && best_affine != best &&
+      best_affine_surplus <= best_surplus + static_cast<double>(config().affinity_tolerance)) {
+    return best_affine;
+  }
+  return best;
+}
+
+Sfs::HeuristicAudit Sfs::AuditHeuristic(int k) {
+  HeuristicAudit audit;
+  const double v = VirtualTime();
+  Entity* h = HeuristicPick(v, k, kInvalidCpu);
+  if (h != nullptr) {
+    audit.heuristic_pick = h->tid;
+    audit.heuristic_surplus = FreshSurplus(*h, v);
+  }
+  // Exact answer computed by full scan (no state mutation).
+  Entity* exact = nullptr;
+  double exact_s = 0.0;
+  for (Entity* e = start_queue_.front(); e != nullptr; e = start_queue_.next(e)) {
+    if (e->running) {
+      continue;
+    }
+    const double s = FreshSurplus(*e, v);
+    if (exact == nullptr || s < exact_s || (s == exact_s && e->tid < exact->tid)) {
+      exact = e;
+      exact_s = s;
+    }
+  }
+  if (exact != nullptr) {
+    audit.exact_pick = exact->tid;
+    audit.exact_surplus = exact_s;
+  }
+  return audit;
+}
+
+}  // namespace sfs::sched

@@ -1,0 +1,133 @@
+#include "src/sched/timeshare.h"
+
+#include <algorithm>
+
+#include "src/common/assert.h"
+
+namespace sfs::sched {
+
+Timeshare::Timeshare(const SchedConfig& config) : Scheduler(config) {}
+
+Timeshare::~Timeshare() { run_queue_.clear(); }
+
+void Timeshare::OnAdmit(Entity& e) {
+  e.priority = kDefaultPriorityTicks;
+  e.counter = e.priority;
+  run_queue_.push_back(&e);
+}
+
+void Timeshare::OnRemove(Entity& e) {
+  if (run_queue_.contains(&e)) {
+    run_queue_.erase(&e);
+  }
+}
+
+void Timeshare::OnBlocked(Entity& e) { run_queue_.erase(&e); }
+
+void Timeshare::OnWoken(Entity& e) { run_queue_.push_back(&e); }
+
+void Timeshare::OnWeightChanged(Entity& e, Weight old_weight) {
+  // The time-sharing scheduler has no weights; the request is recorded (base
+  // class already updated e.weight) but does not influence scheduling.
+  (void)e;
+  (void)old_weight;
+}
+
+std::int64_t Timeshare::Goodness(const Entity& e, CpuId cpu) const {
+  if (e.counter <= 0) {
+    return 0;
+  }
+  std::int64_t g = e.counter + e.priority;
+  if (e.last_cpu == cpu) {
+    g += kAffinityBonus;
+  }
+  return g;
+}
+
+void Timeshare::RecalculateEpoch() {
+  // "for_each_task(p) p->counter = (p->counter >> 1) + p->priority" — applied to
+  // every thread, runnable or blocked; sleepers accumulate a bonus.
+  ++epochs_;
+  ForEachEntity([](Entity& e) { e.counter = e.counter / 2 + e.priority; });
+}
+
+Entity* Timeshare::PickNextEntity(CpuId cpu) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Entity* best = nullptr;
+    std::int64_t best_goodness = 0;
+    bool any_candidate = false;
+    for (Entity* e : run_queue_) {
+      if (e->running) {
+        continue;
+      }
+      any_candidate = true;
+      const std::int64_t g = Goodness(*e, cpu);
+      if (best == nullptr || g > best_goodness) {
+        best = e;
+        best_goodness = g;
+      }
+    }
+    if (!any_candidate) {
+      return nullptr;
+    }
+    if (best_goodness > 0) {
+      return best;
+    }
+    // All runnable candidates exhausted their slice: start a new epoch and retry.
+    RecalculateEpoch();
+  }
+  // After an epoch recalculation every thread has counter >= priority > 0.
+  SFS_CHECK(false);
+  return nullptr;
+}
+
+void Timeshare::OnCharge(Entity& e, Tick ran_for) {
+  const std::int64_t ticks = (ran_for + kLinuxTimerTick - 1) / kLinuxTimerTick;
+  e.counter = std::max<std::int64_t>(0, e.counter - ticks);
+}
+
+Tick Timeshare::QuantumFor(ThreadId tid) {
+  const Entity& e = FindEntity(tid);
+  const std::int64_t ticks = std::max<std::int64_t>(1, e.counter);
+  return std::min(config().quantum, ticks * kLinuxTimerTick);
+}
+
+CpuId Timeshare::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
+  const Entity& w = FindEntity(woken);
+  if (!w.runnable || w.running) {
+    return kInvalidCpu;
+  }
+  // reschedule_idle(): preempt the running thread with the lowest goodness if the
+  // woken thread beats it by more than the affinity bonus.  The runner's counter
+  // is evaluated as the timer-tick handler would see it, i.e. net of the ticks it
+  // has already consumed this quantum.
+  CpuId victim = kInvalidCpu;
+  std::int64_t weakest = INT64_MAX;
+  for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
+    const ThreadId running = RunningOn(cpu);
+    if (running == kInvalidThread) {
+      continue;
+    }
+    const Entity& r = FindEntity(running);
+    const std::int64_t used_ticks = elapsed[static_cast<std::size_t>(cpu)] / kLinuxTimerTick;
+    const std::int64_t counter = std::max<std::int64_t>(0, r.counter - used_ticks);
+    const std::int64_t g =
+        counter <= 0 ? 0 : counter + r.priority + (r.last_cpu == cpu ? kAffinityBonus : 0);
+    if (g < weakest) {
+      weakest = g;
+      victim = cpu;
+    }
+  }
+  if (victim == kInvalidCpu) {
+    return kInvalidCpu;
+  }
+  const std::int64_t woken_goodness = Goodness(w, victim);
+  return woken_goodness > weakest + kAffinityBonus ? victim : kInvalidCpu;
+}
+
+void Timeshare::SetPriorityTicks(ThreadId tid, int ticks) {
+  SFS_CHECK(ticks >= 1);
+  FindEntity(tid).priority = ticks;
+}
+
+}  // namespace sfs::sched

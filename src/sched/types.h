@@ -1,0 +1,68 @@
+// Core identifier and configuration types shared by all schedulers.
+
+#ifndef SFS_SCHED_TYPES_H_
+#define SFS_SCHED_TYPES_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace sfs::sched {
+
+// Thread (task) identifier.  Ids are assigned by the caller (simulator/executor)
+// and are dense small integers in practice.
+using ThreadId = std::int32_t;
+inline constexpr ThreadId kInvalidThread = -1;
+
+// Processor identifier, 0 .. num_cpus-1.
+using CpuId = std::int32_t;
+inline constexpr CpuId kInvalidCpu = -1;
+
+// Relative share request (the paper's w_i).  Positive; need not be integral —
+// the readjustment algorithm produces fractional instantaneous weights.
+using Weight = double;
+
+// Common scheduler construction parameters.
+struct SchedConfig {
+  // Number of processors p.
+  int num_cpus = 2;
+
+  // Maximum quantum handed out at dispatch (the engine may end it early on
+  // blocking).  200 ms throughout the paper's evaluation.
+  Tick quantum = kDefaultQuantum;
+
+  // Fixed-point decimal digits for tag arithmetic (the paper's 10^n scaling
+  // factor, Section 3.2).  Negative = exact double arithmetic.
+  int fixed_point_digits = -1;
+
+  // SFS scheduling heuristic (Section 3.2): examine the first `heuristic_k`
+  // threads of each of the three queues instead of recomputing every surplus.
+  // 0 disables the heuristic (exact algorithm).
+  int heuristic_k = 0;
+
+  // With the heuristic enabled, do a full surplus refresh + resort every this
+  // many scheduling decisions ("infrequent updates and sorting are still
+  // required to maintain a high accuracy of the heuristic").
+  int heuristic_refresh_period = 64;
+
+  // Enables the weight readjustment algorithm (Section 2.1).  SFS always uses
+  // it; for SFQ/stride/WFQ/BVT it is optional so that the paper's
+  // with/without comparisons (Figure 4) can be run.
+  bool use_readjustment = true;
+
+  // Rebase threshold for tag wrap-around handling (Section 3.2).  When the
+  // virtual time exceeds this many ticks of weighted service, all tags are
+  // rebased against the minimum start tag.  Kept low enough to exercise the
+  // path in tests; high enough to be invisible in normal runs.
+  double tag_rebase_threshold = 1e15;
+
+  // Processor-affinity extension (Section 5 future work): when > 0, a dispatch
+  // may pick any thread whose surplus is within this many ticks of the minimum,
+  // preferring one that last ran on the dispatching CPU (cache-warm).  0 keeps
+  // the paper's affinity-blind SFS.
+  Tick affinity_tolerance = 0;
+};
+
+}  // namespace sfs::sched
+
+#endif  // SFS_SCHED_TYPES_H_

@@ -1,0 +1,415 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+#include "src/common/assert.h"
+
+namespace sfs::sim {
+
+Engine::Engine(sched::Scheduler& scheduler, EngineConfig config)
+    : scheduler_(scheduler), config_(config) {
+  cpus_.resize(static_cast<std::size_t>(scheduler.num_cpus()));
+  for (auto& cpu : cpus_) {
+    cpu.idle_since = 0;
+  }
+}
+
+Engine::~Engine() = default;
+
+void Engine::AddTaskAt(Tick at, std::unique_ptr<Task> task) {
+  SFS_CHECK(at >= now_);
+  SFS_CHECK(task != nullptr);
+  const sched::ThreadId tid = task->tid();
+  SFS_CHECK(tasks_.find(tid) == tasks_.end());
+  tasks_.emplace(tid, std::move(task));
+  Push(at, EventKind::kArrival, tid);
+}
+
+void Engine::AddPeriodicHook(Tick period, std::function<void(Engine&)> fn) {
+  SFS_CHECK(period > 0);
+  periodic_hooks_.push_back({period, std::move(fn)});
+  Push(now_ + period, EventKind::kPeriodic,
+       static_cast<std::int32_t>(periodic_hooks_.size() - 1));
+}
+
+void Engine::SetExitHook(std::function<void(Engine&, Task&)> fn) { exit_hook_ = std::move(fn); }
+
+void Engine::SetSchedEventHook(std::function<void(SchedEvent, const Task&, Tick)> fn) {
+  sched_event_hook_ = std::move(fn);
+}
+
+void Engine::SetRunIntervalHook(
+    std::function<void(Tick, Tick, sched::CpuId, sched::ThreadId)> fn) {
+  run_interval_hook_ = std::move(fn);
+}
+
+void Engine::RunUntil(Tick until) {
+  SFS_CHECK(until >= now_);
+  while (!events_.empty() && events_.top().time <= until) {
+    const Event ev = events_.top();
+    events_.pop();
+    SFS_DCHECK(ev.time >= now_);
+    now_ = ev.time;
+    switch (ev.kind) {
+      case EventKind::kArrival:
+        HandleArrival(ev.a);
+        break;
+      case EventKind::kWakeup:
+        HandleWakeup(ev.a);
+        break;
+      case EventKind::kCpuTimer:
+        HandleCpuTimer(ev.a, ev.stamp);
+        break;
+      case EventKind::kPeriodic:
+        HandlePeriodic(static_cast<std::size_t>(ev.a));
+        break;
+    }
+  }
+  now_ = until;
+}
+
+void Engine::KillTask(sched::ThreadId tid) {
+  Task& t = task(tid);
+  SFS_CHECK(t.state_ != Task::State::kExited);
+  sched::CpuId freed = sched::kInvalidCpu;
+  switch (t.state_) {
+    case Task::State::kRunning: {
+      for (sched::CpuId cpu_id = 0; cpu_id < scheduler_.num_cpus(); ++cpu_id) {
+        if (cpus_[static_cast<std::size_t>(cpu_id)].running == tid) {
+          StopRunning(cpu_id);  // charges; may block/exit via the behaviour
+          freed = cpu_id;
+          break;
+        }
+      }
+      break;
+    }
+    case Task::State::kNew:
+      // Not yet arrived: mark exited; the pending arrival event is then ignored.
+      t.state_ = Task::State::kExited;
+      return;
+    default:
+      break;
+  }
+  if (t.state_ == Task::State::kBlocked) {
+    // Wake-then-remove keeps the scheduler protocol simple; the pending wakeup
+    // event becomes stale and is ignored via the exited state.
+    scheduler_.Wakeup(tid);
+    if (sched_event_hook_) {
+      sched_event_hook_(SchedEvent::kWakeup, t, now_);
+    }
+    t.state_ = Task::State::kRunnable;
+  }
+  if (t.state_ != Task::State::kExited) {
+    scheduler_.RemoveThread(tid);
+    if (sched_event_hook_) {
+      sched_event_hook_(SchedEvent::kDeparture, t, now_);
+    }
+    t.state_ = Task::State::kExited;
+    if (exit_hook_) {
+      exit_hook_(*this, t);
+    }
+  }
+  if (freed != sched::kInvalidCpu) {
+    Dispatch(freed);
+  }
+}
+
+const Task& Engine::task(sched::ThreadId tid) const {
+  auto it = tasks_.find(tid);
+  SFS_CHECK(it != tasks_.end());
+  return *it->second;
+}
+
+Task& Engine::task(sched::ThreadId tid) {
+  auto it = tasks_.find(tid);
+  SFS_CHECK(it != tasks_.end());
+  return *it->second;
+}
+
+bool Engine::HasTask(sched::ThreadId tid) const { return tasks_.find(tid) != tasks_.end(); }
+
+Tick Engine::ServiceIncludingRunning(sched::ThreadId tid) const {
+  const Task& t = task(tid);
+  Tick service = t.service();
+  if (t.state() == Task::State::kRunning) {
+    for (const auto& cpu : cpus_) {
+      if (cpu.running == tid) {
+        service += std::max<Tick>(0, now_ - cpu.run_start);
+        break;
+      }
+    }
+  }
+  return service;
+}
+
+Tick Engine::total_context_switch_cost() const {
+  Tick total = total_ctx_cost_;
+  for (const auto& cpu : cpus_) {
+    if (cpu.running != sched::kInvalidThread) {
+      total += std::min(cpu.switch_cost, std::max<Tick>(0, now_ - cpu.dispatch_time));
+    }
+  }
+  return total;
+}
+
+Tick Engine::idle_time() const {
+  Tick total = 0;
+  for (const auto& cpu : cpus_) {
+    total += cpu.idle_accum;
+    if (cpu.running == sched::kInvalidThread && cpu.idle_since >= 0) {
+      total += now_ - cpu.idle_since;
+    }
+  }
+  return total;
+}
+
+void Engine::Push(Tick time, EventKind kind, std::int32_t a, std::uint64_t stamp) {
+  SFS_DCHECK(time >= now_);
+  events_.push(Event{time, next_seq_++, kind, a, stamp});
+}
+
+void Engine::HandleArrival(sched::ThreadId tid) {
+  Task& t = task(tid);
+  if (t.state_ == Task::State::kExited) {
+    return;  // killed before it arrived
+  }
+  SFS_CHECK(t.state_ == Task::State::kNew);
+  const Action first = t.behavior().Next(now_);
+  switch (first.kind) {
+    case Action::Kind::kCompute: {
+      SFS_CHECK(first.duration > 0);
+      t.remaining_burst_ = first.duration;
+      t.state_ = Task::State::kRunnable;
+      scheduler_.AddThread(tid, t.weight());
+      if (sched_event_hook_) {
+        sched_event_hook_(SchedEvent::kArrival, t, now_);
+      }
+      PlaceRunnable(tid, config_.preempt_on_arrival);
+      break;
+    }
+    case Action::Kind::kBlock: {
+      // Arrive asleep: register with the scheduler, then block immediately.
+      SFS_CHECK(first.duration > 0);
+      scheduler_.AddThread(tid, t.weight());
+      if (sched_event_hook_) {
+        sched_event_hook_(SchedEvent::kArrival, t, now_);
+      }
+      scheduler_.Block(tid);
+      if (sched_event_hook_) {
+        sched_event_hook_(SchedEvent::kBlock, t, now_);
+      }
+      t.state_ = Task::State::kBlocked;
+      Push(now_ + first.duration, EventKind::kWakeup, tid);
+      break;
+    }
+    case Action::Kind::kExit:
+      t.state_ = Task::State::kExited;
+      if (exit_hook_) {
+        exit_hook_(*this, t);
+      }
+      break;
+  }
+}
+
+void Engine::HandleWakeup(sched::ThreadId tid) {
+  Task& t = task(tid);
+  if (t.state_ == Task::State::kExited) {
+    return;  // killed while blocked; stale wakeup
+  }
+  SFS_CHECK(t.state_ == Task::State::kBlocked);
+  t.state_ = Task::State::kRunnable;
+  scheduler_.Wakeup(tid);
+  if (sched_event_hook_) {
+    sched_event_hook_(SchedEvent::kWakeup, t, now_);
+  }
+  t.behavior().OnWake(now_);
+  // The wake decides what to do next (usually a compute burst to serve a request).
+  if (t.remaining_burst_ <= 0) {
+    const Action next = t.behavior().Next(now_);
+    switch (next.kind) {
+      case Action::Kind::kCompute:
+        SFS_CHECK(next.duration > 0);
+        t.remaining_burst_ = next.duration;
+        break;
+      case Action::Kind::kBlock:
+        SFS_CHECK(next.duration > 0);
+        scheduler_.Block(tid);
+        if (sched_event_hook_) {
+          sched_event_hook_(SchedEvent::kBlock, t, now_);
+        }
+        t.state_ = Task::State::kBlocked;
+        Push(now_ + next.duration, EventKind::kWakeup, tid);
+        return;
+      case Action::Kind::kExit:
+        scheduler_.RemoveThread(tid);
+        if (sched_event_hook_) {
+          sched_event_hook_(SchedEvent::kDeparture, t, now_);
+        }
+        t.state_ = Task::State::kExited;
+        if (exit_hook_) {
+          exit_hook_(*this, t);
+        }
+        return;
+    }
+  }
+  PlaceRunnable(tid, /*may_preempt=*/true);
+}
+
+void Engine::HandleCpuTimer(sched::CpuId cpu_id, std::uint64_t stamp) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  if (stamp != cpu.timer_stamp || cpu.running == sched::kInvalidThread) {
+    return;  // superseded by an earlier charge/dispatch
+  }
+  StopRunning(cpu_id);
+  Dispatch(cpu_id);
+}
+
+void Engine::HandlePeriodic(std::size_t idx) {
+  SFS_CHECK(idx < periodic_hooks_.size());
+  periodic_hooks_[idx].fn(*this);
+  Push(now_ + periodic_hooks_[idx].period, EventKind::kPeriodic, static_cast<std::int32_t>(idx));
+}
+
+void Engine::PlaceRunnable(sched::ThreadId tid, bool may_preempt) {
+  // Idle processor first.
+  for (sched::CpuId cpu_id = 0; cpu_id < scheduler_.num_cpus(); ++cpu_id) {
+    Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+    if (cpu.running == sched::kInvalidThread) {
+      Dispatch(cpu_id);
+      return;
+    }
+  }
+  if (!may_preempt) {
+    return;  // queued; it will compete at the next scheduling point
+  }
+  // All busy: ask the policy whether this wakeup warrants preemption, giving it
+  // the tick handler's view of how long each runner has held its processor.
+  std::vector<Tick> elapsed(cpus_.size(), 0);
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    if (cpus_[i].running != sched::kInvalidThread) {
+      elapsed[i] = std::max<Tick>(0, now_ - cpus_[i].run_start);
+    }
+  }
+  const sched::CpuId victim = scheduler_.SuggestPreemption(tid, elapsed);
+  if (victim == sched::kInvalidCpu) {
+    return;
+  }
+  SFS_CHECK(cpus_[static_cast<std::size_t>(victim)].running != sched::kInvalidThread);
+  ++preemptions_;
+  StopRunning(victim);
+  Dispatch(victim);
+}
+
+void Engine::StopRunning(sched::CpuId cpu_id) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  const sched::ThreadId tid = cpu.running;
+  SFS_CHECK(tid != sched::kInvalidThread);
+  Task& t = task(tid);
+  const Tick ran = std::max<Tick>(0, now_ - cpu.run_start);
+  // Consume only the part of the switch window that actually elapsed (a
+  // preemption can land inside it).
+  total_ctx_cost_ += std::min(cpu.switch_cost, std::max<Tick>(0, now_ - cpu.dispatch_time));
+  cpu.switch_cost = 0;
+  scheduler_.Charge(tid, ran);
+  t.service_ += ran;
+  t.remaining_burst_ = std::max<Tick>(0, t.remaining_burst_ - ran);
+  t.state_ = Task::State::kRunnable;
+  if (run_interval_hook_ && ran > 0) {
+    run_interval_hook_(cpu.run_start, ran, cpu_id, tid);
+  }
+  cpu.last_thread = tid;
+  cpu.running = sched::kInvalidThread;
+  cpu.idle_since = now_;
+  ++cpu.timer_stamp;  // invalidate any outstanding timer
+
+  if (t.remaining_burst_ == 0) {
+    // The compute burst completed exactly when the thread stopped: consult the
+    // behaviour for the next action (new burst, block, or exit).
+    ApplyNextAction(t);
+  } else {
+    // Quantum expiry or preemption: the thread stays runnable mid-burst.
+    t.behavior().OnPreempt(now_);
+  }
+}
+
+void Engine::Dispatch(sched::CpuId cpu_id) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  SFS_CHECK(cpu.running == sched::kInvalidThread);
+  const sched::ThreadId tid = scheduler_.PickNext(cpu_id);
+  if (tid == sched::kInvalidThread) {
+    // Stay idle; idle_since was set when the CPU was freed (or at start).
+    return;
+  }
+  Task& t = task(tid);
+  SFS_CHECK(t.state_ == Task::State::kRunnable);
+  SFS_CHECK(t.remaining_burst_ > 0);
+
+  if (cpu.idle_since >= 0) {
+    cpu.idle_accum += now_ - cpu.idle_since;
+    cpu.idle_since = -1;
+  }
+
+  Tick switch_cost = 0;
+  if (cpu.last_thread != tid) {
+    ++context_switches_;
+    switch_cost = config_.context_switch_cost;
+    if (config_.cache_restore_per_kb > 0 && t.working_set_kb_ > 0) {
+      // Cache-cold on another CPU: full restore; returning to its own CPU
+      // after other tasks ran there: half.
+      const Tick full = config_.cache_restore_per_kb * t.working_set_kb_;
+      switch_cost += (t.last_cpu_ == cpu_id) ? full / 2 : full;
+    }
+  }
+  if (t.last_cpu_ != sched::kInvalidCpu && t.last_cpu_ != cpu_id) {
+    ++migrations_;
+  }
+  t.last_cpu_ = cpu_id;
+  ++dispatches_;
+
+  const Tick quantum = scheduler_.QuantumFor(tid);
+  SFS_CHECK(quantum > 0);
+
+  t.state_ = Task::State::kRunning;
+  cpu.running = tid;
+  cpu.dispatch_time = now_;
+  cpu.switch_cost = switch_cost;
+  cpu.run_start = now_ + switch_cost;
+  cpu.quantum_end = cpu.run_start + quantum;
+  cpu.burst_end = cpu.run_start + std::min(t.remaining_burst_, kTickInfinity);
+  ++cpu.timer_stamp;
+  Push(std::min(cpu.quantum_end, cpu.burst_end), EventKind::kCpuTimer, cpu_id, cpu.timer_stamp);
+  t.behavior().OnDispatch(now_);
+}
+
+bool Engine::ApplyNextAction(Task& t) {
+  const Action action = t.behavior().Next(now_);
+  switch (action.kind) {
+    case Action::Kind::kCompute:
+      SFS_CHECK(action.duration > 0);
+      t.remaining_burst_ = action.duration;
+      return true;
+    case Action::Kind::kBlock:
+      SFS_CHECK(action.duration > 0);
+      scheduler_.Block(t.tid());
+      if (sched_event_hook_) {
+        sched_event_hook_(SchedEvent::kBlock, t, now_);
+      }
+      t.state_ = Task::State::kBlocked;
+      Push(now_ + action.duration, EventKind::kWakeup, t.tid());
+      return false;
+    case Action::Kind::kExit:
+      scheduler_.RemoveThread(t.tid());
+      if (sched_event_hook_) {
+        sched_event_hook_(SchedEvent::kDeparture, t, now_);
+      }
+      t.state_ = Task::State::kExited;
+      if (exit_hook_) {
+        exit_hook_(*this, t);
+      }
+      return false;
+  }
+  SFS_CHECK(false);
+  return false;
+}
+
+}  // namespace sfs::sim

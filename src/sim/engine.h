@@ -1,0 +1,215 @@
+// Discrete-event SMP simulator.
+//
+// Substitute for the paper's dual-processor Pentium III testbed (DESIGN.md,
+// "Substitutions").  The engine models p processors driving any sched::Scheduler
+// through the exact kernel protocol of Section 3.1:
+//
+//   * each processor independently dispatches, runs its thread until the quantum
+//     expires or the thread blocks/exits, then charges the scheduler with the
+//     *actual* time used (quanta on different CPUs are not synchronized);
+//   * arrivals and wakeups dispatch to an idle processor immediately, or consult
+//     Scheduler::SuggestPreemption (the reschedule_idle() analogue);
+//   * an optional per-switch context-switch cost consumes processor time that is
+//     credited to no thread;
+//   * every state change is reported to optional observers so experiments can
+//     mirror the event stream into the GMS fluid reference or sample service
+//     time-series (Figures 4 and 5 plot exactly those series).
+//
+// The engine is single-threaded and deterministic: simultaneous events fire in
+// insertion order.
+
+#ifndef SFS_SIM_ENGINE_H_
+#define SFS_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/task.h"
+
+namespace sfs::sim {
+
+struct EngineConfig {
+  // CPU time consumed by switching a processor to a *different* thread; modelled
+  // as uncredited processor time before the new thread starts (Table 1 measures
+  // the real-code analogue).
+  Tick context_switch_cost = 0;
+
+  // Cache-restore model (Table 1's "restoration of the cache state becomes the
+  // dominating factor"): dispatching a task with a working set costs extra
+  // uncredited time per KiB — full when cache-cold (last ran elsewhere), half
+  // when returning to its own CPU after other tasks polluted it, zero when it
+  // is re-dispatched back-to-back.  0 disables the model.
+  Tick cache_restore_per_kb = 0;
+
+  // Whether a *newly arrived* thread may preempt a running one.  Linux 2.2 calls
+  // reschedule_idle() from wake_up_process() for forked children as well as for
+  // wakeups, so the faithful default is true; experiments with rapid arrival
+  // chains (Figure 5) are mildly sensitive to it, hence the explicit knob.
+  bool preempt_on_arrival = true;
+};
+
+// Scheduler-visible lifecycle events, for mirroring into GmsReference etc.
+enum class SchedEvent { kArrival, kDeparture, kBlock, kWakeup };
+
+class Engine {
+ public:
+  Engine(sched::Scheduler& scheduler, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- workload setup ---------------------------------------------------------
+
+  // Schedules `task` to arrive (become runnable) at absolute time `at` >= now.
+  void AddTaskAt(Tick at, std::unique_ptr<Task> task);
+
+  // Registers `fn` to run every `period` ticks of simulated time (first firing at
+  // now + period).  Used for service sampling.
+  void AddPeriodicHook(Tick period, std::function<void(Engine&)> fn);
+
+  // Called when a task exits; may add new tasks (e.g. the Figure 5 short-job
+  // chain: "each short task was introduced only after the previous one finished").
+  void SetExitHook(std::function<void(Engine&, Task&)> fn);
+
+  // Observes every scheduler-visible lifecycle event (for the GMS mirror).
+  void SetSchedEventHook(std::function<void(SchedEvent, const Task&, Tick)> fn);
+
+  // Observes every completed run interval: (start, length, cpu, tid).  Used by
+  // sim::TraceRecorder for spurt analysis.
+  void SetRunIntervalHook(std::function<void(Tick, Tick, sched::CpuId, sched::ThreadId)> fn);
+
+  // --- execution ---------------------------------------------------------------
+
+  // Runs the simulation until `until` (inclusive of events at `until`).
+  void RunUntil(Tick until);
+
+  // Terminates a task immediately (the kill(1) analogue used when an experiment
+  // "stops" a thread, e.g. T2 at t=30s in Figure 4).  Charges and removes it
+  // from the scheduler in whatever state it is, then refills its processor.
+  void KillTask(sched::ThreadId tid);
+
+  // --- introspection -----------------------------------------------------------
+
+  Tick now() const { return now_; }
+  sched::Scheduler& scheduler() { return scheduler_; }
+
+  // Task lookup; valid for exited tasks until the engine is destroyed.
+  const Task& task(sched::ThreadId tid) const;
+  Task& task(sched::ThreadId tid);
+  bool HasTask(sched::ThreadId tid) const;
+
+  // Cumulative CPU service of a task in ticks (survives task exit).
+  Tick Service(sched::ThreadId tid) const { return task(tid).service(); }
+
+  // Like Service(), but includes the uncharged time of an in-flight quantum, so
+  // samplers observe smooth progress rather than 200 ms staircases.
+  Tick ServiceIncludingRunning(sched::ThreadId tid) const;
+
+  // Iterates all tasks ever added (any state); order unspecified.
+  template <typename Fn>
+  void ForEachTask(Fn&& fn) const {
+    for (const auto& [tid, t] : tasks_) {
+      fn(*t);
+    }
+  }
+
+  std::int64_t context_switches() const { return context_switches_; }
+  std::int64_t dispatches() const { return dispatches_; }
+  std::int64_t preemptions() const { return preemptions_; }
+  // Dispatches that moved a task to a different processor than it last ran on
+  // (cache-cold starts; the affinity extension reduces these).
+  std::int64_t migrations() const { return migrations_; }
+  // Processor time consumed by context switches so far, including the consumed
+  // part of any in-flight switch window (so the capacity identity
+  // service + idle + switch cost == p * elapsed holds at any instant).
+  Tick total_context_switch_cost() const;
+  Tick idle_time() const;
+
+ private:
+  enum class EventKind : std::uint8_t { kArrival, kWakeup, kCpuTimer, kPeriodic };
+
+  struct Event {
+    Tick time = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+    EventKind kind = EventKind::kArrival;
+    std::int32_t a = 0;      // tid (arrival/wakeup), cpu (timer), hook idx (periodic)
+    std::uint64_t stamp = 0;  // timer generation (kCpuTimer)
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  struct Cpu {
+    sched::ThreadId running = sched::kInvalidThread;
+    sched::ThreadId last_thread = sched::kInvalidThread;
+    Tick dispatch_time = 0;  // when the dispatch began (switch window start)
+    Tick switch_cost = 0;    // cost of the in-flight switch window
+    Tick run_start = 0;      // when the current thread began accruing service
+    Tick quantum_end = 0;    // absolute preemption deadline
+    Tick burst_end = 0;      // absolute completion of the thread's compute burst
+    std::uint64_t timer_stamp = 0;  // invalidates superseded timer events
+    Tick idle_since = 0;
+    Tick idle_accum = 0;
+  };
+
+  struct PeriodicHook {
+    Tick period = 0;
+    std::function<void(Engine&)> fn;
+  };
+
+  void Push(Tick time, EventKind kind, std::int32_t a, std::uint64_t stamp = 0);
+  void HandleArrival(sched::ThreadId tid);
+  void HandleWakeup(sched::ThreadId tid);
+  void HandleCpuTimer(sched::CpuId cpu_id, std::uint64_t stamp);
+  void HandlePeriodic(std::size_t idx);
+
+  // Makes a newly runnable thread run somewhere if it should: idle CPU first,
+  // then (if `may_preempt`) the scheduler's preemption suggestion.
+  void PlaceRunnable(sched::ThreadId tid, bool may_preempt);
+
+  // Charges the thread running on `cpu_id` for the time used, frees the CPU, and
+  // applies the behaviour's next action if its compute burst just completed.
+  void StopRunning(sched::CpuId cpu_id);
+
+  // Picks and starts the next thread on a free CPU (or marks it idle).
+  void Dispatch(sched::CpuId cpu_id);
+
+  // Applies the behaviour's next action for a task that just finished a burst or
+  // arrived.  Returns true if the task is (still) runnable and has compute to do.
+  bool ApplyNextAction(Task& task);
+
+  sched::Scheduler& scheduler_;
+  EngineConfig config_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::unordered_map<sched::ThreadId, std::unique_ptr<Task>> tasks_;
+  std::vector<Cpu> cpus_;
+  std::vector<PeriodicHook> periodic_hooks_;
+
+  std::function<void(Engine&, Task&)> exit_hook_;
+  std::function<void(SchedEvent, const Task&, Tick)> sched_event_hook_;
+  std::function<void(Tick, Tick, sched::CpuId, sched::ThreadId)> run_interval_hook_;
+
+  std::int64_t context_switches_ = 0;
+  std::int64_t dispatches_ = 0;
+  std::int64_t preemptions_ = 0;
+  std::int64_t migrations_ = 0;
+  Tick total_ctx_cost_ = 0;
+};
+
+}  // namespace sfs::sim
+
+#endif  // SFS_SIM_ENGINE_H_

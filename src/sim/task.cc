@@ -1,0 +1,13 @@
+#include "src/sim/task.h"
+
+#include <utility>
+
+namespace sfs::sim {
+
+Behavior::~Behavior() = default;
+
+Task::Task(sched::ThreadId tid, sched::Weight weight, std::unique_ptr<Behavior> behavior,
+           std::string label)
+    : tid_(tid), weight_(weight), behavior_(std::move(behavior)), label_(std::move(label)) {}
+
+}  // namespace sfs::sim

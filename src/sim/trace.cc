@@ -1,0 +1,45 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+
+namespace sfs::sim {
+
+TraceRecorder::TraceRecorder(Engine& engine) {
+  engine.SetRunIntervalHook([this](Tick start, Tick length, sched::CpuId cpu,
+                                   sched::ThreadId tid) { Record(start, length, cpu, tid); });
+}
+
+void TraceRecorder::Record(Tick start, Tick length, sched::CpuId cpu, sched::ThreadId tid) {
+  intervals_.push_back({start, length, cpu, tid});
+  SpurtState& s = spurts_[tid];
+  if (s.last_end == start && s.last_cpu == cpu) {
+    // Seamless continuation on the same CPU: the spurt goes on.
+    s.current += length;
+  } else {
+    s.current = length;
+    ++s.count;
+  }
+  s.max = std::max(s.max, s.current);
+  s.last_end = start + length;
+  s.last_cpu = cpu;
+}
+
+Tick TraceRecorder::MaxSpurt(sched::ThreadId tid) const {
+  auto it = spurts_.find(tid);
+  return it == spurts_.end() ? 0 : it->second.max;
+}
+
+Tick TraceRecorder::MaxSpurtInRange(sched::ThreadId lo, sched::ThreadId hi) const {
+  Tick best = 0;
+  for (auto it = spurts_.lower_bound(lo); it != spurts_.end() && it->first <= hi; ++it) {
+    best = std::max(best, it->second.max);
+  }
+  return best;
+}
+
+std::int64_t TraceRecorder::SpurtCount(sched::ThreadId tid) const {
+  auto it = spurts_.find(tid);
+  return it == spurts_.end() ? 0 : it->second.count;
+}
+
+}  // namespace sfs::sim

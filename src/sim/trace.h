@@ -1,0 +1,67 @@
+// Schedule trace recording and analysis.
+//
+// Records every completed run interval (thread, CPU, start, length, why it
+// ended) and derives the scheduling-dynamics statistics the paper discusses
+// qualitatively — most importantly *spurts* (Section 4.3: "SFQ schedules
+// threads in 'spurts' — threads with larger weights run continuously for some
+// number of quanta, then threads with smaller weights run for a few quanta and
+// the cycle repeats"), which are the mechanism behind the Figure 5
+// misallocation.
+
+#ifndef SFS_SIM_TRACE_H_
+#define SFS_SIM_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sched/types.h"
+#include "src/sim/engine.h"
+
+namespace sfs::sim {
+
+struct RunInterval {
+  Tick start = 0;
+  Tick length = 0;
+  sched::CpuId cpu = sched::kInvalidCpu;
+  sched::ThreadId tid = sched::kInvalidThread;
+};
+
+// Attach to an engine before running; keeps every run interval for analysis.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Engine& engine);
+
+  const std::vector<RunInterval>& intervals() const { return intervals_; }
+
+  // Longest contiguous single-thread occupancy of one CPU, in ticks: the
+  // "spurt" length.  Consecutive intervals of the same thread on the same CPU
+  // with no gap are merged (a thread re-picked after quantum expiry continues
+  // its spurt).
+  Tick MaxSpurt(sched::ThreadId tid) const;
+
+  // Max spurt over all threads whose id is in [lo, hi] (aggregate over a group).
+  Tick MaxSpurtInRange(sched::ThreadId lo, sched::ThreadId hi) const;
+
+  // Number of distinct spurts of a thread.
+  std::int64_t SpurtCount(sched::ThreadId tid) const;
+
+ private:
+  struct SpurtState {
+    Tick current = 0;
+    Tick max = 0;
+    std::int64_t count = 0;
+    Tick last_end = -1;
+    sched::CpuId last_cpu = sched::kInvalidCpu;
+  };
+
+  void Record(Tick start, Tick length, sched::CpuId cpu, sched::ThreadId tid);
+
+  std::vector<RunInterval> intervals_;
+  std::map<sched::ThreadId, SpurtState> spurts_;
+};
+
+}  // namespace sfs::sim
+
+#endif  // SFS_SIM_TRACE_H_

@@ -1,0 +1,153 @@
+#include "src/workload/workloads.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace sfs::workload {
+
+sim::Action Inf::Next(Tick now) {
+  (void)now;
+  return sim::Action::Compute(kTickInfinity);
+}
+
+sim::Action Dhrystone::Next(Tick now) {
+  (void)now;
+  return sim::Action::Compute(kTickInfinity);
+}
+
+sim::Action DiskSim::Next(Tick now) {
+  (void)now;
+  return sim::Action::Compute(kTickInfinity);
+}
+
+FixedWork::FixedWork(Tick total_cpu) : total_cpu_(total_cpu) { SFS_CHECK(total_cpu > 0); }
+
+sim::Action FixedWork::Next(Tick now) {
+  (void)now;
+  if (started_) {
+    return sim::Action::Exit();
+  }
+  started_ = true;
+  return sim::Action::Compute(total_cpu_);
+}
+
+Interact::Interact(const Params& params, common::SampleSet* responses)
+    : params_(params), responses_(responses), rng_(params.seed) {
+  SFS_CHECK(params_.mean_think > 0);
+  SFS_CHECK(params_.burst > 0);
+}
+
+sim::Action Interact::Next(Tick now) {
+  if (in_burst_) {
+    // The request's CPU burst just completed: response time = completion - wake.
+    in_burst_ = false;
+    ++requests_served_;
+    if (responses_ != nullptr) {
+      responses_->Add(ToMillis(now - wake_time_));
+    }
+  } else if (wake_time_ == now && now != 0) {
+    // Just woke up: serve the request.
+    in_burst_ = true;
+    return sim::Action::Compute(params_.burst);
+  }
+  const Tick think =
+      std::max<Tick>(1, static_cast<Tick>(rng_.Exponential(static_cast<double>(params_.mean_think))));
+  return sim::Action::Block(think);
+}
+
+void Interact::OnWake(Tick now) { wake_time_ = now; }
+
+MpegDecoder::MpegDecoder(const Params& params) : params_(params) {
+  SFS_CHECK(params_.frame_cost > 0);
+  SFS_CHECK(params_.period > 0);
+}
+
+sim::Action MpegDecoder::Next(Tick now) {
+  if (!decoding_) {
+    // Start (or resume after pacing sleep): decode the next frame.
+    if (next_release_ == 0) {
+      next_release_ = now;
+    }
+    decoding_ = true;
+    return sim::Action::Compute(params_.frame_cost);
+  }
+  // Frame finished.
+  ++frames_decoded_;
+  next_release_ += params_.period;
+  if (now < next_release_) {
+    // Ahead of schedule: sleep until the next frame is due.
+    decoding_ = false;
+    return sim::Action::Block(next_release_ - now);
+  }
+  // Behind schedule: decode continuously (fps follows the granted CPU share).
+  return sim::Action::Compute(params_.frame_cost);
+}
+
+CompileJob::CompileJob(const Params& params) : params_(params), rng_(params.seed) {
+  SFS_CHECK(params_.mean_cpu_burst > 0);
+  SFS_CHECK(params_.mean_io_block > 0);
+}
+
+sim::Action CompileJob::Next(Tick now) {
+  (void)now;
+  if (computing_) {
+    // CPU burst done; account it and block for I/O.
+    computing_ = false;
+    consumed_ += current_burst_;
+    if (params_.total_cpu > 0 && consumed_ >= params_.total_cpu) {
+      return sim::Action::Exit();
+    }
+    const Tick io = std::max<Tick>(
+        1, static_cast<Tick>(rng_.Exponential(static_cast<double>(params_.mean_io_block))));
+    return sim::Action::Block(io);
+  }
+  computing_ = true;
+  current_burst_ = std::max<Tick>(
+      1, static_cast<Tick>(rng_.Exponential(static_cast<double>(params_.mean_cpu_burst))));
+  if (params_.total_cpu > 0) {
+    current_burst_ = std::min(current_burst_, params_.total_cpu - consumed_);
+    current_burst_ = std::max<Tick>(1, current_burst_);
+  }
+  return sim::Action::Compute(current_burst_);
+}
+
+std::unique_ptr<sim::Task> MakeInf(sched::ThreadId tid, sched::Weight w, std::string label) {
+  return std::make_unique<sim::Task>(tid, w, std::make_unique<Inf>(), std::move(label));
+}
+
+std::unique_ptr<sim::Task> MakeDhrystone(sched::ThreadId tid, sched::Weight w, std::string label) {
+  return std::make_unique<sim::Task>(tid, w, std::make_unique<Dhrystone>(), std::move(label));
+}
+
+std::unique_ptr<sim::Task> MakeDiskSim(sched::ThreadId tid, sched::Weight w, std::string label) {
+  return std::make_unique<sim::Task>(tid, w, std::make_unique<DiskSim>(), std::move(label));
+}
+
+std::unique_ptr<sim::Task> MakeFixedWork(sched::ThreadId tid, sched::Weight w, Tick total_cpu,
+                                         std::string label) {
+  return std::make_unique<sim::Task>(tid, w, std::make_unique<FixedWork>(total_cpu),
+                                     std::move(label));
+}
+
+std::unique_ptr<sim::Task> MakeInteract(sched::ThreadId tid, sched::Weight w,
+                                        const Interact::Params& params,
+                                        common::SampleSet* responses, std::string label) {
+  return std::make_unique<sim::Task>(tid, w, std::make_unique<Interact>(params, responses),
+                                     std::move(label));
+}
+
+std::unique_ptr<sim::Task> MakeMpeg(sched::ThreadId tid, sched::Weight w,
+                                    const MpegDecoder::Params& params, std::string label) {
+  return std::make_unique<sim::Task>(tid, w, std::make_unique<MpegDecoder>(params),
+                                     std::move(label));
+}
+
+std::unique_ptr<sim::Task> MakeCompileJob(sched::ThreadId tid, sched::Weight w,
+                                          const CompileJob::Params& params, std::string label) {
+  return std::make_unique<sim::Task>(tid, w, std::make_unique<CompileJob>(params),
+                                     std::move(label));
+}
+
+}  // namespace sfs::workload

@@ -1,0 +1,152 @@
+// Workload behaviours mirroring the applications in the paper's evaluation
+// (Section 4.1): Inf, Interact, mpeg_play, gcc, disksim and dhrystone, plus the
+// fixed-length short jobs of Figure 5.  See DESIGN.md ("Substitutions") for the
+// mapping from the real applications to these models.
+
+#ifndef SFS_WORKLOAD_WORKLOADS_H_
+#define SFS_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/sim/task.h"
+
+namespace sfs::workload {
+
+// (i) Inf: "a compute-intensive application that performs computations in an
+// infinite loop".  The iteration counts plotted in Figures 4 and 5 are directly
+// proportional to CPU service, which the engine accounts exactly.
+class Inf : public sim::Behavior {
+ public:
+  sim::Action Next(Tick now) override;
+};
+
+// (vi) dhrystone: compute-bound integer benchmark.  Identical CPU demand to Inf;
+// loops-per-second are derived from service via kLoopsPerUsec.
+class Dhrystone : public sim::Behavior {
+ public:
+  // 500 MHz P-III dhrystone throughput is on the order of a loop per few cycles;
+  // the constant only scales the reported numbers, not any ratio.
+  static constexpr double kLoopsPerUsec = 60.0;
+
+  sim::Action Next(Tick now) override;
+};
+
+// (v) disksim: long-running compute-bound simulation used as background load in
+// Figure 6(c).
+class DiskSim : public sim::Behavior {
+ public:
+  sim::Action Next(Tick now) override;
+};
+
+// A job that consumes exactly `total_cpu` of CPU time and exits: the T_short
+// tasks of Figure 5 ("each short task ... ran for 300ms each") and the
+// short-lived threads of Example 2.
+class FixedWork : public sim::Behavior {
+ public:
+  explicit FixedWork(Tick total_cpu);
+
+  sim::Action Next(Tick now) override;
+
+ private:
+  Tick total_cpu_;
+  bool started_ = false;
+};
+
+// (ii) Interact: I/O-bound interactive application.  Sleeps for an exponential
+// think time, then needs a short CPU burst per request; the response time of a
+// request is (burst completion - wakeup), recorded into `responses`.
+class Interact : public sim::Behavior {
+ public:
+  struct Params {
+    Tick mean_think = Msec(100);
+    Tick burst = Msec(5);
+    std::uint64_t seed = 1;
+  };
+
+  Interact(const Params& params, common::SampleSet* responses);
+
+  sim::Action Next(Tick now) override;
+  void OnWake(Tick now) override;
+
+  std::int64_t requests_served() const { return requests_served_; }
+
+ private:
+  Params params_;
+  common::SampleSet* responses_;
+  common::Rng rng_;
+  Tick wake_time_ = 0;
+  bool in_burst_ = false;
+  std::int64_t requests_served_ = 0;
+};
+
+// (iii) mpeg_play: software MPEG-1 decoder.  Every frame costs `frame_cost` of
+// CPU; the decoder paces itself to `period` per frame (30 fps for the paper's
+// clip) and decodes continuously when it falls behind, so achieved fps tracks
+// the CPU share the scheduler grants it.
+class MpegDecoder : public sim::Behavior {
+ public:
+  struct Params {
+    Tick frame_cost = Msec(30);
+    Tick period = Usec(33333);  // 30 fps target
+  };
+
+  explicit MpegDecoder(const Params& params);
+
+  sim::Action Next(Tick now) override;
+
+  std::int64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  Params params_;
+  Tick next_release_ = 0;
+  bool decoding_ = false;
+  std::int64_t frames_decoded_ = 0;
+};
+
+// (iv) gcc: one compilation job of a parallel make.  Mostly CPU with short I/O
+// blocking bursts (reading sources, writing objects); runs forever when
+// `total_cpu` is 0 (sustained background load) or exits after consuming it.
+class CompileJob : public sim::Behavior {
+ public:
+  struct Params {
+    Tick mean_cpu_burst = Msec(40);
+    Tick mean_io_block = Msec(6);
+    Tick total_cpu = 0;  // 0 = endless stream of compilations
+    std::uint64_t seed = 1;
+  };
+
+  explicit CompileJob(const Params& params);
+
+  sim::Action Next(Tick now) override;
+
+ private:
+  Params params_;
+  common::Rng rng_;
+  Tick consumed_ = 0;
+  bool computing_ = false;
+  Tick current_burst_ = 0;
+};
+
+// --- task factory helpers -------------------------------------------------------
+
+std::unique_ptr<sim::Task> MakeInf(sched::ThreadId tid, sched::Weight w, std::string label);
+std::unique_ptr<sim::Task> MakeDhrystone(sched::ThreadId tid, sched::Weight w, std::string label);
+std::unique_ptr<sim::Task> MakeDiskSim(sched::ThreadId tid, sched::Weight w, std::string label);
+std::unique_ptr<sim::Task> MakeFixedWork(sched::ThreadId tid, sched::Weight w, Tick total_cpu,
+                                         std::string label);
+std::unique_ptr<sim::Task> MakeInteract(sched::ThreadId tid, sched::Weight w,
+                                        const Interact::Params& params,
+                                        common::SampleSet* responses, std::string label);
+std::unique_ptr<sim::Task> MakeMpeg(sched::ThreadId tid, sched::Weight w,
+                                    const MpegDecoder::Params& params, std::string label);
+std::unique_ptr<sim::Task> MakeCompileJob(sched::ThreadId tid, sched::Weight w,
+                                          const CompileJob::Params& params, std::string label);
+
+}  // namespace sfs::workload
+
+#endif  // SFS_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,169 @@
+// Unit tests for the intrusive doubly-linked list (run-queue substrate).
+
+#include "src/common/intrusive_list.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfs::common {
+namespace {
+
+struct Node {
+  Node() = default;
+  explicit Node(int v) : value(v) {}
+
+  int value = 0;
+  ListHook hook_a;
+  ListHook hook_b;
+};
+
+using ListA = IntrusiveList<Node, &Node::hook_a>;
+using ListB = IntrusiveList<Node, &Node::hook_b>;
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  ListA list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushBackOrder) {
+  ListA list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.front(), &a);
+  EXPECT_EQ(list.back(), &c);
+  list.clear();
+}
+
+TEST(IntrusiveListTest, PushFrontOrder) {
+  ListA list;
+  Node a{1}, b{2};
+  list.push_front(&a);
+  list.push_front(&b);
+  EXPECT_EQ(list.front(), &b);
+  EXPECT_EQ(list.back(), &a);
+  list.clear();
+}
+
+TEST(IntrusiveListTest, EraseMiddle) {
+  ListA list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  list.erase(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.next(&a), &c);
+  EXPECT_EQ(list.prev(&c), &a);
+  EXPECT_FALSE(b.hook_a.linked());
+  list.clear();
+}
+
+TEST(IntrusiveListTest, EraseEndsUpdatesFrontBack) {
+  ListA list;
+  Node a{1}, b{2}, c{3};
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  list.erase(&a);
+  EXPECT_EQ(list.front(), &b);
+  list.erase(&c);
+  EXPECT_EQ(list.back(), &b);
+  list.clear();
+}
+
+TEST(IntrusiveListTest, InsertBeforeAndAfter) {
+  ListA list;
+  Node a{1}, b{2}, c{3}, d{4};
+  list.push_back(&a);
+  list.push_back(&c);
+  list.insert_before(&c, &b);
+  list.insert_after(&c, &d);
+  std::vector<int> values;
+  for (Node* n : list) {
+    values.push_back(n->value);
+  }
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, PopFrontReturnsInOrder) {
+  ListA list;
+  Node a{1}, b{2};
+  list.push_back(&a);
+  list.push_back(&b);
+  EXPECT_EQ(list.pop_front(), &a);
+  EXPECT_EQ(list.pop_front(), &b);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, ContainsTracksMembership) {
+  ListA list;
+  Node a{1}, b{2};
+  list.push_back(&a);
+  EXPECT_TRUE(list.contains(&a));
+  EXPECT_FALSE(list.contains(&b));
+  list.erase(&a);
+  EXPECT_FALSE(list.contains(&a));
+}
+
+TEST(IntrusiveListTest, NextPrevAtEndsReturnNull) {
+  ListA list;
+  Node a{1};
+  list.push_back(&a);
+  EXPECT_EQ(list.next(&a), nullptr);
+  EXPECT_EQ(list.prev(&a), nullptr);
+  list.clear();
+}
+
+TEST(IntrusiveListTest, ElementInTwoListsViaTwoHooks) {
+  ListA list_a;
+  ListB list_b;
+  Node n{42};
+  list_a.push_back(&n);
+  list_b.push_back(&n);
+  EXPECT_TRUE(list_a.contains(&n));
+  EXPECT_TRUE(list_b.contains(&n));
+  list_a.erase(&n);
+  EXPECT_FALSE(list_a.contains(&n));
+  EXPECT_TRUE(list_b.contains(&n));  // other membership untouched
+  list_b.clear();
+}
+
+TEST(IntrusiveListTest, ClearUnlinksEverything) {
+  ListA list;
+  Node a, b, c;
+  list.push_back(&a);
+  list.push_back(&b);
+  list.push_back(&c);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(a.hook_a.linked());
+  EXPECT_FALSE(b.hook_a.linked());
+  EXPECT_FALSE(c.hook_a.linked());
+}
+
+TEST(IntrusiveListTest, RangeForIteration) {
+  ListA list;
+  std::vector<Node> nodes(5);
+  for (int i = 0; i < 5; ++i) {
+    nodes[static_cast<std::size_t>(i)].value = i;
+    list.push_back(&nodes[static_cast<std::size_t>(i)]);
+  }
+  int expected = 0;
+  for (Node* n : list) {
+    EXPECT_EQ(n->value, expected++);
+  }
+  EXPECT_EQ(expected, 5);
+  list.clear();
+}
+
+}  // namespace
+}  // namespace sfs::common

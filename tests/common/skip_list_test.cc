@@ -1,0 +1,146 @@
+// Unit and property tests for the skip list (the §3.2 O(log t) alternative).
+
+#include "src/common/skip_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sfs::common {
+namespace {
+
+struct Item {
+  double key = 0.0;
+  int id = 0;
+};
+
+struct ByKey {
+  static double Key(const Item& item) { return item.key; }
+};
+
+using List = SkipList<Item, ByKey>;
+
+TEST(SkipListTest, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Front(), nullptr);
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(SkipListTest, InsertKeepsOrder) {
+  List list;
+  Item a{3.0, 1}, b{1.0, 2}, c{2.0, 3};
+  list.Insert(&a);
+  list.Insert(&b);
+  list.Insert(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.Front(), &b);
+  EXPECT_TRUE(list.IsSorted());
+  EXPECT_EQ(list.PopFront(), &b);
+  EXPECT_EQ(list.PopFront(), &c);
+  EXPECT_EQ(list.PopFront(), &a);
+}
+
+TEST(SkipListTest, EqualKeysFifo) {
+  List list;
+  Item a{1.0, 1}, b{1.0, 2}, c{1.0, 3};
+  list.Insert(&a);
+  list.Insert(&b);
+  list.Insert(&c);
+  EXPECT_EQ(list.PopFront(), &a);
+  EXPECT_EQ(list.PopFront(), &b);
+  EXPECT_EQ(list.PopFront(), &c);
+}
+
+TEST(SkipListTest, RemoveSpecificElementAmongEqualKeys) {
+  List list;
+  Item a{1.0, 1}, b{1.0, 2}, c{1.0, 3};
+  list.Insert(&a);
+  list.Insert(&b);
+  list.Insert(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopFront(), &a);
+  EXPECT_EQ(list.PopFront(), &c);
+}
+
+TEST(SkipListTest, ForFirstKVisitsSmallest) {
+  List list;
+  std::vector<Item> items(6);
+  for (int i = 0; i < 6; ++i) {
+    items[static_cast<std::size_t>(i)].key = static_cast<double>(10 - i);
+    items[static_cast<std::size_t>(i)].id = i;
+    list.Insert(&items[static_cast<std::size_t>(i)]);
+  }
+  std::vector<int> seen;
+  EXPECT_EQ(list.ForFirstK(3, [&](Item* it) { seen.push_back(it->id); }), 3u);
+  EXPECT_EQ(seen, (std::vector<int>{5, 4, 3}));
+}
+
+TEST(SkipListPropertyTest, RandomOpsMatchReferenceMultimap) {
+  Rng rng(2024);
+  List list;
+  std::vector<Item> pool(256);
+  for (int i = 0; i < 256; ++i) {
+    pool[static_cast<std::size_t>(i)].id = i;
+  }
+  std::vector<Item*> present;
+  std::multimap<double, Item*> reference;
+
+  for (int step = 0; step < 8000; ++step) {
+    const auto op = rng.NextBounded(3);
+    if (op == 0 && present.size() < pool.size()) {
+      // Insert a random absent item.
+      for (auto& item : pool) {
+        if (std::find(present.begin(), present.end(), &item) == present.end()) {
+          item.key = static_cast<double>(rng.UniformInt(0, 100));
+          list.Insert(&item);
+          reference.emplace(item.key, &item);
+          present.push_back(&item);
+          break;
+        }
+      }
+    } else if (op == 1 && !present.empty()) {
+      const auto idx = rng.NextBounded(present.size());
+      Item* item = present[idx];
+      list.Remove(item);
+      for (auto it = reference.lower_bound(item->key); it != reference.end(); ++it) {
+        if (it->second == item) {
+          reference.erase(it);
+          break;
+        }
+      }
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (!present.empty()) {
+      // Front must carry the minimum key.
+      ASSERT_EQ(ByKey::Key(*list.Front()), reference.begin()->first);
+    }
+    ASSERT_EQ(list.size(), reference.size());
+  }
+  EXPECT_TRUE(list.IsSorted());
+}
+
+TEST(SkipListPropertyTest, DrainInOrder) {
+  Rng rng(777);
+  List list;
+  std::vector<Item> items(500);
+  for (int i = 0; i < 500; ++i) {
+    items[static_cast<std::size_t>(i)].key = rng.UniformDouble(0.0, 1.0);
+    items[static_cast<std::size_t>(i)].id = i;
+    list.Insert(&items[static_cast<std::size_t>(i)]);
+  }
+  double prev = -1.0;
+  while (!list.empty()) {
+    Item* item = list.PopFront();
+    EXPECT_GE(item->key, prev);
+    prev = item->key;
+  }
+}
+
+}  // namespace
+}  // namespace sfs::common

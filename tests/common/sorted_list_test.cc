@@ -1,0 +1,216 @@
+// Unit and property tests for the sorted run-queue container (Section 3.1).
+
+#include "src/common/sorted_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sfs::common {
+namespace {
+
+struct Item {
+  Item() = default;
+  Item(double k, int i) : key(k), id(i) {}
+
+  double key = 0.0;
+  int id = 0;
+  ListHook hook;
+};
+
+struct ByKey {
+  static double Key(const Item& item) { return item.key; }
+};
+
+using Queue = SortedList<Item, &Item::hook, ByKey>;
+
+std::vector<int> Ids(Queue& q) {
+  std::vector<int> ids;
+  for (Item* it = q.front(); it != nullptr; it = q.next(it)) {
+    ids.push_back(it->id);
+  }
+  return ids;
+}
+
+TEST(SortedListTest, InsertKeepsAscendingOrder) {
+  Queue q;
+  Item a{3.0, 1}, b{1.0, 2}, c{2.0, 3};
+  q.Insert(&a);
+  q.Insert(&b);
+  q.Insert(&c);
+  EXPECT_EQ(Ids(q), (std::vector<int>{2, 3, 1}));
+  EXPECT_TRUE(q.IsSorted());
+  q.Clear();
+}
+
+TEST(SortedListTest, TiesKeepFifoOrder) {
+  Queue q;
+  Item a{1.0, 1}, b{1.0, 2}, c{1.0, 3};
+  q.Insert(&a);
+  q.Insert(&b);
+  q.Insert(&c);
+  EXPECT_EQ(Ids(q), (std::vector<int>{1, 2, 3}));
+  q.Clear();
+}
+
+TEST(SortedListTest, InsertFromBackEquivalentOrder) {
+  Queue q;
+  Item a{5.0, 1}, b{2.0, 2}, c{8.0, 3};
+  q.InsertFromBack(&a);
+  q.InsertFromBack(&b);
+  q.InsertFromBack(&c);
+  EXPECT_EQ(Ids(q), (std::vector<int>{2, 1, 3}));
+  EXPECT_TRUE(q.IsSorted());
+  q.Clear();
+}
+
+TEST(SortedListTest, RemoveAndPopFront) {
+  Queue q;
+  Item a{1.0, 1}, b{2.0, 2};
+  q.Insert(&a);
+  q.Insert(&b);
+  EXPECT_EQ(q.PopFront(), &a);
+  q.Remove(&b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SortedListTest, RepositionAfterKeyChange) {
+  Queue q;
+  Item a{1.0, 1}, b{2.0, 2}, c{3.0, 3};
+  q.Insert(&a);
+  q.Insert(&b);
+  q.Insert(&c);
+  a.key = 10.0;
+  q.Reposition(&a);
+  EXPECT_EQ(Ids(q), (std::vector<int>{2, 3, 1}));
+  EXPECT_TRUE(q.IsSorted());
+  q.Clear();
+}
+
+TEST(SortedListTest, ResortFixesPerturbedKeys) {
+  Queue q;
+  std::vector<Item> items(6);
+  for (int i = 0; i < 6; ++i) {
+    items[static_cast<std::size_t>(i)].key = static_cast<double>(i);
+    items[static_cast<std::size_t>(i)].id = i;
+  }
+  for (auto& it : items) {
+    q.Insert(&it);
+  }
+  // Perturb two keys so the list is "mostly sorted" (the Section 3.2 case).
+  items[1].key = 4.5;
+  items[4].key = 0.5;
+  q.Resort();
+  EXPECT_TRUE(q.IsSorted());
+  EXPECT_EQ(Ids(q), (std::vector<int>{0, 4, 2, 3, 1, 5}));
+  q.Clear();
+}
+
+TEST(SortedListTest, ForFirstKVisitsSmallest) {
+  Queue q;
+  std::vector<Item> items(5);
+  for (int i = 0; i < 5; ++i) {
+    items[static_cast<std::size_t>(i)].key = static_cast<double>(10 - i);
+    items[static_cast<std::size_t>(i)].id = i;
+    q.Insert(&items[static_cast<std::size_t>(i)]);
+  }
+  std::vector<int> seen;
+  const std::size_t visited = q.ForFirstK(3, [&](Item* it) { seen.push_back(it->id); });
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(seen, (std::vector<int>{4, 3, 2}));  // keys 6, 7, 8
+  q.Clear();
+}
+
+TEST(SortedListTest, ForLastKVisitsLargestBackwards) {
+  Queue q;
+  std::vector<Item> items(5);
+  for (int i = 0; i < 5; ++i) {
+    items[static_cast<std::size_t>(i)].key = static_cast<double>(i);
+    items[static_cast<std::size_t>(i)].id = i;
+    q.Insert(&items[static_cast<std::size_t>(i)]);
+  }
+  std::vector<int> seen;
+  q.ForLastK(2, [&](Item* it) { seen.push_back(it->id); });
+  EXPECT_EQ(seen, (std::vector<int>{4, 3}));
+  q.Clear();
+}
+
+TEST(SortedListTest, ForFirstKMoreThanSizeVisitsAll) {
+  Queue q;
+  Item a{1.0, 1};
+  q.Insert(&a);
+  std::size_t count = 0;
+  EXPECT_EQ(q.ForFirstK(10, [&](Item*) { ++count; }), 1u);
+  EXPECT_EQ(count, 1u);
+  q.Clear();
+}
+
+// Property: any random sequence of insert/remove/reposition keeps sorted order.
+TEST(SortedListPropertyTest, RandomOperationsStaySorted) {
+  Rng rng(777);
+  std::vector<Item> pool(64);
+  for (int i = 0; i < 64; ++i) {
+    pool[static_cast<std::size_t>(i)].id = i;
+  }
+  Queue q;
+  std::vector<Item*> in_queue;
+  for (int step = 0; step < 3000; ++step) {
+    const auto op = rng.NextBounded(3);
+    if (op == 0 && in_queue.size() < pool.size()) {
+      // Insert a random item that is not yet linked.
+      for (auto& item : pool) {
+        if (!item.hook.linked()) {
+          item.key = rng.UniformDouble(0.0, 100.0);
+          if (rng.Bernoulli(0.5)) {
+            q.Insert(&item);
+          } else {
+            q.InsertFromBack(&item);
+          }
+          in_queue.push_back(&item);
+          break;
+        }
+      }
+    } else if (op == 1 && !in_queue.empty()) {
+      const auto idx = rng.NextBounded(in_queue.size());
+      Item* item = in_queue[idx];
+      q.Remove(item);
+      in_queue.erase(in_queue.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (op == 2 && !in_queue.empty()) {
+      const auto idx = rng.NextBounded(in_queue.size());
+      in_queue[idx]->key = rng.UniformDouble(0.0, 100.0);
+      q.Reposition(in_queue[idx]);
+    }
+    ASSERT_TRUE(q.IsSorted()) << "step " << step;
+    ASSERT_EQ(q.size(), in_queue.size());
+  }
+  q.Clear();
+}
+
+// Property: Resort() restores order from arbitrary key perturbations.
+TEST(SortedListPropertyTest, ResortAlwaysRestoresOrder) {
+  Rng rng(888);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Item> items(40);
+    Queue q;
+    for (int i = 0; i < 40; ++i) {
+      items[static_cast<std::size_t>(i)].id = i;
+      items[static_cast<std::size_t>(i)].key = rng.UniformDouble(0.0, 10.0);
+      q.Insert(&items[static_cast<std::size_t>(i)]);
+    }
+    for (auto& item : items) {
+      if (rng.Bernoulli(0.3)) {
+        item.key = rng.UniformDouble(0.0, 10.0);
+      }
+    }
+    q.Resort();
+    EXPECT_TRUE(q.IsSorted());
+    EXPECT_EQ(q.size(), 40u);
+    q.Clear();
+  }
+}
+
+}  // namespace
+}  // namespace sfs::common

@@ -1,0 +1,123 @@
+// Tests for the real-thread user-level executor.  Timing assertions are loose:
+// these run on shared CI hardware.
+
+#include "src/exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "src/sched/sfs.h"
+
+namespace sfs::exec {
+namespace {
+
+sched::SchedConfig Config(int cpus) {
+  sched::SchedConfig config;
+  config.num_cpus = cpus;
+  return config;
+}
+
+// Spins for roughly `us` microseconds of wall time.
+void SpinFor(std::int64_t us) {
+  const auto end = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(ExecutorTest, RunsAllTasksToCompletion) {
+  sched::Sfs scheduler(Config(2));
+  Executor::Config config;
+  config.quantum = Msec(1);  // each ~5 ms task needs several dispatches
+  Executor executor(scheduler, config);
+
+  std::atomic<int> completed{0};
+  for (sched::ThreadId tid = 1; tid <= 4; ++tid) {
+    auto remaining = std::make_shared<std::atomic<int>>(50);
+    executor.AddTask(tid, 1.0, [remaining, &completed] {
+      SpinFor(100);
+      if (remaining->fetch_sub(1) == 1) {
+        completed.fetch_add(1);
+        return false;
+      }
+      return true;
+    });
+  }
+  executor.Run(Sec(30));
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_GT(executor.dispatches(), 4);
+}
+
+TEST(ExecutorTest, CpuTimeAccountedPerTask) {
+  sched::Sfs scheduler(Config(1));
+  Executor::Config config;
+  config.quantum = Msec(5);
+  Executor executor(scheduler, config);
+  executor.AddTask(1, 1.0, [] {
+    SpinFor(100);
+    return true;  // runs until the wall limit
+  });
+  executor.Run(Msec(200));
+  // The single task owned the single CPU for ~the whole run.
+  EXPECT_GT(executor.CpuTime(1), Msec(100));
+}
+
+TEST(ExecutorTest, WallLimitStopsEndlessTasks) {
+  sched::Sfs scheduler(Config(2));
+  Executor::Config config;
+  config.quantum = Msec(5);
+  Executor executor(scheduler, config);
+  for (sched::ThreadId tid = 1; tid <= 3; ++tid) {
+    executor.AddTask(tid, 1.0, [] {
+      SpinFor(50);
+      return true;
+    });
+  }
+  const Tick wall = executor.Run(Msec(300));
+  EXPECT_LT(wall, Sec(5));  // returned promptly after the limit
+}
+
+TEST(ExecutorTest, ProportionalSharesRoughlyHold) {
+  // Weight 3 vs 1 on one "CPU": the heavy task should get clearly more time.
+  // Loose 2x bound — CI schedulers add noise.
+  sched::Sfs scheduler(Config(1));
+  Executor::Config config;
+  config.quantum = Msec(2);
+  Executor executor(scheduler, config);
+  executor.AddTask(1, 3.0, [] {
+    SpinFor(50);
+    return true;
+  });
+  executor.AddTask(2, 1.0, [] {
+    SpinFor(50);
+    return true;
+  });
+  executor.Run(Msec(500));
+  const double ratio = static_cast<double>(executor.CpuTime(1)) /
+                       static_cast<double>(std::max<Tick>(1, executor.CpuTime(2)));
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(ExecutorTest, PreemptLatenciesRecorded) {
+  sched::Sfs scheduler(Config(1));
+  Executor::Config config;
+  config.quantum = Msec(2);
+  Executor executor(scheduler, config);
+  executor.AddTask(1, 1.0, [] {
+    SpinFor(20);
+    return true;
+  });
+  executor.AddTask(2, 1.0, [] {
+    SpinFor(20);
+    return true;
+  });
+  executor.Run(Msec(300));
+  EXPECT_GT(executor.preempt_latencies().count(), 5u);
+  // Cooperative yield happens within one work unit (~20 us) plus noise.
+  EXPECT_LT(executor.preempt_latencies().Percentile(50), 5000.0);
+}
+
+}  // namespace
+}  // namespace sfs::exec

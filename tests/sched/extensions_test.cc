@@ -1,0 +1,265 @@
+// Tests for the Section 5 future-work extensions: the latency warp, the
+// processor-affinity dispatch window, and the feedback weight controller.
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/sched/feedback.h"
+#include "src/sched/sfs.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+namespace sfs::sched {
+namespace {
+
+SchedConfig Config(int cpus, Tick quantum = kDefaultQuantum) {
+  SchedConfig config;
+  config.num_cpus = cpus;
+  config.quantum = quantum;
+  return config;
+}
+
+// --- latency warp -----------------------------------------------------------------
+
+TEST(SfsWarpTest, WarpedThreadDispatchedFirstOnTies) {
+  Sfs s(Config(1));
+  s.AddThread(1, 1.0);
+  s.AddThread(2, 1.0);
+  s.SetWarp(2, static_cast<double>(Msec(50)));
+  EXPECT_EQ(s.PickNext(0), 2);
+  s.Charge(2, Msec(40));
+  // Effective surplus of 2 is still negative (40ms tag - 50ms warp < 0).
+  EXPECT_EQ(s.PickNext(0), 2);
+  s.Charge(2, Msec(40));
+  // Warp exhausted relative to its tag lead: thread 1 runs.
+  EXPECT_EQ(s.PickNext(0), 1);
+}
+
+TEST(SfsWarpTest, LongRunSharesUnaffectedByWarp) {
+  Sfs s(Config(1));
+  s.AddThread(1, 1.0);
+  s.AddThread(2, 1.0);
+  s.SetWarp(2, static_cast<double>(Msec(100)));
+  Tick service1 = 0;
+  Tick service2 = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const ThreadId t = s.PickNext(0);
+    s.Charge(t, Msec(10));
+    (t == 1 ? service1 : service2) += Msec(10);
+  }
+  // Warp shifts *when* a thread runs, not *how much*: shares stay 1:1.
+  EXPECT_NEAR(static_cast<double>(service2) / static_cast<double>(service1), 1.0, 0.05);
+}
+
+TEST(SfsWarpTest, WarpImprovesInteractiveResponseUnderLoad) {
+  auto run = [](double warp_ms) {
+    Sfs scheduler(Config(1, Msec(200)));
+    sim::Engine engine(scheduler);
+    common::SampleSet responses;
+    workload::Interact::Params params;
+    params.mean_think = Msec(80);
+    params.burst = Msec(4);
+    params.seed = 11;
+    engine.AddTaskAt(0, workload::MakeInteract(1, 1.0, params, &responses, "i"));
+    for (ThreadId tid = 2; tid <= 4; ++tid) {
+      engine.AddTaskAt(0, workload::MakeInf(tid, 1.0, "hog"));
+    }
+    engine.RunUntil(Msec(10));  // let the interact thread register
+    scheduler.SetWarp(1, warp_ms * 1000.0);
+    engine.RunUntil(Sec(30));
+    return responses.mean();
+  };
+  const double plain = run(0.0);
+  const double warped = run(200.0);
+  EXPECT_LT(warped, plain);
+  EXPECT_LT(warped, 10.0);
+}
+
+TEST(SfsWarpTest, RemovingWarpRestoresOrder) {
+  Sfs s(Config(1));
+  s.AddThread(1, 1.0);
+  s.AddThread(2, 1.0);
+  s.SetWarp(2, static_cast<double>(Msec(500)));
+  ASSERT_EQ(s.PickNext(0), 2);
+  s.Charge(2, Msec(100));
+  s.SetWarp(2, 0.0);
+  EXPECT_EQ(s.PickNext(0), 1);  // thread 2's actual tags are ahead now
+}
+
+// --- processor affinity ------------------------------------------------------------
+
+TEST(SfsAffinityTest, PrefersLastCpuWithinTolerance) {
+  SchedConfig config = Config(2);
+  config.affinity_tolerance = Msec(300);
+  Sfs s(config);
+  s.AddThread(1, 1.0);
+  s.AddThread(2, 1.0);
+  // Establish affinities: 1 ran on CPU 0, 2 ran on CPU 1.
+  ASSERT_EQ(s.PickNext(0), 1);
+  ASSERT_EQ(s.PickNext(1), 2);
+  s.Charge(1, Msec(100));
+  s.Charge(2, Msec(120));
+  // CPU 1 asks next.  Strict SFS would give it thread 1 (smaller surplus), but
+  // thread 2's surplus is within tolerance and it is cache-warm on CPU 1.
+  EXPECT_EQ(s.PickNext(1), 2);
+  EXPECT_EQ(s.PickNext(0), 1);
+}
+
+TEST(SfsAffinityTest, ToleranceZeroKeepsStrictOrder) {
+  Sfs s(Config(2));
+  s.AddThread(1, 1.0);
+  s.AddThread(2, 1.0);
+  ASSERT_EQ(s.PickNext(0), 1);
+  ASSERT_EQ(s.PickNext(1), 2);
+  s.Charge(1, Msec(100));
+  s.Charge(2, Msec(120));
+  // Affinity off: CPU 1 gets the strictly-least-surplus thread 1.
+  EXPECT_EQ(s.PickNext(1), 1);
+}
+
+TEST(SfsAffinityTest, ToleranceBoundsUnfairness) {
+  SchedConfig config = Config(2, Msec(100));
+  config.affinity_tolerance = Msec(150);
+  Sfs s(config);
+  for (ThreadId tid = 1; tid <= 6; ++tid) {
+    s.AddThread(tid, 1.0);
+  }
+  std::vector<std::pair<ThreadId, CpuId>> running;
+  for (CpuId c = 0; c < 2; ++c) {
+    running.emplace_back(s.PickNext(c), c);
+  }
+  std::map<ThreadId, Tick> service;
+  for (int i = 0; i < 3000; ++i) {
+    const auto [t, c] = running.front();
+    running.erase(running.begin());
+    s.Charge(t, Msec(100));
+    service[t] += Msec(100);
+    running.emplace_back(s.PickNext(c), c);
+  }
+  Tick lo = INT64_MAX;
+  Tick hi = 0;
+  for (const auto& [tid, svc] : service) {
+    lo = std::min(lo, svc);
+    hi = std::max(hi, svc);
+  }
+  // Equal weights: affinity may skew short-term order but not long-run shares
+  // beyond the tolerance scale.
+  EXPECT_LT(static_cast<double>(hi - lo) / static_cast<double>(hi), 0.05);
+}
+
+TEST(SfsAffinityTest, ReducesMigrationsInSimulation) {
+  // Mixed weights make the dispatch order aperiodic, so the affinity-blind
+  // scheduler bounces threads between the processors.
+  auto run = [](Tick tolerance) {
+    SchedConfig config = Config(2, Msec(50));
+    config.affinity_tolerance = tolerance;
+    Sfs scheduler(config);
+    sim::Engine engine(scheduler);
+    for (ThreadId tid = 1; tid <= 6; ++tid) {
+      engine.AddTaskAt(0, workload::MakeInf(tid, static_cast<double>(tid), "t"));
+    }
+    engine.RunUntil(Sec(30));
+    return engine.migrations();
+  };
+  const std::int64_t blind = run(0);
+  const std::int64_t affine = run(Msec(100));
+  EXPECT_GT(blind, 20);
+  EXPECT_LT(affine, blind / 2);  // dramatically fewer cross-CPU moves
+}
+
+// --- feedback weight controller -----------------------------------------------------
+
+TEST(FeedbackTest, ConvergesToTargetShareFromBelow) {
+  Sfs scheduler(Config(2, Msec(20)));
+  sim::Engine engine(scheduler);
+  for (ThreadId tid = 1; tid <= 5; ++tid) {
+    engine.AddTaskAt(0, workload::MakeInf(tid, 1.0, tid == 1 ? "managed" : "bg"));
+  }
+  engine.RunUntil(Msec(1));  // admit everyone
+
+  WeightController::Params params;
+  params.target_share = 0.30;  // 0.6 CPUs of the 2-CPU machine
+  WeightController controller(scheduler, 1, params);
+
+  Tick last_service = 0;
+  engine.AddPeriodicHook(Msec(500), [&](sim::Engine& e) {
+    const Tick now_service = e.ServiceIncludingRunning(1);
+    controller.Observe(now_service - last_service, Msec(500));
+    last_service = now_service;
+  });
+  engine.RunUntil(Sec(30));
+
+  // Share over the last stretch of the run.
+  const double final_share = controller.last_observed_share();
+  EXPECT_NEAR(final_share, 0.30, 0.05);
+  EXPECT_GT(controller.current_weight(), 1.0);  // had to outweigh 4 competitors
+}
+
+TEST(FeedbackTest, ConvergesToTargetShareFromAbove) {
+  Sfs scheduler(Config(1, Msec(20)));
+  sim::Engine engine(scheduler);
+  engine.AddTaskAt(0, workload::MakeInf(1, 10.0, "managed"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 1.0, "bg"));
+  engine.RunUntil(Msec(1));
+
+  WeightController::Params params;
+  params.target_share = 0.20;
+  WeightController controller(scheduler, 1, params);
+  Tick last_service = 0;
+  engine.AddPeriodicHook(Msec(500), [&](sim::Engine& e) {
+    const Tick now_service = e.ServiceIncludingRunning(1);
+    controller.Observe(now_service - last_service, Msec(500));
+    last_service = now_service;
+  });
+  engine.RunUntil(Sec(30));
+  EXPECT_NEAR(controller.last_observed_share(), 0.20, 0.05);
+  EXPECT_LT(controller.current_weight(), 10.0);
+}
+
+TEST(FeedbackTest, ReconvergesWhenCompetitionChanges) {
+  Sfs scheduler(Config(1, Msec(20)));
+  sim::Engine engine(scheduler);
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "managed"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 1.0, "bg"));
+  // Two more competitors join mid-run.
+  engine.AddTaskAt(Sec(15), workload::MakeInf(3, 1.0, "bg"));
+  engine.AddTaskAt(Sec(15), workload::MakeInf(4, 1.0, "bg"));
+  engine.RunUntil(Msec(1));
+
+  WeightController::Params params;
+  params.target_share = 0.40;
+  WeightController controller(scheduler, 1, params);
+  Tick last_service = 0;
+  engine.AddPeriodicHook(Msec(500), [&](sim::Engine& e) {
+    const Tick now_service = e.ServiceIncludingRunning(1);
+    controller.Observe(now_service - last_service, Msec(500));
+    last_service = now_service;
+  });
+  engine.RunUntil(Sec(40));
+  // Despite doubled competition at t=15s, the controller re-converges.
+  EXPECT_NEAR(controller.last_observed_share(), 0.40, 0.06);
+}
+
+TEST(FeedbackTest, StarvationRampsUp) {
+  Sfs scheduler(Config(1));
+  scheduler.AddThread(1, 1.0);
+  WeightController::Params params;
+  params.target_share = 0.5;
+  WeightController controller(scheduler, 1, params);
+  const Weight before = controller.current_weight();
+  controller.Observe(0, Msec(500));  // got nothing at all
+  EXPECT_GE(controller.current_weight(), before * 2);
+}
+
+TEST(FeedbackTest, DepartedThreadIsANoOp) {
+  Sfs scheduler(Config(1));
+  scheduler.AddThread(1, 1.0);
+  WeightController::Params params;
+  WeightController controller(scheduler, 1, params);
+  scheduler.RemoveThread(1);
+  controller.Observe(Msec(100), Msec(500));  // must not crash or SetWeight
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sfs::sched

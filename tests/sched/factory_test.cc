@@ -1,0 +1,67 @@
+// Unit tests for the scheduler factory.
+
+#include "src/sched/factory.h"
+
+#include <gtest/gtest.h>
+
+namespace sfs::sched {
+namespace {
+
+constexpr SchedKind kAllKinds[] = {SchedKind::kSfs,       SchedKind::kHsfs,
+                                   SchedKind::kSfq,       SchedKind::kStride,
+                                   SchedKind::kWfq,       SchedKind::kBvt,
+                                   SchedKind::kTimeshare, SchedKind::kRoundRobin};
+
+TEST(FactoryTest, NameParseRoundTrip) {
+  for (const SchedKind kind : kAllKinds) {
+    const auto parsed = ParseSchedKind(SchedKindName(kind));
+    ASSERT_TRUE(parsed.has_value()) << SchedKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(FactoryTest, UnknownNameIsNullopt) {
+  EXPECT_FALSE(ParseSchedKind("cfs").has_value());
+  EXPECT_FALSE(ParseSchedKind("").has_value());
+  EXPECT_FALSE(ParseSchedKind("SFS").has_value());  // names are lower-case
+}
+
+TEST(FactoryTest, CreatesEveryKind) {
+  SchedConfig config;
+  config.num_cpus = 2;
+  for (const SchedKind kind : kAllKinds) {
+    auto scheduler = CreateScheduler(kind, config);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->num_cpus(), 2);
+    EXPECT_FALSE(scheduler->name().empty());
+  }
+}
+
+TEST(FactoryTest, ConfigPropagates) {
+  SchedConfig config;
+  config.num_cpus = 3;
+  config.quantum = Msec(42);
+  auto scheduler = CreateScheduler(SchedKind::kSfs, config);
+  EXPECT_EQ(scheduler->config().quantum, Msec(42));
+  EXPECT_EQ(scheduler->num_cpus(), 3);
+}
+
+TEST(FactoryTest, SfsAlwaysReadjustsEvenIfConfigSaysNo) {
+  SchedConfig config;
+  config.num_cpus = 2;
+  config.use_readjustment = false;
+  auto scheduler = CreateScheduler(SchedKind::kSfs, config);
+  EXPECT_TRUE(scheduler->config().use_readjustment);
+}
+
+TEST(FactoryTest, SfqVariantsNamedDistinctly) {
+  SchedConfig with;
+  with.use_readjustment = true;
+  SchedConfig without;
+  without.use_readjustment = false;
+  EXPECT_NE(CreateScheduler(SchedKind::kSfq, with)->name(),
+            CreateScheduler(SchedKind::kSfq, without)->name());
+}
+
+}  // namespace
+}  // namespace sfs::sched

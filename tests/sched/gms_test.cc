@@ -1,0 +1,106 @@
+// Unit tests for the GMS fluid reference (Section 2.2).
+
+#include "src/sched/gms.h"
+
+#include <gtest/gtest.h>
+
+namespace sfs::sched {
+namespace {
+
+TEST(GmsTest, SingleThreadGetsOneProcessor) {
+  GmsReference gms(2);
+  gms.AddThread(1, 5.0, 0);
+  EXPECT_DOUBLE_EQ(gms.Rate(1), 1.0);  // capped at one CPU
+  gms.AdvanceTo(Sec(1));
+  EXPECT_DOUBLE_EQ(gms.Service(1), static_cast<double>(Sec(1)));
+}
+
+TEST(GmsTest, EqualWeightsShareProportionally) {
+  GmsReference gms(2);
+  gms.AddThread(1, 1.0, 0);
+  gms.AddThread(2, 1.0, 0);
+  gms.AddThread(3, 1.0, 0);
+  gms.AddThread(4, 1.0, 0);
+  // 4 threads, 2 CPUs: rate 1/2 each.
+  for (ThreadId tid = 1; tid <= 4; ++tid) {
+    EXPECT_DOUBLE_EQ(gms.Rate(tid), 0.5);
+  }
+}
+
+TEST(GmsTest, InfeasibleWeightCappedViaReadjustment) {
+  GmsReference gms(2);
+  gms.AddThread(1, 100.0, 0);
+  gms.AddThread(2, 1.0, 0);
+  gms.AddThread(3, 1.0, 0);
+  // Thread 1 capped at a full processor; the rest split the other.
+  EXPECT_DOUBLE_EQ(gms.Rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(gms.Rate(2), 0.5);
+  EXPECT_DOUBLE_EQ(gms.Rate(3), 0.5);
+  EXPECT_DOUBLE_EQ(gms.Phi(2), 1.0);  // feasible weights unchanged
+}
+
+TEST(GmsTest, EquationTwoHoldsOverInterval) {
+  // A_i / A_j == phi_i / phi_j for continuously runnable threads.
+  GmsReference gms(2);
+  gms.AddThread(1, 3.0, 0);
+  gms.AddThread(2, 1.0, 0);
+  gms.AddThread(3, 1.0, 0);
+  gms.AddThread(4, 1.0, 0);
+  gms.AdvanceTo(Sec(6));
+  EXPECT_NEAR(gms.Service(1) / gms.Service(2), 3.0, 1e-9);
+  EXPECT_NEAR(gms.Service(2) / gms.Service(3), 1.0, 1e-9);
+}
+
+TEST(GmsTest, BlockStopsAccumulation) {
+  GmsReference gms(1);
+  gms.AddThread(1, 1.0, 0);
+  gms.AddThread(2, 1.0, 0);
+  gms.AdvanceTo(Sec(1));
+  gms.Block(2, Sec(1));
+  gms.AdvanceTo(Sec(2));
+  EXPECT_DOUBLE_EQ(gms.Service(2), static_cast<double>(Msec(500)));
+  EXPECT_DOUBLE_EQ(gms.Service(1), static_cast<double>(Msec(1500)));
+  gms.Wakeup(2, Sec(2));
+  EXPECT_DOUBLE_EQ(gms.Rate(2), 0.5);
+}
+
+TEST(GmsTest, DepartureRedistributesBandwidth) {
+  GmsReference gms(2);
+  gms.AddThread(1, 1.0, 0);
+  gms.AddThread(2, 1.0, 0);
+  gms.AddThread(3, 1.0, 0);
+  gms.AddThread(4, 1.0, 0);
+  gms.RemoveThread(4, Sec(1));
+  // 3 threads on 2 CPUs: 2/3 each.
+  EXPECT_NEAR(gms.Rate(1), 2.0 / 3.0, 1e-12);
+  // Departed thread keeps its accumulated service readable.
+  EXPECT_DOUBLE_EQ(gms.Service(4), static_cast<double>(Msec(500)));
+}
+
+TEST(GmsTest, WeightChangeAppliesFromNow) {
+  GmsReference gms(1);
+  gms.AddThread(1, 1.0, 0);
+  gms.AddThread(2, 1.0, 0);
+  gms.SetWeight(1, 3.0, Sec(1));
+  gms.AdvanceTo(Sec(2));
+  // First second: 1/2 each.  Second second: 3/4 vs 1/4.
+  EXPECT_NEAR(gms.Service(1), 0.5 * Sec(1) + 0.75 * Sec(1), 1e-6);
+  EXPECT_NEAR(gms.Service(2), 0.5 * Sec(1) + 0.25 * Sec(1), 1e-6);
+}
+
+TEST(GmsTest, FeasibleBecomesInfeasibleOnBlock) {
+  // The Section 2.1 example: 1:1:2 on 2 CPUs is feasible until a weight-1
+  // thread blocks, after which the weight-2 thread is capped to equal share.
+  GmsReference gms(2);
+  gms.AddThread(1, 2.0, 0);
+  gms.AddThread(2, 1.0, 0);
+  gms.AddThread(3, 1.0, 0);
+  EXPECT_DOUBLE_EQ(gms.Rate(1), 1.0);  // 2/4 * 2 CPUs
+  gms.Block(3, Sec(1));
+  EXPECT_DOUBLE_EQ(gms.Rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(gms.Rate(2), 1.0);  // equal: t <= p
+  EXPECT_DOUBLE_EQ(gms.Phi(1), gms.Phi(2));
+}
+
+}  // namespace
+}  // namespace sfs::sched

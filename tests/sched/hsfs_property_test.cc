@@ -1,0 +1,135 @@
+// Property tests for hierarchical SFS: measured class allocations must match an
+// independent analytic computation of the capacity-capped weighted shares.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sched/hsfs.h"
+
+namespace sfs::sched {
+namespace {
+
+// Reference water-fill: shares proportional to weights, capped, surplus
+// redistributed.  Independent reimplementation (simpler, O(n^2)) used only as a
+// test oracle.
+std::vector<double> OracleWaterFill(const std::vector<double>& weights,
+                                    const std::vector<double>& caps) {
+  const std::size_t n = weights.size();
+  std::vector<double> shares(n, 0.0);
+  std::vector<bool> pinned(n, false);
+  for (;;) {
+    double free_weight = 0.0;
+    double remaining = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pinned[i]) {
+        remaining -= caps[i];
+      } else {
+        free_weight += weights[i];
+      }
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pinned[i]) {
+        shares[i] = caps[i];
+        continue;
+      }
+      shares[i] = remaining * weights[i] / free_weight;
+      if (shares[i] > caps[i] + 1e-12) {
+        pinned[i] = true;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      return shares;
+    }
+  }
+}
+
+TEST(HsfsPropertyTest, TwoLevelSharesMatchOracle) {
+  common::Rng rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int cpus = static_cast<int>(rng.UniformInt(1, 4));
+    const int num_classes = static_cast<int>(rng.UniformInt(2, 5));
+
+    SchedConfig config;
+    config.num_cpus = cpus;
+    config.quantum = Msec(10);
+    HierarchicalSfs s(config);
+
+    std::vector<double> class_weights;
+    std::vector<double> caps;
+    std::vector<int> members;
+    ThreadId next_tid = 1;
+    for (int c = 0; c < num_classes; ++c) {
+      const double w = static_cast<double>(rng.UniformInt(1, 10));
+      const int m = static_cast<int>(rng.UniformInt(1, 4));
+      class_weights.push_back(w);
+      members.push_back(m);
+      caps.push_back(std::min(1.0, static_cast<double>(m) / static_cast<double>(cpus)));
+      s.CreateClass(c + 1, kRootClass, w);
+      for (int i = 0; i < m; ++i) {
+        s.AddThreadToClass(next_tid++, 1.0, c + 1);
+      }
+    }
+
+    // The scheduler's instantaneous shares must match the oracle.
+    const std::vector<double> expected = OracleWaterFill(class_weights, caps);
+    for (int c = 0; c < num_classes; ++c) {
+      EXPECT_NEAR(s.ClassShare(c + 1), expected[static_cast<std::size_t>(c)], 1e-9)
+          << "trial " << trial << " class " << c + 1 << " cpus " << cpus;
+    }
+
+    // And the long-run service must track those shares.
+    std::vector<std::pair<ThreadId, CpuId>> running;
+    for (CpuId cpu = 0; cpu < cpus; ++cpu) {
+      const ThreadId t = s.PickNext(cpu);
+      if (t != kInvalidThread) {
+        running.emplace_back(t, cpu);
+      }
+    }
+    const int decisions = 6000;
+    for (int i = 0; i < decisions && !running.empty(); ++i) {
+      const auto [t, cpu] = running.front();
+      running.erase(running.begin());
+      s.Charge(t, Msec(10));
+      const ThreadId n = s.PickNext(cpu);
+      if (n != kInvalidThread) {
+        running.emplace_back(n, cpu);
+      }
+    }
+    Tick total = 0;
+    for (int c = 0; c < num_classes; ++c) {
+      total += s.ClassService(c + 1);
+    }
+    for (int c = 0; c < num_classes; ++c) {
+      const double got =
+          static_cast<double>(s.ClassService(c + 1)) / static_cast<double>(total);
+      const double sum_shares = std::accumulate(expected.begin(), expected.end(), 0.0);
+      const double want = expected[static_cast<std::size_t>(c)] / sum_shares;
+      EXPECT_NEAR(got, want, 0.05) << "trial " << trial << " class " << c + 1;
+    }
+  }
+}
+
+TEST(HsfsPropertyTest, SharesSumToCapacityBound) {
+  // With fewer runnable leaves than processors the total share is capped by the
+  // leaf count; otherwise it is 1.
+  SchedConfig config;
+  config.num_cpus = 4;
+  HierarchicalSfs s(config);
+  s.CreateClass(1, kRootClass, 1.0);
+  s.AddThreadToClass(1, 1.0, 1);
+  s.AddThreadToClass(2, 1.0, 1);
+  // 2 leaves on 4 CPUs: the class can use at most 2/4 of the machine.
+  EXPECT_NEAR(s.ClassShare(1), 0.5, 1e-9);
+  s.AddThreadToClass(3, 1.0, 1);
+  s.AddThreadToClass(4, 1.0, 1);
+  EXPECT_NEAR(s.ClassShare(1), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sfs::sched

@@ -1,0 +1,229 @@
+// Tests for hierarchical SFS (the Section 5 future-work extension).
+
+#include "src/sched/hsfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sched/sfs.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+namespace sfs::sched {
+namespace {
+
+SchedConfig Config(int cpus, Tick quantum = kDefaultQuantum) {
+  SchedConfig config;
+  config.num_cpus = cpus;
+  config.quantum = quantum;
+  return config;
+}
+
+TEST(HsfsTest, RootOnlyBehavesLikeFlatSfs) {
+  // With every thread in the root class, H-SFS must produce the same dispatch
+  // sequence as flat SFS.
+  HierarchicalSfs hsfs(Config(2));
+  Sfs sfs(Config(2));
+  common::Rng rng(77);
+  for (ThreadId tid = 1; tid <= 6; ++tid) {
+    const auto w = static_cast<Weight>(rng.UniformInt(1, 8));
+    hsfs.AddThread(tid, w);
+    sfs.AddThread(tid, w);
+  }
+  std::vector<std::pair<ThreadId, CpuId>> running_h;
+  std::vector<std::pair<ThreadId, CpuId>> running_s;
+  for (CpuId c = 0; c < 2; ++c) {
+    running_h.emplace_back(hsfs.PickNext(c), c);
+    running_s.emplace_back(sfs.PickNext(c), c);
+    ASSERT_EQ(running_h.back().first, running_s.back().first);
+  }
+  for (int i = 0; i < 400; ++i) {
+    const auto [ht, hc] = running_h.front();
+    const auto [st, sc] = running_s.front();
+    running_h.erase(running_h.begin());
+    running_s.erase(running_s.begin());
+    const Tick q = Msec(rng.UniformInt(1, 200));
+    hsfs.Charge(ht, q);
+    sfs.Charge(st, q);
+    const ThreadId hn = hsfs.PickNext(hc);
+    const ThreadId sn = sfs.PickNext(sc);
+    ASSERT_EQ(hn, sn) << "diverged at decision " << i;
+    running_h.emplace_back(hn, hc);
+    running_s.emplace_back(sn, sc);
+  }
+}
+
+TEST(HsfsTest, ClassSharesFollowClassWeights) {
+  // Two classes 3:1, each with plenty of threads, one CPU: aggregate service
+  // must split 3:1 regardless of per-class thread counts (2 vs 6).
+  HierarchicalSfs s(Config(1));
+  s.CreateClass(1, kRootClass, 3.0);
+  s.CreateClass(2, kRootClass, 1.0);
+  ThreadId tid = 1;
+  for (int i = 0; i < 2; ++i) {
+    s.AddThreadToClass(tid++, 1.0, 1);
+  }
+  for (int i = 0; i < 6; ++i) {
+    s.AddThreadToClass(tid++, 1.0, 2);
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const ThreadId t = s.PickNext(0);
+    s.Charge(t, Msec(10));
+  }
+  const double ratio = static_cast<double>(s.ClassService(1)) /
+                       static_cast<double>(s.ClassService(2));
+  EXPECT_NEAR(ratio, 3.0, 0.15);
+}
+
+TEST(HsfsTest, IntraClassWeightsRespected) {
+  HierarchicalSfs s(Config(1));
+  s.CreateClass(1, kRootClass, 1.0);
+  s.AddThreadToClass(10, 3.0, 1);
+  s.AddThreadToClass(11, 1.0, 1);
+  for (int i = 0; i < 4000; ++i) {
+    const ThreadId t = s.PickNext(0);
+    s.Charge(t, Msec(10));
+  }
+  const double ratio =
+      static_cast<double>(s.TotalService(10)) / static_cast<double>(s.TotalService(11));
+  EXPECT_NEAR(ratio, 3.0, 0.15);
+}
+
+TEST(HsfsTest, ClassCapacityCappedByRunnableLeaves) {
+  // Class 1 (huge weight) has a single thread on a 2-CPU machine: it can use at
+  // most one processor; class 2's two threads absorb the other.
+  HierarchicalSfs s(Config(2));
+  s.CreateClass(1, kRootClass, 100.0);
+  s.CreateClass(2, kRootClass, 1.0);
+  s.AddThreadToClass(10, 1.0, 1);
+  s.AddThreadToClass(20, 1.0, 2);
+  s.AddThreadToClass(21, 1.0, 2);
+  EXPECT_NEAR(s.ClassShare(1), 0.5, 1e-9);
+  EXPECT_NEAR(s.ClassShare(2), 0.5, 1e-9);
+
+  std::vector<std::pair<ThreadId, CpuId>> running;
+  for (CpuId c = 0; c < 2; ++c) {
+    running.emplace_back(s.PickNext(c), c);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto [t, c] = running.front();
+    running.erase(running.begin());
+    s.Charge(t, Msec(10));
+    running.emplace_back(s.PickNext(c), c);
+  }
+  // Class 1's single thread held ~one CPU; class 2 split the other.
+  EXPECT_NEAR(static_cast<double>(s.ClassService(1)) /
+                  static_cast<double>(s.ClassService(2)),
+              1.0, 0.1);
+}
+
+TEST(HsfsTest, NestedClassesComposeShares) {
+  // root -> {A (w=1), B (w=1)}; B -> {B1 (w=3), B2 (w=1)}.  One CPU:
+  // A 50%, B1 37.5%, B2 12.5%.
+  HierarchicalSfs s(Config(1));
+  s.CreateClass(1, kRootClass, 1.0);  // A
+  s.CreateClass(2, kRootClass, 1.0);  // B
+  s.CreateClass(3, 2, 3.0);           // B1
+  s.CreateClass(4, 2, 1.0);           // B2
+  s.AddThreadToClass(10, 1.0, 1);
+  s.AddThreadToClass(30, 1.0, 3);
+  s.AddThreadToClass(40, 1.0, 4);
+  for (int i = 0; i < 8000; ++i) {
+    const ThreadId t = s.PickNext(0);
+    s.Charge(t, Msec(10));
+  }
+  const double total = static_cast<double>(s.ClassService(kRootClass));
+  EXPECT_NEAR(static_cast<double>(s.ClassService(1)) / total, 0.50, 0.03);
+  EXPECT_NEAR(static_cast<double>(s.ClassService(3)) / total, 0.375, 0.03);
+  EXPECT_NEAR(static_cast<double>(s.ClassService(4)) / total, 0.125, 0.03);
+}
+
+TEST(HsfsTest, EmptyClassGetsNothingUntilPopulated) {
+  HierarchicalSfs s(Config(1));
+  s.CreateClass(1, kRootClass, 10.0);
+  s.CreateClass(2, kRootClass, 1.0);
+  s.AddThreadToClass(20, 1.0, 2);
+  EXPECT_DOUBLE_EQ(s.ClassShare(1), 0.0);  // no runnable leaves
+  EXPECT_EQ(s.PickNext(0), 20);
+  s.Charge(20, Msec(10));
+  // Populate class 1: its weight now dominates.
+  s.AddThreadToClass(10, 1.0, 1);
+  EXPECT_GT(s.ClassShare(1), 0.8);
+}
+
+TEST(HsfsTest, BlockedClassYieldsBandwidthAndGetsNoCredit) {
+  HierarchicalSfs s(Config(1));
+  s.CreateClass(1, kRootClass, 1.0);
+  s.CreateClass(2, kRootClass, 1.0);
+  s.AddThreadToClass(10, 1.0, 1);
+  s.AddThreadToClass(20, 1.0, 2);
+  // Class 1's only thread blocks; class 2 owns the CPU meanwhile.
+  s.Block(10);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(s.PickNext(0), 20);
+    s.Charge(20, Msec(200));
+  }
+  const Tick before = s.ClassService(2);
+  s.Wakeup(10);
+  // After waking, the split is 1:1 going forward — class 1 must not get a
+  // catch-up burst for its sleep (class-level max(F, v) rule).
+  int runs10 = 0;
+  for (int i = 0; i < 20; ++i) {
+    const ThreadId t = s.PickNext(0);
+    runs10 += t == 10 ? 1 : 0;
+    s.Charge(t, Msec(200));
+  }
+  EXPECT_EQ(runs10, 10);
+  EXPECT_EQ(s.ClassService(2) - before, 10 * Msec(200));
+}
+
+TEST(HsfsTest, ClassServiceAggregatesAcrossDepartures) {
+  HierarchicalSfs s(Config(1));
+  s.CreateClass(1, kRootClass, 1.0);
+  s.AddThreadToClass(10, 1.0, 1);
+  ASSERT_EQ(s.PickNext(0), 10);
+  s.Charge(10, Msec(300));
+  s.RemoveThread(10);
+  EXPECT_EQ(s.ClassService(1), Msec(300));
+  // A successor thread keeps accumulating into the same class.
+  s.AddThreadToClass(11, 1.0, 1);
+  ASSERT_EQ(s.PickNext(0), 11);
+  s.Charge(11, Msec(200));
+  EXPECT_EQ(s.ClassService(1), Msec(500));
+}
+
+TEST(HsfsIntegrationTest, TwoDomainIsolationUnderChurn) {
+  // Domain A (share 3) runs two steady hogs; domain B (share 1) churns short
+  // jobs back to back.  A's aggregate bandwidth must stay at ~3/4 of the
+  // machine despite B's arrival/departure stream.
+  HierarchicalSfs scheduler(Config(1));
+  scheduler.CreateClass(1, kRootClass, 3.0);
+  scheduler.CreateClass(2, kRootClass, 1.0);
+  sim::Engine engine(scheduler);
+
+  scheduler.RouteThread(10, 1);
+  scheduler.RouteThread(11, 1);
+  engine.AddTaskAt(0, workload::MakeInf(10, 1.0, "A"));
+  engine.AddTaskAt(0, workload::MakeInf(11, 1.0, "A"));
+
+  ThreadId next_short = 100;
+  engine.SetExitHook([&](sim::Engine& e, sim::Task& task) {
+    if (task.label() == "B") {
+      scheduler.RouteThread(next_short, 2);
+      e.AddTaskAt(e.now(), workload::MakeFixedWork(next_short++, 1.0, Msec(300), "B"));
+    }
+  });
+  scheduler.RouteThread(next_short, 2);
+  engine.AddTaskAt(0, workload::MakeFixedWork(next_short++, 1.0, Msec(300), "B"));
+
+  engine.RunUntil(Sec(60));
+  const double a = static_cast<double>(scheduler.ClassService(1));
+  const double b = static_cast<double>(scheduler.ClassService(2));
+  // Class churn costs class B a little at the 200 ms quantum (the same tag
+  // quantization as Figure 5); the split must remain close to 3:1 and far from
+  // the 2:1 a flat scheduler would drift to under weight-1 churn.
+  EXPECT_NEAR(a / b, 3.0, 0.6);
+}
+
+}  // namespace
+}  // namespace sfs::sched

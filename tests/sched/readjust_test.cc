@@ -1,0 +1,262 @@
+// Tests for the weight readjustment algorithm (Section 2.1, Figure 2).
+
+#include "src/sched/readjust.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sfs::sched {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double Sum(const std::vector<double>& v) { return std::accumulate(v.begin(), v.end(), 0.0); }
+
+// --- ReadjustVector: the Figure 2 reference ------------------------------------
+
+TEST(ReadjustVectorTest, FeasibleAssignmentUnchanged) {
+  // 1:1:2 on two processors is feasible (2/4 == 1/2, not greater).
+  const std::vector<double> w = {2.0, 1.0, 1.0};
+  EXPECT_EQ(ReadjustVector(w, 2), w);
+}
+
+TEST(ReadjustVectorTest, PaperExample1Weights) {
+  // Example 1: w = {10, 1} on 2 CPUs.  t <= p: both get equal instantaneous
+  // weights (each can consume at most one processor).
+  const auto phi = ReadjustVector({10.0, 1.0}, 2);
+  ASSERT_EQ(phi.size(), 2u);
+  EXPECT_DOUBLE_EQ(phi[0], phi[1]);
+}
+
+TEST(ReadjustVectorTest, SingleInfeasibleThreadCapped) {
+  // {10, 1, 1, 1, 1} on 2 CPUs: 10/14 > 1/2 -> capped to share exactly 1/2.
+  const auto phi = ReadjustVector({10.0, 1.0, 1.0, 1.0, 1.0}, 2);
+  const double total = Sum(phi);
+  EXPECT_NEAR(phi[0] / total, 0.5, kEps);
+  for (std::size_t i = 1; i < phi.size(); ++i) {
+    EXPECT_DOUBLE_EQ(phi[i], 1.0);  // feasible weights never change
+  }
+}
+
+TEST(ReadjustVectorTest, TwoInfeasibleThreadsOnFourCpus) {
+  // {100, 50, 1, 1, 1, 1} on 4 CPUs: both heavy threads exceed 1/4.
+  const auto phi = ReadjustVector({100.0, 50.0, 1.0, 1.0, 1.0, 1.0}, 4);
+  const double total = Sum(phi);
+  EXPECT_NEAR(phi[0] / total, 0.25, kEps);
+  EXPECT_NEAR(phi[1] / total, 0.25, kEps);
+  EXPECT_DOUBLE_EQ(phi[0], phi[1]);  // all capped threads share one value
+  for (std::size_t i = 2; i < phi.size(); ++i) {
+    EXPECT_DOUBLE_EQ(phi[i], 1.0);
+  }
+}
+
+TEST(ReadjustVectorTest, BoundaryShareExactlyOneOverPIsFeasible) {
+  // Share == 1/p satisfies Equation 1 (not a violation).
+  const std::vector<double> w = {2.0, 1.0, 1.0};  // 2/4 == 1/2 on 2 CPUs
+  const auto phi = ReadjustVector(w, 2);
+  EXPECT_EQ(phi, w);
+}
+
+TEST(ReadjustVectorTest, UniprocessorNeverReadjusts) {
+  // On one CPU every assignment is feasible (w_i / sum <= 1 always).
+  const std::vector<double> w = {100.0, 1.0, 1.0};
+  EXPECT_EQ(ReadjustVector(w, 1), w);
+}
+
+TEST(ReadjustVectorTest, FewerThreadsThanCpusAllEqual) {
+  const auto phi = ReadjustVector({7.0, 3.0, 2.0}, 4);
+  EXPECT_DOUBLE_EQ(phi[0], phi[1]);
+  EXPECT_DOUBLE_EQ(phi[1], phi[2]);
+}
+
+TEST(ReadjustVectorTest, BlockingMakesFeasibleInfeasible) {
+  // The Section 2.1 example: 1:1:2 feasible on 2 CPUs; when a weight-1 thread
+  // blocks, {2, 1} remains (t == p) and must become equal shares.
+  const auto before = ReadjustVector({2.0, 1.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(before[0], 2.0);
+  const auto after = ReadjustVector({2.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(after[0], after[1]);
+}
+
+TEST(ReadjustVectorTest, EmptyInput) {
+  EXPECT_TRUE(ReadjustVector({}, 2).empty());
+}
+
+// --- properties of the readjustment (optimality, Section 2.1) -------------------
+
+class ReadjustPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReadjustPropertyTest, AllSharesFeasibleAfterReadjustment) {
+  const int cpus = GetParam();
+  common::Rng rng(1000 + static_cast<std::uint64_t>(cpus));
+  for (int trial = 0; trial < 200; ++trial) {
+    const int t = static_cast<int>(rng.UniformInt(1, 40));
+    std::vector<double> w;
+    for (int i = 0; i < t; ++i) {
+      w.push_back(static_cast<double>(rng.UniformInt(1, 10000)));
+    }
+    std::sort(w.begin(), w.end(), std::greater<>());
+    const auto phi = ReadjustVector(w, cpus);
+    if (t <= cpus) {
+      // Every thread can hold a full processor: the closest feasible assignment
+      // is equal instantaneous weights (shares of 1/t >= 1/p are unreachable
+      // anyway — a thread cannot use more than one CPU).
+      for (double f : phi) {
+        EXPECT_DOUBLE_EQ(f, phi[0]);
+      }
+      continue;
+    }
+    const double total = Sum(phi);
+    for (double f : phi) {
+      EXPECT_LE(f / total, 1.0 / cpus + 1e-9);
+    }
+  }
+}
+
+TEST_P(ReadjustPropertyTest, FeasibleWeightsNeverChangeAndCapsAreTight) {
+  const int cpus = GetParam();
+  common::Rng rng(2000 + static_cast<std::uint64_t>(cpus));
+  for (int trial = 0; trial < 200; ++trial) {
+    const int t = static_cast<int>(rng.UniformInt(cpus + 1, 40));
+    std::vector<double> w;
+    for (int i = 0; i < t; ++i) {
+      w.push_back(static_cast<double>(rng.UniformInt(1, 10000)));
+    }
+    std::sort(w.begin(), w.end(), std::greater<>());
+    const auto phi = ReadjustVector(w, cpus);
+    const double total = Sum(phi);
+    int capped = 0;
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      if (phi[i] != w[i]) {
+        ++capped;
+        // Changed weights are capped at exactly share 1/p — the nearest feasible
+        // value (optimality claim).
+        EXPECT_NEAR(phi[i] / total, 1.0 / cpus, 1e-9);
+        EXPECT_LT(phi[i], w[i]);  // caps only shrink
+      }
+    }
+    // "No more than (p-1) threads can have infeasible weights."
+    EXPECT_LE(capped, cpus - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cpus, ReadjustPropertyTest, ::testing::Values(2, 3, 4, 8, 16));
+
+// --- ReadjustQueue: production form matches the reference -----------------------
+
+class QueueFixture {
+ public:
+  explicit QueueFixture(const std::vector<double>& weights) {
+    entities_.resize(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      entities_[i] = std::make_unique<Entity>();
+      entities_[i]->tid = static_cast<ThreadId>(i);
+      entities_[i]->weight = weights[i];
+      entities_[i]->phi = weights[i];
+      queue_.Insert(entities_[i].get());
+      total_ += weights[i];
+    }
+  }
+
+  ~QueueFixture() { queue_.Clear(); }
+
+  WeightQueue& queue() { return queue_; }
+  ReadjustState& state() { return state_; }
+  double total() const { return total_; }
+
+  bool Readjust(int cpus) { return ReadjustQueue(queue_, total_, cpus, state_); }
+
+  std::vector<double> PhisInQueueOrder() {
+    std::vector<double> phis;
+    for (Entity* e = queue_.front(); e != nullptr; e = queue_.next(e)) {
+      phis.push_back(e->phi);
+    }
+    return phis;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Entity>> entities_;
+  WeightQueue queue_;
+  ReadjustState state_;
+  double total_ = 0.0;
+};
+
+TEST(ReadjustQueueTest, MatchesReferenceOnPaperExample) {
+  QueueFixture fx({1.0, 10.0, 1.0, 1.0, 1.0});
+  fx.Readjust(2);
+  const auto expected = ReadjustVector({10.0, 1.0, 1.0, 1.0, 1.0}, 2);
+  EXPECT_EQ(fx.PhisInQueueOrder(), expected);
+}
+
+TEST(ReadjustQueueTest, ReturnsChangedFlag) {
+  QueueFixture fx({10.0, 1.0, 1.0});
+  EXPECT_TRUE(fx.Readjust(2));
+  // Second run: already readjusted, nothing changes.
+  EXPECT_FALSE(fx.Readjust(2));
+}
+
+TEST(ReadjustQueueTest, FeasibleReturnsFalse) {
+  QueueFixture fx({1.0, 1.0, 1.0});
+  EXPECT_FALSE(fx.Readjust(2));
+}
+
+TEST(ReadjustQueueTest, EmptyQueue) {
+  QueueFixture fx({});
+  EXPECT_FALSE(fx.Readjust(2));
+}
+
+TEST(ReadjustQueueTest, CapsTrackedAndRestored) {
+  // {10,1,1} on 2 CPUs caps the heavy thread; growing the light side makes the
+  // assignment feasible again and the former cap must return to its weight.
+  QueueFixture fx({10.0, 1.0, 1.0});
+  fx.Readjust(2);
+  ASSERT_EQ(fx.state().capped.size(), 1u);
+  Entity* heavy = fx.state().capped[0];
+  EXPECT_TRUE(heavy->capped);
+  EXPECT_LT(heavy->phi, 10.0);
+  // Simulate the world changing so the weight becomes feasible: 10/30 <= 1/2.
+  // (Add weight by editing total; the queue itself still holds three entities,
+  // so emulate with a direct second pass at a higher total.)
+  const bool changed = ReadjustQueue(fx.queue(), 30.0, 2, fx.state());
+  EXPECT_TRUE(changed);
+  EXPECT_FALSE(heavy->capped);
+  EXPECT_DOUBLE_EQ(heavy->phi, 10.0);
+  EXPECT_TRUE(fx.state().capped.empty());
+}
+
+TEST(ReadjustQueueTest, IsFeasibleAgreesWithEquationOne) {
+  QueueFixture feasible({1.0, 1.0, 2.0});
+  EXPECT_TRUE(IsFeasible(feasible.queue(), 4.0, 2));
+  QueueFixture infeasible({10.0, 1.0, 1.0});
+  EXPECT_FALSE(IsFeasible(infeasible.queue(), 12.0, 2));
+}
+
+TEST(ReadjustQueuePropertyTest, EquivalentToRecursiveReferenceRandomized) {
+  common::Rng rng(555);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int cpus = static_cast<int>(rng.UniformInt(1, 8));
+    const int t = static_cast<int>(rng.UniformInt(1, 30));
+    std::vector<double> w;
+    for (int i = 0; i < t; ++i) {
+      w.push_back(static_cast<double>(rng.UniformInt(1, 5000)));
+    }
+    std::sort(w.begin(), w.end(), std::greater<>());
+
+    QueueFixture fx(w);
+    fx.Readjust(cpus);
+    const auto expected = ReadjustVector(w, cpus);
+    const auto actual = fx.PhisInQueueOrder();
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_NEAR(actual[i], expected[i], 1e-6) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfs::sched

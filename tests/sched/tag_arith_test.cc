@@ -1,0 +1,90 @@
+// Unit tests for the TagArith policy (kernel fixed-point emulation, §3.2).
+
+#include "src/sched/tag_arith.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace sfs::sched {
+namespace {
+
+TEST(TagArithTest, ExactModePassesThrough) {
+  TagArith arith(-1);
+  EXPECT_FALSE(arith.fixed_point());
+  EXPECT_DOUBLE_EQ(arith.WeightedService(Msec(200), 3.0),
+                   static_cast<double>(Msec(200)) / 3.0);
+}
+
+TEST(TagArithTest, FixedPointQuantizesToScale) {
+  TagArith arith(4);  // the paper's 10^4
+  EXPECT_TRUE(arith.fixed_point());
+  EXPECT_EQ(arith.scale(), 10000);
+  const double v = arith.WeightedService(Msec(200), 3.0);
+  // Result is a multiple of 10^-4 and within half a quantum of exact.
+  EXPECT_NEAR(v * 10000.0, std::round(v * 10000.0), 1e-6);
+  EXPECT_NEAR(v, static_cast<double>(Msec(200)) / 3.0, 0.5 / 10000.0 + 1e-9);
+}
+
+TEST(TagArithTest, ZeroDigitsIsWholeUnits) {
+  TagArith arith(0);
+  const double v = arith.WeightedService(1000, 3.0);  // 333.33 -> 333
+  EXPECT_DOUBLE_EQ(v, 333.0);
+}
+
+TEST(TagArithTest, IntegerWeightsExact) {
+  // q divisible by w: no quantization error at any scale.
+  for (int digits : {0, 1, 4, 8}) {
+    TagArith arith(digits);
+    EXPECT_DOUBLE_EQ(arith.WeightedService(Msec(100), 4.0),
+                     static_cast<double>(Msec(100)) / 4.0)
+        << "digits " << digits;
+  }
+}
+
+TEST(TagArithTest, TinyWeightSaturatesInsteadOfDividingByZero) {
+  TagArith arith(2);  // scale 100: weights below 0.005 round to raw 0
+  const double v = arith.WeightedService(Msec(10), 1e-9);
+  EXPECT_GT(v, 0.0);
+  EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TagArithTest, ZeroQuantumIsZero) {
+  TagArith exact(-1);
+  TagArith fixed(4);
+  EXPECT_DOUBLE_EQ(exact.WeightedService(0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(fixed.WeightedService(0, 2.0), 0.0);
+}
+
+TEST(TagArithPropertyTest, ErrorBoundedByHalfQuantumOfScale) {
+  common::Rng rng(99);
+  for (int digits : {1, 2, 4, 6}) {
+    TagArith arith(digits);
+    const double quantum_error = 0.5 / static_cast<double>(arith.scale());
+    for (int i = 0; i < 500; ++i) {
+      const Tick q = rng.UniformInt(1, Msec(200));
+      const double w = static_cast<double>(rng.UniformInt(1, 1000));
+      const double exact = static_cast<double>(q) / w;
+      const double fixed = arith.WeightedService(q, w);
+      // Weight rounding adds a relative error of at most ~1/(2 w scale).
+      const double weight_rounding = exact / (2.0 * w * static_cast<double>(arith.scale()));
+      EXPECT_NEAR(fixed, exact, quantum_error + weight_rounding + 1e-9)
+          << "digits=" << digits << " q=" << q << " w=" << w;
+    }
+  }
+}
+
+TEST(TagArithPropertyTest, MonotoneInQuantum) {
+  TagArith arith(4);
+  double prev = 0.0;
+  for (Tick q = 0; q <= Msec(10); q += Usec(137)) {
+    const double v = arith.WeightedService(q, 7.0);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace sfs::sched

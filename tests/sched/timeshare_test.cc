@@ -1,0 +1,123 @@
+// Unit tests for the Linux 2.2-style time-sharing baseline.
+
+#include "src/sched/timeshare.h"
+
+#include <gtest/gtest.h>
+
+namespace sfs::sched {
+namespace {
+
+SchedConfig Config(int cpus) {
+  SchedConfig config;
+  config.num_cpus = cpus;
+  return config;
+}
+
+TEST(TimeshareTest, InitialCounterEqualsPriority) {
+  Timeshare s(Config(1));
+  s.AddThread(1, 1.0);
+  EXPECT_EQ(s.CounterTicks(1), Timeshare::kDefaultPriorityTicks);
+}
+
+TEST(TimeshareTest, QuantumTracksRemainingCounter) {
+  Timeshare s(Config(1));
+  s.AddThread(1, 1.0);
+  EXPECT_EQ(s.QuantumFor(1), Timeshare::kDefaultPriorityTicks * kLinuxTimerTick);
+  ASSERT_EQ(s.PickNext(0), 1);
+  s.Charge(1, 5 * kLinuxTimerTick);
+  EXPECT_EQ(s.CounterTicks(1), Timeshare::kDefaultPriorityTicks - 5);
+  EXPECT_EQ(s.QuantumFor(1), (Timeshare::kDefaultPriorityTicks - 5) * kLinuxTimerTick);
+}
+
+TEST(TimeshareTest, EpochRecalculationWhenAllCountersExhausted) {
+  Timeshare s(Config(1));
+  s.AddThread(1, 1.0);
+  s.AddThread(2, 1.0);
+  // Exhaust both counters.
+  for (int i = 0; i < 2; ++i) {
+    const ThreadId t = s.PickNext(0);
+    s.Charge(t, Timeshare::kDefaultPriorityTicks * kLinuxTimerTick);
+  }
+  EXPECT_EQ(s.CounterTicks(1), 0);
+  EXPECT_EQ(s.CounterTicks(2), 0);
+  // Next pick triggers a new epoch: counter = counter/2 + priority.
+  EXPECT_NE(s.PickNext(0), kInvalidThread);
+  EXPECT_EQ(s.epochs(), 1);
+  EXPECT_EQ(s.CounterTicks(2), Timeshare::kDefaultPriorityTicks);
+}
+
+TEST(TimeshareTest, SleeperAccumulatesCounterBonus) {
+  // The I/O-bound thread keeps half its unused slice across the epoch — this is
+  // how time sharing favours interactive applications (Figure 6(c)).
+  Timeshare s(Config(1));
+  s.AddThread(1, 1.0);  // CPU hog
+  s.AddThread(2, 1.0);  // sleeper
+  s.Block(2);
+  // Hog burns its slice; sleeper is blocked with a full counter.
+  ASSERT_EQ(s.PickNext(0), 1);
+  s.Charge(1, Timeshare::kDefaultPriorityTicks * kLinuxTimerTick);
+  // Epoch rollover (hog is the only runnable thread).
+  ASSERT_EQ(s.PickNext(0), 1);
+  s.Charge(1, Timeshare::kDefaultPriorityTicks * kLinuxTimerTick);
+  s.Wakeup(2);
+  // Sleeper's counter: 20/2 + 20 = 30 > hog's refreshed 20.
+  EXPECT_EQ(s.CounterTicks(2), 30);
+  EXPECT_EQ(s.PickNext(0), 2);
+}
+
+TEST(TimeshareTest, GoodnessPrefersAffinityCpu) {
+  Timeshare s(Config(2));
+  s.AddThread(1, 1.0);
+  s.AddThread(2, 1.0);
+  // Run thread 1 on CPU 1 once so its last_cpu is 1.
+  ASSERT_EQ(s.PickNext(1), 1);
+  s.Charge(1, kLinuxTimerTick);
+  ASSERT_EQ(s.PickNext(0), 2);
+  s.Charge(2, kLinuxTimerTick);
+  // Equal counters now; CPU 1 prefers thread 1 (affinity bonus), CPU 0 thread 2.
+  EXPECT_EQ(s.PickNext(1), 1);
+  s.Charge(1, kLinuxTimerTick);
+  EXPECT_EQ(s.PickNext(0), 2);
+}
+
+TEST(TimeshareTest, WeightsHaveNoEffect) {
+  // The stock scheduler has no notion of shares: a weight-10 thread gets the
+  // same service as a weight-1 thread (this is what Figure 6(b) exploits).
+  Timeshare s(Config(1));
+  s.AddThread(1, 10.0);
+  s.AddThread(2, 1.0);
+  Tick service1 = 0;
+  Tick service2 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const ThreadId t = s.PickNext(0);
+    const Tick q = s.QuantumFor(t);
+    s.Charge(t, q);
+    (t == 1 ? service1 : service2) += q;
+  }
+  EXPECT_NEAR(static_cast<double>(service1) / static_cast<double>(service2), 1.0, 0.05);
+}
+
+TEST(TimeshareTest, PreemptionRequiresGoodnessMargin) {
+  Timeshare s(Config(1));
+  s.AddThread(1, 1.0);
+  ASSERT_EQ(s.PickNext(0), 1);
+  s.AddThread(2, 1.0);
+  // Equal counters: no preemption (must beat by more than the affinity bonus).
+  EXPECT_EQ(s.SuggestPreemption(2, {0}), kInvalidCpu);
+  // Runner consumed 15 ticks: woken thread's goodness now dominates.
+  EXPECT_EQ(s.SuggestPreemption(2, {15 * kLinuxTimerTick}), 0);
+}
+
+TEST(TimeshareTest, SetPriorityChangesSlice) {
+  Timeshare s(Config(1));
+  s.AddThread(1, 1.0);
+  s.SetPriorityTicks(1, 40);
+  // Takes effect at the next epoch.
+  ASSERT_EQ(s.PickNext(0), 1);
+  s.Charge(1, Timeshare::kDefaultPriorityTicks * kLinuxTimerTick);
+  ASSERT_EQ(s.PickNext(0), 1);  // epoch recalc
+  EXPECT_EQ(s.CounterTicks(1), 40);
+}
+
+}  // namespace
+}  // namespace sfs::sched

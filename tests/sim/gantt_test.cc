@@ -1,0 +1,103 @@
+// Unit tests for the ASCII Gantt renderer.
+
+#include "src/sim/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/sfs.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+namespace sfs::sim {
+namespace {
+
+TEST(GanttTest, SoloThreadIsSolidRow) {
+  sched::SchedConfig config;
+  config.num_cpus = 1;
+  sched::Sfs scheduler(config);
+  Engine engine(scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeFixedWork(1, 1.0, Sec(1), "solo"));
+  engine.RunUntil(Sec(1));
+
+  GanttOptions options;
+  options.from = 0;
+  options.to = Sec(1);
+  options.width = 20;
+  options.rows.emplace_back(1, "solo");
+  const std::string out = RenderGantt(trace, options);
+  EXPECT_EQ(out, "solo |####################|\n");
+}
+
+TEST(GanttTest, IdleHalfIsBlank) {
+  sched::SchedConfig config;
+  config.num_cpus = 1;
+  sched::Sfs scheduler(config);
+  Engine engine(scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeFixedWork(1, 1.0, Msec(500), "t"));
+  engine.RunUntil(Sec(1));
+
+  GanttOptions options;
+  options.to = Sec(1);
+  options.width = 10;
+  options.rows.emplace_back(1, "t");
+  const std::string out = RenderGantt(trace, options);
+  EXPECT_EQ(out, "t |#####     |\n");
+}
+
+TEST(GanttTest, AlternatingThreadsSharePartially) {
+  sched::SchedConfig config;
+  config.num_cpus = 1;
+  config.quantum = Msec(50);
+  sched::Sfs scheduler(config);
+  Engine engine(scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "a"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 1.0, "b"));
+  engine.RunUntil(Sec(1));
+
+  GanttOptions options;
+  options.to = Sec(1);
+  options.width = 10;  // 100ms per column = one a-quantum + one b-quantum
+  options.rows.emplace_back(1, "a");
+  options.rows.emplace_back(2, "b");
+  const std::string out = RenderGantt(trace, options);
+  // Every column shows ~50% occupancy for both threads.
+  EXPECT_EQ(out, "a |::::::::::|\nb |::::::::::|\n");
+}
+
+TEST(GanttTest, UnknownThreadsAndEmptyWindow) {
+  sched::SchedConfig config;
+  config.num_cpus = 1;
+  sched::Sfs scheduler(config);
+  Engine engine(scheduler);
+  TraceRecorder trace(engine);
+  engine.RunUntil(Msec(10));
+  GanttOptions options;
+  options.rows.emplace_back(99, "ghost");
+  EXPECT_EQ(RenderGantt(trace, options), "");  // no intervals at all -> to == 0
+}
+
+TEST(GanttTest, LabelsPadToSameWidth) {
+  sched::SchedConfig config;
+  config.num_cpus = 2;
+  sched::Sfs scheduler(config);
+  Engine engine(scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "x"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 1.0, "y"));
+  engine.RunUntil(Msec(400));
+  GanttOptions options;
+  options.to = Msec(400);
+  options.width = 4;
+  options.rows.emplace_back(1, "ab");
+  options.rows.emplace_back(2, "abcdef");
+  const std::string out = RenderGantt(trace, options);
+  // Both rows align at the same '|' column.
+  EXPECT_NE(out.find("ab     |"), std::string::npos);
+  EXPECT_NE(out.find("abcdef |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfs::sim

@@ -1,0 +1,111 @@
+// Tests for the schedule trace recorder and the "spurt" dynamics the paper uses
+// to explain Figure 5 (Section 4.3).
+
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/factory.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+namespace sfs::sim {
+namespace {
+
+using sched::SchedConfig;
+using sched::SchedKind;
+using sched::ThreadId;
+
+SchedConfig Config(int cpus, Tick quantum = kDefaultQuantum) {
+  SchedConfig config;
+  config.num_cpus = cpus;
+  config.quantum = quantum;
+  return config;
+}
+
+TEST(TraceTest, RecordsRunIntervals) {
+  auto scheduler = CreateScheduler(SchedKind::kSfs, Config(1, Msec(100)));
+  Engine engine(*scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "a"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 1.0, "b"));
+  engine.RunUntil(Sec(1));
+  // ~10 quanta of 100 ms over 1 s on one CPU.
+  EXPECT_GE(trace.intervals().size(), 9u);
+  Tick total = 0;
+  for (const auto& iv : trace.intervals()) {
+    EXPECT_GT(iv.length, 0);
+    total += iv.length;
+  }
+  EXPECT_LE(total, Sec(1));
+}
+
+TEST(TraceTest, SoloThreadIsOneLongSpurt) {
+  auto scheduler = CreateScheduler(SchedKind::kSfs, Config(1, Msec(100)));
+  Engine engine(*scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeFixedWork(1, 1.0, Sec(1), "solo"));
+  engine.RunUntil(Sec(2));
+  // Re-picked at every quantum boundary with no competitor: one 1 s spurt.
+  EXPECT_EQ(trace.MaxSpurt(1), Sec(1));
+  EXPECT_EQ(trace.SpurtCount(1), 1);
+}
+
+TEST(TraceTest, AlternatingThreadsHaveQuantumSpurts) {
+  auto scheduler = CreateScheduler(SchedKind::kSfs, Config(1, Msec(100)));
+  Engine engine(*scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "a"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 1.0, "b"));
+  engine.RunUntil(Sec(2));
+  // Equal weights alternate every quantum: spurts never exceed one quantum.
+  EXPECT_LE(trace.MaxSpurt(1), Msec(100));
+  EXPECT_LE(trace.MaxSpurt(2), Msec(100));
+}
+
+// The paper's Section 4.3 mechanism: "SFQ schedules threads in 'spurts'" —
+// the high-weight thread T1 occupies a processor continuously for long
+// stretches under SFQ; SFS interleaves far more finely at the same workload.
+TEST(TraceTest, SfqSpurtsLongerThanSfsInFig5Workload) {
+  // The full Figure 5 workload, including the short-job chain: it is the churn
+  // that distinguishes the policies (a static mix lets the high-weight thread
+  // hold the virtual-time floor and spurt under both).
+  auto run = [](SchedKind kind) {
+    auto scheduler = CreateScheduler(kind, Config(2));
+    Engine engine(*scheduler);
+    auto trace = std::make_unique<TraceRecorder>(engine);
+    ThreadId next_tid = 1;
+    engine.AddTaskAt(0, workload::MakeInf(next_tid++, 20.0, "T1"));
+    for (int i = 0; i < 20; ++i) {
+      engine.AddTaskAt(0, workload::MakeInf(next_tid++, 1.0, "T2-21"));
+    }
+    engine.SetExitHook([&next_tid](Engine& e, Task& task) {
+      if (task.label() == "T_short") {
+        e.AddTaskAt(e.now(), workload::MakeFixedWork(next_tid++, 5.0, Msec(300), "T_short"));
+      }
+    });
+    engine.AddTaskAt(0, workload::MakeFixedWork(next_tid++, 5.0, Msec(300), "T_short"));
+    engine.RunUntil(Sec(30));
+    return trace->MaxSpurt(1);
+  };
+  const Tick sfq_spurt = run(SchedKind::kSfq);
+  const Tick sfs_spurt = run(SchedKind::kSfs);
+  // Under SFQ, T1 runs in multi-second spurts while the others' start tags
+  // catch up; SFS breaks the monopoly into much shorter stretches.
+  EXPECT_GT(sfq_spurt, Sec(2));
+  EXPECT_LT(sfs_spurt, sfq_spurt / 2);
+}
+
+TEST(TraceTest, MaxSpurtInRangeAggregatesGroup) {
+  auto scheduler = CreateScheduler(SchedKind::kSfs, Config(1, Msec(100)));
+  Engine engine(*scheduler);
+  TraceRecorder trace(engine);
+  engine.AddTaskAt(0, workload::MakeInf(1, 1.0, "a"));
+  engine.AddTaskAt(0, workload::MakeInf(2, 1.0, "b"));
+  engine.RunUntil(Sec(1));
+  EXPECT_EQ(trace.MaxSpurtInRange(1, 2), std::max(trace.MaxSpurt(1), trace.MaxSpurt(2)));
+  EXPECT_EQ(trace.MaxSpurtInRange(100, 200), 0);
+}
+
+}  // namespace
+}  // namespace sfs::sim

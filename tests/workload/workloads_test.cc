@@ -1,0 +1,125 @@
+// Unit tests for the workload behaviour models (Section 4.1 applications).
+
+#include "src/workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/sfs.h"
+#include "src/sim/engine.h"
+
+namespace sfs::workload {
+namespace {
+
+using sched::SchedConfig;
+
+SchedConfig Config(int cpus) {
+  SchedConfig config;
+  config.num_cpus = cpus;
+  return config;
+}
+
+TEST(InfTest, AlwaysComputes) {
+  Inf inf;
+  const auto a = inf.Next(0);
+  EXPECT_EQ(a.kind, sim::Action::Kind::kCompute);
+  EXPECT_EQ(a.duration, kTickInfinity);
+}
+
+TEST(FixedWorkTest, ComputesThenExits) {
+  FixedWork fw(Msec(300));
+  const auto first = fw.Next(0);
+  EXPECT_EQ(first.kind, sim::Action::Kind::kCompute);
+  EXPECT_EQ(first.duration, Msec(300));
+  const auto second = fw.Next(Msec(300));
+  EXPECT_EQ(second.kind, sim::Action::Kind::kExit);
+}
+
+TEST(InteractTest, AlternatesThinkAndBurst) {
+  common::SampleSet responses;
+  Interact::Params params;
+  params.mean_think = Msec(100);
+  params.burst = Msec(5);
+  Interact interact(params, &responses);
+
+  // Arrival: think first.
+  const auto a0 = interact.Next(0);
+  EXPECT_EQ(a0.kind, sim::Action::Kind::kBlock);
+  // Wake at t=a0.duration: serve the request.
+  const Tick wake = a0.duration;
+  interact.OnWake(wake);
+  const auto a1 = interact.Next(wake);
+  EXPECT_EQ(a1.kind, sim::Action::Kind::kCompute);
+  EXPECT_EQ(a1.duration, Msec(5));
+  // Burst completes 7 ms later (2 ms queueing): response recorded = 7 ms.
+  const auto a2 = interact.Next(wake + Msec(7));
+  EXPECT_EQ(a2.kind, sim::Action::Kind::kBlock);
+  ASSERT_EQ(responses.count(), 1u);
+  EXPECT_DOUBLE_EQ(responses.mean(), 7.0);
+  EXPECT_EQ(interact.requests_served(), 1);
+}
+
+TEST(MpegDecoderTest, PacedAtTargetRateWhenUnloaded) {
+  // Full CPU available: the decoder holds 30 fps by sleeping between frames.
+  sched::Sfs scheduler(Config(1));
+  sim::Engine engine(scheduler);
+  MpegDecoder::Params params;
+  engine.AddTaskAt(0, MakeMpeg(1, 1.0, params, "mpeg"));
+  engine.RunUntil(Sec(10));
+  auto& decoder = static_cast<MpegDecoder&>(engine.task(1).behavior());
+  EXPECT_NEAR(static_cast<double>(decoder.frames_decoded()) / 10.0, 30.0, 1.0);
+  // It used ~90% of the CPU (30 ms per 33.3 ms frame).
+  EXPECT_NEAR(static_cast<double>(engine.Service(1)) / static_cast<double>(Sec(10)), 0.9, 0.02);
+}
+
+TEST(MpegDecoderTest, FrameRateTracksCpuShareWhenOverloaded) {
+  // Decoder at weight 1 against an equal hog on one CPU: ~50% share -> ~16 fps.
+  sched::Sfs scheduler(Config(1));
+  sim::Engine engine(scheduler);
+  MpegDecoder::Params params;
+  engine.AddTaskAt(0, MakeMpeg(1, 1.0, params, "mpeg"));
+  engine.AddTaskAt(0, MakeInf(2, 1.0, "hog"));
+  engine.RunUntil(Sec(10));
+  auto& decoder = static_cast<MpegDecoder&>(engine.task(1).behavior());
+  const double fps = static_cast<double>(decoder.frames_decoded()) / 10.0;
+  EXPECT_NEAR(fps, 0.5 / 0.030, 2.0);  // share / frame_cost
+}
+
+TEST(CompileJobTest, FiniteBudgetExits) {
+  sched::Sfs scheduler(Config(1));
+  sim::Engine engine(scheduler);
+  CompileJob::Params params;
+  params.total_cpu = Msec(200);
+  params.seed = 5;
+  engine.AddTaskAt(0, MakeCompileJob(1, 1.0, params, "gcc"));
+  engine.RunUntil(Sec(5));
+  EXPECT_EQ(engine.task(1).state(), sim::Task::State::kExited);
+  EXPECT_EQ(engine.Service(1), Msec(200));
+}
+
+TEST(CompileJobTest, EndlessJobKeepsMixedDutyCycle) {
+  sched::Sfs scheduler(Config(1));
+  sim::Engine engine(scheduler);
+  CompileJob::Params params;
+  params.seed = 11;
+  engine.AddTaskAt(0, MakeCompileJob(1, 1.0, params, "gcc"));
+  engine.RunUntil(Sec(30));
+  EXPECT_EQ(engine.task(1).state() == sim::Task::State::kExited, false);
+  const double duty =
+      static_cast<double>(engine.ServiceIncludingRunning(1)) / static_cast<double>(Sec(30));
+  // ~40 ms bursts vs ~6 ms blocks: duty around 0.87.
+  EXPECT_GT(duty, 0.75);
+  EXPECT_LT(duty, 0.95);
+}
+
+TEST(DhrystoneTest, LoopsScaleWithService) {
+  sched::Sfs scheduler(Config(1));
+  sim::Engine engine(scheduler);
+  engine.AddTaskAt(0, MakeDhrystone(1, 1.0, "dhry"));
+  engine.RunUntil(Sec(2));
+  const double loops =
+      static_cast<double>(engine.ServiceIncludingRunning(1)) * Dhrystone::kLoopsPerUsec;
+  EXPECT_DOUBLE_EQ(loops, static_cast<double>(Sec(2)) * Dhrystone::kLoopsPerUsec);
+}
+
+}  // namespace
+}  // namespace sfs::workload
