@@ -8,23 +8,25 @@
 // a small tolerance while the allocation stays proportional.
 
 #include <algorithm>
-#include <iostream>
+#include <cmath>
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/sfs.h"
 #include "src/sim/engine.h"
 #include "src/workload/workloads.h"
 
 namespace {
 
-struct Outcome {
+struct AffinityOutcome {
   std::int64_t migrations = 0;
-  double worst_share_error = 0.0;  // vs the weight-proportional entitlement
+  double worst_share_error = 0.0;   // vs the weight-proportional entitlement
   double useful_utilization = 0.0;  // service / capacity with the cache model on
 };
 
-Outcome Run(sfs::Tick tolerance) {
+AffinityOutcome RunAffinity(sfs::Tick tolerance) {
   using namespace sfs;
   sched::SchedConfig config;
   config.num_cpus = 2;
@@ -48,7 +50,7 @@ Outcome Run(sfs::Tick tolerance) {
   const Tick horizon = Sec(60);
   engine.RunUntil(horizon);
 
-  Outcome out;
+  AffinityOutcome out;
   out.migrations = engine.migrations();
   double total_service = 0.0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
@@ -64,24 +66,34 @@ Outcome Run(sfs::Tick tolerance) {
 
 }  // namespace
 
-int main() {
+SFS_EXPERIMENT(abl_affinity,
+               .description = "Ablation A6: affinity tolerance vs migrations and fairness",
+               .schedulers = {"sfs"}) {
   using sfs::common::Table;
+  using sfs::harness::JsonValue;
 
-  std::cout << "=== Ablation A6: processor-affinity tolerance ===\n"
-            << "2 CPUs, 6 Inf threads (weights 1..6, 64KB working sets), 50ms quantum,\n"
-            << "60s horizon, cache-restore model 10us/KB.\n\n";
+  reporter.out() << "=== Ablation A6: processor-affinity tolerance ===\n"
+                 << "2 CPUs, 6 Inf threads (weights 1..6, 64KB working sets), 50ms quantum,\n"
+                 << "60s horizon, cache-restore model 10us/KB.\n\n";
 
   Table table({"tolerance (ms)", "migrations", "worst share error (%)", "useful util (%)"});
+  JsonValue rows = JsonValue::Array();
   for (const sfs::Tick tol : {sfs::Msec(0), sfs::Msec(10), sfs::Msec(25), sfs::Msec(50),
                               sfs::Msec(100), sfs::Msec(200)}) {
-    const Outcome out = Run(tol);
+    const AffinityOutcome out = RunAffinity(tol);
     table.AddRow({Table::Cell(tol / sfs::kTicksPerMsec), Table::Cell(out.migrations),
                   Table::Cell(100.0 * out.worst_share_error, 2),
                   Table::Cell(100.0 * out.useful_utilization, 2)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("tolerance_ms", JsonValue(tol / sfs::kTicksPerMsec));
+    entry.Set("migrations", JsonValue(out.migrations));
+    entry.Set("worst_share_error_pct", JsonValue(100.0 * out.worst_share_error));
+    entry.Set("useful_utilization_pct", JsonValue(100.0 * out.useful_utilization));
+    rows.Push(std::move(entry));
   }
-  table.Print(std::cout);
-  std::cout << "\nExpected: migrations collapse with a tolerance of a fraction of a quantum,\n"
-            << "useful utilization rises as cache refills are avoided, and proportional\n"
-            << "shares stay intact (error bounded by the tolerance).\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nExpected: migrations collapse with a tolerance of a fraction of a "
+                    "quantum,\nuseful utilization rises as cache refills are avoided, and "
+                    "proportional\nshares stay intact (error bounded by the tolerance).\n";
+  reporter.Set("rows", std::move(rows));
 }

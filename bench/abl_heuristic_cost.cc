@@ -3,45 +3,67 @@
 // Complements Figure 3 (accuracy) with the other half of the trade: decision
 // latency.  With the heuristic, scheduling cost is bounded by k examinations of
 // each queue (plus a periodic amortized refresh) instead of growing with the
-// run-queue length.
+// run-queue length.  Wall-clock; JSON output only under --timing.
 
-#include <benchmark/benchmark.h>
+#include <iterator>
+#include <string>
 
+#include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/sfs.h"
 
 namespace {
 
+using sfs::harness::DoNotOptimize;
 using sfs::sched::SchedConfig;
 using sfs::sched::Sfs;
 using sfs::sched::ThreadId;
 
-void DecisionLoop(benchmark::State& state, int heuristic_k) {
+double DecisionNsPerOp(int heuristic_k, int threads) {
   SchedConfig config;
   config.num_cpus = 4;
   config.heuristic_k = heuristic_k;
   Sfs scheduler(config);
-  const int threads = static_cast<int>(state.range(0));
   for (ThreadId tid = 0; tid < threads; ++tid) {
     scheduler.AddThread(tid, 1.0 + (tid % 9));
   }
   ThreadId current = scheduler.PickNext(0);
-  for (auto _ : state) {
+  return sfs::harness::MeasureNsPerOp([&] {
     scheduler.Charge(current, sfs::Msec(1 + (current % 200)));
     current = scheduler.PickNext(0);
-    benchmark::DoNotOptimize(current);
-  }
+    DoNotOptimize(current);
+  });
 }
-
-void BM_SfsDecision_Exact(benchmark::State& state) { DecisionLoop(state, 0); }
-void BM_SfsDecision_K5(benchmark::State& state) { DecisionLoop(state, 5); }
-void BM_SfsDecision_K20(benchmark::State& state) { DecisionLoop(state, 20); }
-void BM_SfsDecision_K60(benchmark::State& state) { DecisionLoop(state, 60); }
 
 }  // namespace
 
-BENCHMARK(BM_SfsDecision_Exact)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
-BENCHMARK(BM_SfsDecision_K5)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
-BENCHMARK(BM_SfsDecision_K20)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
-BENCHMARK(BM_SfsDecision_K60)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+SFS_EXPERIMENT(abl_heuristic_cost,
+               .description = "Ablation A2: decision latency of the k-bounded heuristic",
+               .schedulers = {"sfs"},
+               .repetitions = 1, .warmup = 1, .deterministic = false) {
+  using sfs::common::Table;
 
-BENCHMARK_MAIN();
+  reporter.out() << "=== Ablation A2: SFS decision cost, exact vs k-bounded heuristic ===\n"
+                 << "4 CPUs; one decision = Charge + PickNext; ns per decision.\n\n";
+
+  const int ks[] = {0, 5, 20, 60};  // 0 = exact algorithm
+  const int thread_counts[] = {50, 100, 200, 400, 800};
+
+  Table table({"k", "threads", "ns/decision"});
+  for (const int k : ks) {
+    for (const int threads : thread_counts) {
+      const double ns = DecisionNsPerOp(k, threads);
+      const std::string label = k == 0 ? "exact" : "k" + std::to_string(k);
+      table.AddRow({label, Table::Cell(static_cast<std::int64_t>(threads)),
+                    Table::Cell(ns, 1)});
+      reporter.Timing(label + "/" + std::to_string(threads) + "_threads", ns);
+    }
+  }
+  table.Print(reporter.out());
+  reporter.out() << "\nExpected: exact cost grows with the run-queue length; bounded-k cost\n"
+                 << "stays flat (plus the amortized periodic refresh).\n";
+  reporter.Metric("k_values_measured", static_cast<std::int64_t>(std::size(ks)));
+  reporter.Metric("thread_counts_measured",
+                  static_cast<std::int64_t>(std::size(thread_counts)));
+}

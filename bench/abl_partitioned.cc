@@ -8,11 +8,14 @@
 // onto one — per-weight service skews badly.  The sweep shows rebalancing
 // period vs fairness and migrations; SFS needs none of it.
 
+#include <algorithm>
 #include <cmath>
-#include <iostream>
+#include <string>
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/metrics/fairness.h"
 #include "src/sched/partitioned.h"
 #include "src/sched/sfs.h"
@@ -23,13 +26,14 @@ namespace {
 
 using namespace sfs;
 
-struct Outcome {
-  double jain = 0.0;        // over post-departure weighted service of survivors
+struct PartitionOutcome {
+  double jain = 0.0;                 // over post-departure weighted service of survivors
   double max_per_weight_skew = 0.0;  // max_i,j (A_i/w_i)/(A_j/w_j)
   std::int64_t moves = 0;
 };
 
-Outcome Run(sched::Scheduler& scheduler, std::int64_t (*moves_after)(sched::Scheduler&)) {
+PartitionOutcome RunPartition(sched::Scheduler& scheduler,
+                              std::int64_t (*moves_after)(sched::Scheduler&)) {
   sim::Engine engine(scheduler);
   const std::vector<double> weights = {3, 3, 2, 2, 1, 1};
   for (std::size_t i = 0; i < weights.size(); ++i) {
@@ -54,7 +58,7 @@ Outcome Run(sched::Scheduler& scheduler, std::int64_t (*moves_after)(sched::Sche
         static_cast<double>(engine.ServiceIncludingRunning(survivors[i]) - at_kill[i]));
     phis.push_back(weights[static_cast<std::size_t>(survivors[i] - 1)]);
   }
-  Outcome out;
+  PartitionOutcome out;
   out.jain = metrics::JainIndex(services, phis);
   double lo = 1e300;
   double hi = 0.0;
@@ -67,40 +71,59 @@ Outcome Run(sched::Scheduler& scheduler, std::int64_t (*moves_after)(sched::Sche
   return out;
 }
 
+harness::JsonValue OutcomeToJson(const std::string& scheduler, const std::string& rebalance,
+                                 const PartitionOutcome& out) {
+  harness::JsonValue entry = harness::JsonValue::Object();
+  entry.Set("scheduler", harness::JsonValue(scheduler));
+  entry.Set("rebalance_every", harness::JsonValue(rebalance));
+  entry.Set("jain_index", harness::JsonValue(out.jain));
+  entry.Set("max_per_weight_skew", harness::JsonValue(out.max_per_weight_skew));
+  entry.Set("moves", harness::JsonValue(out.moves));
+  return entry;
+}
+
 }  // namespace
 
-int main() {
+SFS_EXPERIMENT(abl_partitioned,
+               .description = "Ablation A7: partitioned per-CPU SFQ vs SFS after departures",
+               .schedulers = {"sfq", "sfs"}) {
   using common::Table;
+  using harness::JsonValue;
 
-  std::cout << "=== Ablation A7: partitioned per-CPU SFQ vs SFS (Section 1.2) ===\n"
-            << "2 CPUs; hogs weighted {3,3,2,2,1,1}; two threads of one partition exit\n"
-            << "at t=10s.  Metrics over the survivors' post-departure service.\n\n";
+  reporter.out() << "=== Ablation A7: partitioned per-CPU SFQ vs SFS (Section 1.2) ===\n"
+                 << "2 CPUs; hogs weighted {3,3,2,2,1,1}; two threads of one partition exit\n"
+                 << "at t=10s.  Metrics over the survivors' post-departure service.\n\n";
 
   Table table({"scheduler", "rebalance every", "Jain index", "per-weight skew", "moves"});
+  JsonValue rows = JsonValue::Array();
   for (const int every : {0, 512, 64, 8}) {
     sched::SchedConfig config;
     config.num_cpus = 2;
     sched::PartitionedSfq scheduler(config, every);
-    const Outcome out = Run(scheduler, [](sched::Scheduler& s) {
+    const PartitionOutcome out = RunPartition(scheduler, [](sched::Scheduler& s) {
       return static_cast<sched::PartitionedSfq&>(s).rebalance_moves();
     });
-    table.AddRow({"partitioned-SFQ",
-                  every == 0 ? "never" : Table::Cell(static_cast<std::int64_t>(every)),
-                  Table::Cell(out.jain, 4), Table::Cell(out.max_per_weight_skew, 2),
-                  Table::Cell(out.moves)});
+    const std::string rebalance =
+        every == 0 ? "never" : Table::Cell(static_cast<std::int64_t>(every));
+    table.AddRow({"partitioned-SFQ", rebalance, Table::Cell(out.jain, 4),
+                  Table::Cell(out.max_per_weight_skew, 2), Table::Cell(out.moves)});
+    rows.Push(OutcomeToJson("partitioned-SFQ", rebalance, out));
   }
   {
     sched::SchedConfig config;
     config.num_cpus = 2;
     sched::Sfs scheduler(config);
-    const Outcome out = Run(scheduler, [](sched::Scheduler&) -> std::int64_t { return 0; });
+    const PartitionOutcome out =
+        RunPartition(scheduler, [](sched::Scheduler&) -> std::int64_t { return 0; });
     table.AddRow({"SFS", "-", Table::Cell(out.jain, 4),
                   Table::Cell(out.max_per_weight_skew, 2), Table::Cell(out.moves)});
+    rows.Push(OutcomeToJson("SFS", "-", out));
   }
-  table.Print(std::cout);
-  std::cout << "\nExpected: 'never' leaves the drained partition's survivor with a whole CPU\n"
-            << "(large skew, low Jain); frequent rebalancing repairs fairness via thread\n"
-            << "moves.  SFS is fair with zero repartitioning machinery — the paper's case\n"
-            << "for a genuinely multiprocessor proportional-share algorithm (Section 1.2).\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nExpected: 'never' leaves the drained partition's survivor with a whole "
+                    "CPU\n(large skew, low Jain); frequent rebalancing repairs fairness via "
+                    "thread\nmoves.  SFS is fair with zero repartitioning machinery — the "
+                    "paper's case\nfor a genuinely multiprocessor proportional-share algorithm "
+                    "(Section 1.2).\n";
+  reporter.Set("rows", std::move(rows));
 }

@@ -7,17 +7,23 @@
 // reposition pattern — remove the front element, advance its key by one
 // weighted quantum, reinsert — on both structures, showing the crossover from
 // the list's cache-friendly small-t wins to the skip list's asymptotic wins.
+// Wall-clock; JSON output only under --timing.
 
-#include <benchmark/benchmark.h>
-
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/skip_list.h"
 #include "src/common/sorted_list.h"
+#include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 
 namespace {
+
+using sfs::harness::DoNotOptimize;
 
 struct Item {
   double key = 0.0;
@@ -29,11 +35,10 @@ struct ByKey {
   static double Key(const Item& item) { return item.key; }
 };
 
-void BM_SortedList_Reposition(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+double SortedListRepositionNs(std::size_t n, std::uint64_t seed) {
   std::vector<std::unique_ptr<Item>> items;
   sfs::common::SortedList<Item, &Item::hook, ByKey> list;
-  sfs::common::Rng rng(1);
+  sfs::common::Rng rng(seed);
   for (std::size_t i = 0; i < n; ++i) {
     auto item = std::make_unique<Item>();
     item->key = rng.UniformDouble(0.0, 1000.0);
@@ -41,20 +46,20 @@ void BM_SortedList_Reposition(benchmark::State& state) {
     list.Insert(item.get());
     items.push_back(std::move(item));
   }
-  for (auto _ : state) {
+  const double ns = sfs::harness::MeasureNsPerOp([&] {
     Item* front = list.PopFront();
     front->key += 1000.0 / 7.0;  // one weighted quantum
     list.InsertFromBack(front);
-    benchmark::DoNotOptimize(front);
-  }
+    DoNotOptimize(front);
+  });
   list.Clear();
+  return ns;
 }
 
-void BM_SkipList_Reposition(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+double SkipListRepositionNs(std::size_t n, std::uint64_t seed) {
   std::vector<std::unique_ptr<Item>> items;
   sfs::common::SkipList<Item, ByKey> list;
-  sfs::common::Rng rng(1);
+  sfs::common::Rng rng(seed);
   for (std::size_t i = 0; i < n; ++i) {
     auto item = std::make_unique<Item>();
     item->key = rng.UniformDouble(0.0, 1000.0);
@@ -62,17 +67,36 @@ void BM_SkipList_Reposition(benchmark::State& state) {
     list.Insert(item.get());
     items.push_back(std::move(item));
   }
-  for (auto _ : state) {
+  return sfs::harness::MeasureNsPerOp([&] {
     Item* front = list.PopFront();
     front->key += 1000.0 / 7.0;
     list.Insert(front);
-    benchmark::DoNotOptimize(front);
-  }
+    DoNotOptimize(front);
+  });
 }
 
 }  // namespace
 
-BENCHMARK(BM_SortedList_Reposition)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
-BENCHMARK(BM_SkipList_Reposition)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+SFS_EXPERIMENT(abl_queue_structures,
+               .description = "Ablation A8: sorted-list vs skip-list reposition cost",
+               .schedulers = {"sfs"},
+               .repetitions = 1, .warmup = 1, .deterministic = false) {
+  using sfs::common::Table;
 
-BENCHMARK_MAIN();
+  reporter.out() << "=== Ablation A8: run-queue reposition cost ===\n"
+                 << "Pop front, advance key one weighted quantum, reinsert; ns per cycle.\n\n";
+
+  const std::size_t sizes[] = {16, 64, 256, 1024, 4096};
+  Table table({"elements", "sorted list (ns)", "skip list (ns)"});
+  for (const std::size_t n : sizes) {
+    const double list_ns = SortedListRepositionNs(n, reporter.seed());
+    const double skip_ns = SkipListRepositionNs(n, reporter.seed());
+    table.AddRow({Table::Cell(n), Table::Cell(list_ns, 1), Table::Cell(skip_ns, 1)});
+    reporter.Timing("sorted_list/" + std::to_string(n), list_ns);
+    reporter.Timing("skip_list/" + std::to_string(n), skip_ns);
+  }
+  table.Print(reporter.out());
+  reporter.out() << "\nExpected: the linked list wins at small t (cache-friendly), the skip\n"
+                 << "list wins asymptotically (O(log t) insert position).\n";
+  reporter.Metric("sizes_measured", static_cast<std::int64_t>(std::size(sizes)));
+}

@@ -3,17 +3,22 @@
 // The paper claims O(p) cost independent of the number of runnable threads t,
 // because at most p-1 threads can violate the feasibility constraint and the
 // weight-sorted queue lets the scan stop at the first feasible prefix.  Sweep t
-// with p fixed (flat) and p with t fixed (linear).
+// with p fixed (flat) and p with t fixed (linear).  Wall-clock; JSON output
+// only under --timing.
 
-#include <benchmark/benchmark.h>
-
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/readjust.h"
 
 namespace {
 
+using sfs::harness::DoNotOptimize;
 using sfs::sched::Entity;
 using sfs::sched::ReadjustQueue;
 using sfs::sched::ThreadId;
@@ -41,26 +46,45 @@ struct Fixture {
   double total = 0.0;
 };
 
-// Sweep t (runnable threads) with p=4: cost should stay flat.
-void BM_Readjust_VsThreads(benchmark::State& state) {
-  Fixture fx(static_cast<int>(state.range(0)), /*heavy=*/2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ReadjustQueue(fx.queue, fx.total, 4, fx.state));
-  }
-}
-
-// Sweep p (processors) with t=1024: cost grows with the number of caps.
-void BM_Readjust_VsCpus(benchmark::State& state) {
-  const int cpus = static_cast<int>(state.range(0));
-  Fixture fx(1024, /*heavy=*/cpus - 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ReadjustQueue(fx.queue, fx.total, cpus, fx.state));
-  }
-}
-
 }  // namespace
 
-BENCHMARK(BM_Readjust_VsThreads)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
-BENCHMARK(BM_Readjust_VsCpus)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+SFS_EXPERIMENT(abl_readjust_cost,
+               .description = "Ablation A3: readjustment cost is O(p), flat in t",
+               .schedulers = {"sfs"},
+               .repetitions = 1, .warmup = 1, .deterministic = false) {
+  using sfs::common::Table;
 
-BENCHMARK_MAIN();
+  reporter.out() << "=== Ablation A3: weight readjustment cost ===\n"
+                 << "One call = ReadjustQueue over the weight-sorted queue; ns per call.\n\n";
+
+  const int thread_counts[] = {16, 64, 256, 1024, 4096};
+  const int cpu_counts[] = {2, 4, 8, 16, 32, 64};
+
+  // Sweep t (runnable threads) with p=4: cost should stay flat.
+  Table vs_threads({"threads (p=4)", "ns/readjust"});
+  for (const int threads : thread_counts) {
+    Fixture fx(threads, /*heavy=*/2);
+    const double ns = sfs::harness::MeasureNsPerOp(
+        [&] { DoNotOptimize(ReadjustQueue(fx.queue, fx.total, 4, fx.state)); });
+    vs_threads.AddRow({Table::Cell(static_cast<std::int64_t>(threads)), Table::Cell(ns, 1)});
+    reporter.Timing("vs_threads/" + std::to_string(threads), ns);
+  }
+  vs_threads.Print(reporter.out());
+
+  // Sweep p (processors) with t=1024: cost grows with the number of caps.
+  Table vs_cpus({"cpus (t=1024)", "ns/readjust"});
+  for (const int cpus : cpu_counts) {
+    Fixture fx(1024, /*heavy=*/cpus - 1);
+    const double ns = sfs::harness::MeasureNsPerOp(
+        [&] { DoNotOptimize(ReadjustQueue(fx.queue, fx.total, cpus, fx.state)); });
+    vs_cpus.AddRow({Table::Cell(static_cast<std::int64_t>(cpus)), Table::Cell(ns, 1)});
+    reporter.Timing("vs_cpus/" + std::to_string(cpus), ns);
+  }
+  vs_cpus.Print(reporter.out());
+
+  reporter.out() << "\nExpected: flat in t (left table), linear in p (right table) — the\n"
+                 << "paper's O(p) claim for the readjustment scan.\n";
+  reporter.Metric("thread_counts_measured",
+                  static_cast<std::int64_t>(std::size(thread_counts)));
+  reporter.Metric("cpu_counts_measured", static_cast<std::int64_t>(std::size(cpu_counts)));
+}

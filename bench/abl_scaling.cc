@@ -10,23 +10,26 @@
 // and the error compounds linearly in time; 10^4 is already indistinguishable
 // from exact arithmetic, matching the paper's recommendation.
 
+#include <algorithm>
 #include <cmath>
-#include <iostream>
+#include <string>
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/factory.h"
 #include "src/sim/engine.h"
 #include "src/workload/workloads.h"
 
 namespace {
 
-struct Audit {
-  double spread_ms = 0.0;     // max |A_i/w_i - A_j/w_j|, in weighted ms
-  double worst_rel_err = 0.0; // max_i |A_i - expected_i| / expected_i
+struct ScalingAudit {
+  double spread_ms = 0.0;      // max |A_i/w_i - A_j/w_j|, in weighted ms
+  double worst_rel_err = 0.0;  // max_i |A_i - expected_i| / expected_i
 };
 
-Audit RunAudit(int digits, sfs::Tick quantum, sfs::Tick horizon) {
+ScalingAudit RunAudit(int digits, sfs::Tick quantum, sfs::Tick horizon) {
   using namespace sfs;
   const std::vector<double> weights = {7.0, 3.0, 2.0, 1.0};
   sched::SchedConfig config;
@@ -44,7 +47,7 @@ Audit RunAudit(int digits, sfs::Tick quantum, sfs::Tick horizon) {
   for (double w : weights) {
     total_w += w;
   }
-  Audit audit;
+  ScalingAudit audit;
   double lo = 1e300;
   double hi = -1e300;
   for (std::size_t i = 0; i < weights.size(); ++i) {
@@ -62,20 +65,31 @@ Audit RunAudit(int digits, sfs::Tick quantum, sfs::Tick horizon) {
 
 }  // namespace
 
-int main() {
+SFS_EXPERIMENT(abl_scaling,
+               .description = "Ablation A1: fixed-point scaling factor vs allocation error",
+               .schedulers = {"sfs"}) {
   using sfs::common::Table;
+  using sfs::harness::JsonValue;
 
-  std::cout << "=== Ablation A1: fixed-point scaling factor (Section 3.2) ===\n"
-            << "SFS, 1 CPU, q=1ms, weights {7,3,2,1}, 120s horizon.\n\n";
+  reporter.out() << "=== Ablation A1: fixed-point scaling factor (Section 3.2) ===\n"
+                 << "SFS, 1 CPU, q=1ms, weights {7,3,2,1}, 120s horizon.\n\n";
 
   Table table({"scaling", "weighted spread (ms)", "worst allocation error (%)"});
+  JsonValue rows = JsonValue::Array();
   for (const int digits : {-1, 0, 1, 2, 3, 4, 6, 8}) {
-    const Audit audit = RunAudit(digits, sfs::Msec(1), sfs::Sec(120));
-    table.AddRow({digits < 0 ? "exact (double)" : "10^" + std::to_string(digits),
-                  Table::Cell(audit.spread_ms, 3), Table::Cell(100.0 * audit.worst_rel_err, 4)});
+    const ScalingAudit audit = RunAudit(digits, sfs::Msec(1), sfs::Sec(120));
+    const std::string label = digits < 0 ? "exact (double)" : "10^" + std::to_string(digits);
+    table.AddRow({label, Table::Cell(audit.spread_ms, 3),
+                  Table::Cell(100.0 * audit.worst_rel_err, 4)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("scaling", JsonValue(label));
+    entry.Set("digits", JsonValue(std::int64_t{digits}));
+    entry.Set("weighted_spread_ms", JsonValue(audit.spread_ms));
+    entry.Set("worst_allocation_error_pct", JsonValue(100.0 * audit.worst_rel_err));
+    rows.Push(std::move(entry));
   }
-  table.Print(std::cout);
-  std::cout << "\nExpected shape: allocation error decays ~10x per digit and is at the\n"
-            << "exact-arithmetic floor by 10^4, the paper's recommended scaling factor.\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nExpected shape: allocation error decays ~10x per digit and is at the\n"
+                 << "exact-arithmetic floor by 10^4, the paper's recommended scaling factor.\n";
+  reporter.Set("rows", std::move(rows));
 }

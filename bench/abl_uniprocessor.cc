@@ -5,24 +5,32 @@
 // (SFQ) in a uniprocessor system."  This harness replays random workloads
 // through both schedulers on one CPU and reports dispatch-sequence agreement.
 
-#include <iostream>
+#include <cstdint>
 
 #include "src/common/rng.h"
 #include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/sfq.h"
 #include "src/sched/sfs.h"
 
-int main() {
+SFS_EXPERIMENT(abl_uniprocessor,
+               .description = "Ablation A5: SFS dispatch decisions equal SFQ on one CPU",
+               .schedulers = {"sfs", "sfq"}) {
   using sfs::common::Table;
+  using sfs::harness::JsonValue;
   using namespace sfs::sched;
 
-  std::cout << "=== Ablation A5: SFS == SFQ on a uniprocessor ===\n"
-            << "Random weights, variable quanta, random block/wake events; dispatch\n"
-            << "decisions compared pairwise over 10,000 scheduling instants per trial.\n\n";
+  reporter.out() << "=== Ablation A5: SFS == SFQ on a uniprocessor ===\n"
+                 << "Random weights, variable quanta, random block/wake events; dispatch\n"
+                 << "decisions compared pairwise over 10,000 scheduling instants per trial.\n\n";
 
   Table table({"trial", "threads", "decisions", "agreements", "agree %"});
+  JsonValue rows = JsonValue::Array();
+  std::int64_t total_agreements = 0;
+  std::int64_t total_decisions = 0;
   for (int trial = 0; trial < 8; ++trial) {
-    sfs::common::Rng rng(9000 + static_cast<std::uint64_t>(trial));
+    sfs::common::Rng rng(reporter.seed() * 1000 + static_cast<std::uint64_t>(trial));
     SchedConfig config;
     config.num_cpus = 1;
     Sfs sfs_sched(config);
@@ -43,14 +51,26 @@ int main() {
       sfs_sched.Charge(a, q);
       sfq_sched.Charge(b, q);
     }
+    total_agreements += agreements;
+    total_decisions += decisions;
     table.AddRow({Table::Cell(static_cast<std::int64_t>(trial)),
                   Table::Cell(static_cast<std::int64_t>(threads)), Table::Cell(decisions),
                   Table::Cell(agreements),
                   Table::Cell(100.0 * static_cast<double>(agreements) /
                                   static_cast<double>(decisions),
                               2)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("trial", JsonValue(std::int64_t{trial}));
+    entry.Set("threads", JsonValue(std::int64_t{threads}));
+    entry.Set("decisions", JsonValue(decisions));
+    entry.Set("agreements", JsonValue(agreements));
+    rows.Push(std::move(entry));
   }
-  table.Print(std::cout);
-  std::cout << "\nExpected: 100% agreement in every trial.\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nExpected: 100% agreement in every trial.\n";
+  reporter.Set("rows", std::move(rows));
+  reporter.Metric("total_decisions", total_decisions);
+  reporter.Metric("total_agreements", total_agreements);
+  reporter.Metric("agreement_pct", 100.0 * static_cast<double>(total_agreements) /
+                                       static_cast<double>(total_decisions));
 }

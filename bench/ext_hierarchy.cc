@@ -6,17 +6,21 @@
 // delivers each domain its aggregate share; the flat scheduler with per-thread
 // weight 1 would instead split by thread count.
 
-#include <iostream>
 #include <string>
 
 #include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/hsfs.h"
 #include "src/sim/engine.h"
 #include "src/workload/workloads.h"
 
-int main() {
+SFS_EXPERIMENT(ext_hierarchy,
+               .description = "Extension E1: hierarchical SFS delivers domain-level shares",
+               .schedulers = {"hsfs"}) {
   using namespace sfs;
   using common::Table;
+  using harness::JsonValue;
 
   sched::SchedConfig config;
   config.num_cpus = 4;
@@ -46,7 +50,7 @@ int main() {
   // Domain C: 8 compile jobs (mixed CPU/IO).
   for (int i = 0; i < 8; ++i) {
     workload::CompileJob::Params params;
-    params.seed = 100 + static_cast<std::uint64_t>(i);
+    params.seed = reporter.seed() * 100 + static_cast<std::uint64_t>(i);
     scheduler.RouteThread(next_tid, 3);
     engine.AddTaskAt(0, workload::MakeCompileJob(next_tid++, 1.0, params, "C"));
   }
@@ -54,22 +58,31 @@ int main() {
   const Tick horizon = Sec(60);
   engine.RunUntil(horizon);
 
-  std::cout << "=== Extension E1: hierarchical SFS — domain-level shares ===\n"
-            << "4 CPUs, 60s; domains weighted 5:3:2 with heterogeneous workloads.\n\n";
+  reporter.out() << "=== Extension E1: hierarchical SFS — domain-level shares ===\n"
+                 << "4 CPUs, 60s; domains weighted 5:3:2 with heterogeneous workloads.\n\n";
   Table table({"domain", "workload", "purchased", "received"});
+  JsonValue rows = JsonValue::Array();
   const double capacity = static_cast<double>(4 * horizon);
   const char* kinds[] = {"3 steady hogs", "short-job churn (2x200ms)", "8 compile jobs"};
   const double purchased[] = {50.0, 30.0, 20.0};
   for (int cls = 1; cls <= 3; ++cls) {
+    const double received_pct =
+        100.0 * static_cast<double>(scheduler.ClassService(cls)) / capacity;
     table.AddRow({"domain-" + std::string(1, static_cast<char>('A' + cls - 1)),
                   kinds[cls - 1], Table::Cell(purchased[cls - 1], 0) + "%",
-                  Table::Cell(100.0 * static_cast<double>(scheduler.ClassService(cls)) / capacity,
-                              1) +
-                      "%"});
+                  Table::Cell(received_pct, 1) + "%"});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("domain", JsonValue(std::string(1, static_cast<char>('A' + cls - 1))));
+    entry.Set("workload", JsonValue(kinds[cls - 1]));
+    entry.Set("purchased_pct", JsonValue(purchased[cls - 1]));
+    entry.Set("received_pct", JsonValue(received_pct));
+    rows.Push(std::move(entry));
   }
-  table.Print(std::cout);
-  std::cout << "\nNote: domain B's churning jobs keep only ~2 threads runnable, so its\n"
-            << "capacity cap is min(p, runnable)/p; with 4 CPUs it can consume at most\n"
-            << "2 CPUs-worth — above its 30% purchase, so the purchase binds, not the cap.\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.Counters("engine_counters", engine);
+  reporter.out() << "\nNote: domain B's churning jobs keep only ~2 threads runnable, so its\n"
+                 << "capacity cap is min(p, runnable)/p; with 4 CPUs it can consume at most\n"
+                 << "2 CPUs-worth — above its 30% purchase, so the purchase binds, not the "
+                    "cap.\n";
+  reporter.Set("rows", std::move(rows));
 }

@@ -2,16 +2,16 @@
 // (Section 5 future work: SMART-style priorities / BVT-style latency on top of
 // a GMS scheduler, and progress-based weight regulation).
 //
-// Part 1 — warp: an interactive task competes with 3 hogs on one CPU at equal
+// E2 — warp: an interactive task competes with 3 hogs on one CPU at equal
 // weights; sweeping its warp trades dispatch latency without changing shares.
 //
-// Part 2 — feedback: a managed task must hold a 30% machine share while the
+// E3 — feedback: a managed task must hold a 30% machine share while the
 // number of competitors changes; the controller re-converges after each change.
-
-#include <iostream>
 
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/feedback.h"
 #include "src/sched/sfs.h"
 #include "src/sim/engine.h"
@@ -26,7 +26,7 @@ struct WarpOutcome {
   double interact_share = 0.0;
 };
 
-WarpOutcome RunWarp(double warp_ms) {
+WarpOutcome RunWarp(double warp_ms, std::uint64_t seed) {
   sched::SchedConfig config;
   config.num_cpus = 1;
   sched::Sfs scheduler(config);
@@ -35,7 +35,7 @@ WarpOutcome RunWarp(double warp_ms) {
   workload::Interact::Params params;
   params.mean_think = Msec(80);
   params.burst = Msec(4);
-  params.seed = 21;
+  params.seed = seed;
   engine.AddTaskAt(0, workload::MakeInteract(1, 1.0, params, &responses, "i"));
   for (sched::ThreadId tid = 2; tid <= 4; ++tid) {
     engine.AddTaskAt(0, workload::MakeInf(tid, 1.0, "hog"));
@@ -52,24 +52,42 @@ WarpOutcome RunWarp(double warp_ms) {
 
 }  // namespace
 
-int main() {
+SFS_EXPERIMENT(ext_warp,
+               .description = "Extension E2: latency warp trades response time, not shares",
+               .schedulers = {"sfs"}) {
   using common::Table;
+  using harness::JsonValue;
 
-  std::cout << "=== Extension E2: SFS latency warp ===\n"
-            << "1 CPU; Interact (4ms bursts) vs 3 hogs, equal weights, 200ms quantum.\n\n";
+  reporter.out() << "=== Extension E2: SFS latency warp ===\n"
+                 << "1 CPU; Interact (4ms bursts) vs 3 hogs, equal weights, 200ms quantum.\n\n";
   Table warp_table({"warp (ms)", "mean response (ms)", "interact CPU share"});
+  JsonValue rows = JsonValue::Array();
   for (const double warp : {0.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
-    const WarpOutcome out = RunWarp(warp);
+    const WarpOutcome out = RunWarp(warp, reporter.seed() / 2);
     warp_table.AddRow({Table::Cell(warp, 0), Table::Cell(out.mean_response_ms, 2),
                        Table::Cell(out.interact_share, 4)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("warp_ms", JsonValue(warp));
+    entry.Set("mean_response_ms", JsonValue(out.mean_response_ms));
+    entry.Set("interact_cpu_share", JsonValue(out.interact_share));
+    rows.Push(std::move(entry));
   }
-  warp_table.Print(std::cout);
-  std::cout << "\nExpected: response time falls toward the burst length as warp grows while\n"
-            << "the CPU share column stays flat — latency decoupled from bandwidth.\n\n";
+  warp_table.Print(reporter.out());
+  reporter.out() << "\nExpected: response time falls toward the burst length as warp grows "
+                    "while\nthe CPU share column stays flat — latency decoupled from "
+                    "bandwidth.\n";
+  reporter.Set("rows", std::move(rows));
+}
 
-  std::cout << "=== Extension E3: feedback weight control ===\n"
-            << "2 CPUs; managed task targets a 30% machine share; competitors double at\n"
-            << "t=20s and halve at t=40s.\n\n";
+SFS_EXPERIMENT(ext_feedback,
+               .description = "Extension E3: feedback controller holds a 30% machine share",
+               .schedulers = {"sfs"}) {
+  using common::Table;
+  using harness::JsonValue;
+
+  reporter.out() << "=== Extension E3: feedback weight control ===\n"
+                 << "2 CPUs; managed task targets a 30% machine share; competitors double at\n"
+                 << "t=20s and halve at t=40s.\n\n";
   sched::SchedConfig config;
   config.num_cpus = 2;
   config.quantum = Msec(20);
@@ -87,23 +105,33 @@ int main() {
   params.target_share = 0.30;
   sched::WeightController controller(scheduler, 1, params);
   Table fb_table({"t (s)", "observed share", "controller weight"});
+  JsonValue rows = JsonValue::Array();
   Tick last_service = 0;
   engine.AddPeriodicHook(Msec(500), [&](sim::Engine& e) {
     const Tick now_service = e.ServiceIncludingRunning(1);
     controller.Observe(now_service - last_service, Msec(500));
     last_service = now_service;
-    if ((e.now() / Msec(500)) % 8 == 0) {  // print every 4 s
+    if ((e.now() / Msec(500)) % 8 == 0) {  // record every 4 s
       fb_table.AddRow({Table::Cell(ToSeconds(e.now()), 1),
                        Table::Cell(controller.last_observed_share(), 3),
                        Table::Cell(controller.current_weight(), 3)});
+      JsonValue entry = JsonValue::Object();
+      entry.Set("t_s", JsonValue(ToSeconds(e.now())));
+      entry.Set("observed_share", JsonValue(controller.last_observed_share()));
+      entry.Set("controller_weight", JsonValue(controller.current_weight()));
+      rows.Push(std::move(entry));
     }
   });
   engine.RunUntil(Sec(40));
   engine.KillTask(5);
   engine.KillTask(6);
   engine.RunUntil(Sec(60));
-  fb_table.Print(std::cout);
-  std::cout << "\nExpected: the observed share re-converges to 0.30 after each load change,\n"
-            << "with the weight rising for the crowded phase and falling back after.\n";
-  return 0;
+  fb_table.Print(reporter.out());
+  reporter.out() << "\nExpected: the observed share re-converges to 0.30 after each load "
+                    "change,\nwith the weight rising for the crowded phase and falling back "
+                    "after.\n";
+  reporter.Set("target_share", JsonValue(0.30));
+  reporter.Set("samples", std::move(rows));
+  reporter.Metric("final_observed_share", controller.last_observed_share());
+  reporter.Metric("final_weight", controller.current_weight());
 }

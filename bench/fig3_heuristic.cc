@@ -6,29 +6,46 @@
 // with 100-400 runnable threads.  Paper: >99% accuracy at k=20 even for 400
 // runnable threads.
 
-#include <iostream>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 
-int main() {
+SFS_EXPERIMENT(fig3_heuristic,
+               .description = "Figure 3: accuracy of the k-bounded scheduling heuristic",
+               .schedulers = {"sfs"}) {
   using sfs::common::Table;
+  using sfs::harness::JsonValue;
 
-  std::cout << "=== Figure 3: efficacy of the scheduling heuristic ===\n"
-            << "Quad-processor, random weights 1..20, variable 1-200ms quanta.\n"
-            << "Accuracy (%) of the k-bounded heuristic vs the exact algorithm.\n\n";
+  reporter.out() << "=== Figure 3: efficacy of the scheduling heuristic ===\n"
+                 << "Quad-processor, random weights 1..20, variable 1-200ms quanta.\n"
+                 << "Accuracy (%) of the k-bounded heuristic vs the exact algorithm.\n\n";
 
   const int runnable_counts[] = {100, 200, 300, 400};
   Table table({"k examined", "100 threads", "200 threads", "300 threads", "400 threads"});
+  JsonValue rows = JsonValue::Array();
   for (const int k : {1, 2, 5, 10, 20, 40, 60, 80, 100}) {
     std::vector<std::string> row = {Table::Cell(static_cast<std::int64_t>(k))};
+    JsonValue entry = JsonValue::Object();
+    entry.Set("k", JsonValue(std::int64_t{k}));
+    JsonValue accuracies = JsonValue::Object();
     for (const int runnable : runnable_counts) {
-      row.push_back(Table::Cell(sfs::eval::HeuristicAccuracy(runnable, k), 2));
+      const double accuracy =
+          sfs::eval::HeuristicAccuracy(runnable, k, /*cpus=*/4, /*decisions=*/4000,
+                                       reporter.seed());
+      row.push_back(Table::Cell(accuracy, 2));
+      accuracies.Set(std::to_string(runnable), JsonValue(accuracy));
     }
+    entry.Set("accuracy_pct_by_runnable", std::move(accuracies));
+    rows.Push(std::move(entry));
     table.AddRow(std::move(row));
   }
-  table.Print(std::cout);
-  std::cout << "\nPaper's claim: examining ~20 threads per queue achieves >99% accuracy\n"
-            << "for up to 400 runnable threads (Section 3.2, Figure 3).\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nPaper's claim: examining ~20 threads per queue achieves >99% accuracy\n"
+                 << "for up to 400 runnable threads (Section 3.2, Figure 3).\n";
+  reporter.Set("rows", std::move(rows));
 }

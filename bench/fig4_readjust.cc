@@ -5,16 +5,21 @@
 // Inf tasks of the experiment: T1(w=1), T2(w=10) from t=0, T3(w=1) at t=15s,
 // T2 stopped at t=30s.  Run with SFQ without and with readjustment, plus SFS.
 
-#include <iostream>
+#include <ostream>
+#include <string>
 
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/metrics/fairness.h"
 
 namespace {
 
-void PrintSeries(const sfs::eval::SeriesResult& result) {
-  using sfs::common::Table;
+using sfs::common::Table;
+using sfs::harness::JsonValue;
+
+void PrintSeries(std::ostream& os, const sfs::eval::SeriesResult& result) {
   Table table({"t (s)", "T1 (ms)", "T2 (ms)", "T3 (ms)"});
   const auto& times = result.times;
   for (std::size_t i = 0; i < times.size(); i += 4) {  // every 2 s
@@ -23,30 +28,60 @@ void PrintSeries(const sfs::eval::SeriesResult& result) {
                   Table::Cell(result.Of("T2")[i] / sfs::kTicksPerMsec),
                   Table::Cell(result.Of("T3")[i] / sfs::kTicksPerMsec)});
   }
-  table.Print(std::cout);
-  std::cout << "T1 longest starvation: "
-            << sfs::metrics::LongestStarvation(result.Of("T1"), sfs::Msec(500)) /
-                   sfs::kTicksPerMsec
-            << " ms\n\n";
+  table.Print(os);
+  os << "T1 longest starvation: "
+     << sfs::metrics::LongestStarvation(result.Of("T1"), sfs::Msec(500)) / sfs::kTicksPerMsec
+     << " ms\n\n";
+}
+
+JsonValue SeriesToJson(const sfs::eval::SeriesResult& result) {
+  JsonValue entry = JsonValue::Object();
+  entry.Set("scheduler", JsonValue(result.scheduler_name));
+  entry.Set("t1_starvation_ms",
+            JsonValue(sfs::metrics::LongestStarvation(result.Of("T1"), sfs::Msec(500)) /
+                      sfs::kTicksPerMsec));
+  for (const char* label : {"T1", "T2", "T3"}) {
+    entry.Set(std::string(label) + "_final_ms",
+              JsonValue(result.Of(label).back() / sfs::kTicksPerMsec));
+  }
+  return entry;
 }
 
 }  // namespace
 
-int main() {
+SFS_EXPERIMENT(fig4_readjust,
+               .description = "Figure 4: weight readjustment repairs the late-arrival starvation",
+               .schedulers = {"sfq", "sfs"}) {
   using sfs::sched::SchedKind;
 
-  std::cout << "=== Figure 4: impact of the weight readjustment algorithm ===\n"
-            << "2 CPUs, q=200ms; T1(w=1), T2(w=10) at t=0; T3(w=1) at t=15s; T2 stops at 30s.\n"
-            << "Paper 4(a): without readjustment SFQ starves T1 from t=15s.\n"
-            << "Paper 4(b): with readjustment shares are 1:1 then 1:2:1 then 1:1.\n\n";
+  reporter.out() << "=== Figure 4: impact of the weight readjustment algorithm ===\n"
+                 << "2 CPUs, q=200ms; T1(w=1), T2(w=10) at t=0; T3(w=1) at t=15s; T2 stops "
+                    "at 30s.\n"
+                 << "Paper 4(a): without readjustment SFQ starves T1 from t=15s.\n"
+                 << "Paper 4(b): with readjustment shares are 1:1 then 1:2:1 then 1:1.\n\n";
 
-  std::cout << "--- Figure 4(a): SFQ without readjustment ---\n";
-  PrintSeries(sfs::eval::RunFig4(SchedKind::kSfq, /*readjust=*/false));
+  reporter.out() << "--- Figure 4(a): SFQ without readjustment ---\n";
+  const auto sfq_plain = sfs::eval::RunFig4(SchedKind::kSfq, /*readjust=*/false);
+  PrintSeries(reporter.out(), sfq_plain);
 
-  std::cout << "--- Figure 4(b): SFQ with readjustment ---\n";
-  PrintSeries(sfs::eval::RunFig4(SchedKind::kSfq, /*readjust=*/true));
+  reporter.out() << "--- Figure 4(b): SFQ with readjustment ---\n";
+  const auto sfq_readjust = sfs::eval::RunFig4(SchedKind::kSfq, /*readjust=*/true);
+  PrintSeries(reporter.out(), sfq_readjust);
 
-  std::cout << "--- SFS (always readjusts) ---\n";
-  PrintSeries(sfs::eval::RunFig4(SchedKind::kSfs, /*readjust=*/true));
-  return 0;
+  reporter.out() << "--- SFS (always readjusts) ---\n";
+  const auto sfs_run = sfs::eval::RunFig4(SchedKind::kSfs, /*readjust=*/true);
+  PrintSeries(reporter.out(), sfs_run);
+
+  JsonValue without = SeriesToJson(sfq_plain);
+  without.Set("readjust", JsonValue(false));
+  JsonValue with = SeriesToJson(sfq_readjust);
+  with.Set("readjust", JsonValue(true));
+  JsonValue sfs_entry = SeriesToJson(sfs_run);
+  sfs_entry.Set("readjust", JsonValue(true));
+
+  JsonValue cases = JsonValue::Array();
+  cases.Push(std::move(without));
+  cases.Push(std::move(with));
+  cases.Push(std::move(sfs_entry));
+  reporter.Set("cases", std::move(cases));
 }

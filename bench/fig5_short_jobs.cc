@@ -4,15 +4,30 @@
 // (w=5, 300 ms CPU each, one at a time).  Requested shares are 20:20:5 = 4:4:1.
 // Paper: SFQ gives each group roughly equal bandwidth; SFS delivers ~4:4:1.
 
-#include <iostream>
+#include <ostream>
 
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 
 namespace {
 
-void PrintSeries(const sfs::eval::SeriesResult& result) {
-  using sfs::common::Table;
+using sfs::common::Table;
+using sfs::harness::JsonValue;
+
+struct Ratios {
+  double group_to_t1 = 0.0;
+  double shorts_to_t1 = 0.0;
+};
+
+Ratios FinalRatios(const sfs::eval::SeriesResult& result) {
+  const double t1 = static_cast<double>(result.Of("T1").back());
+  return {static_cast<double>(result.Of("T2-21").back()) / t1,
+          static_cast<double>(result.Of("T_short").back()) / t1};
+}
+
+void PrintSeries(std::ostream& os, const sfs::eval::SeriesResult& result) {
   Table table({"t (s)", "T1 (ms)", "T2-21 (ms)", "T_short (ms)"});
   const auto& times = result.times;
   for (std::size_t i = 3; i < times.size(); i += 4) {  // every 2 s
@@ -21,41 +36,64 @@ void PrintSeries(const sfs::eval::SeriesResult& result) {
                   Table::Cell(result.Of("T2-21")[i] / sfs::kTicksPerMsec),
                   Table::Cell(result.Of("T_short")[i] / sfs::kTicksPerMsec)});
   }
-  table.Print(std::cout);
-  const double t1 = static_cast<double>(result.Of("T1").back());
-  const double group = static_cast<double>(result.Of("T2-21").back());
-  const double shorts = static_cast<double>(result.Of("T_short").back());
-  std::cout << "final ratio T1 : T2-21 : T_short = " << 1.0 << " : " << group / t1 << " : "
-            << shorts / t1 << "   (requested 1 : 1 : 0.25)\n\n";
+  table.Print(os);
+  const Ratios ratios = FinalRatios(result);
+  os << "final ratio T1 : T2-21 : T_short = " << 1.0 << " : " << ratios.group_to_t1 << " : "
+     << ratios.shorts_to_t1 << "   (requested 1 : 1 : 0.25)\n\n";
+}
+
+JsonValue RatiosToJson(const sfs::eval::SeriesResult& result) {
+  const Ratios ratios = FinalRatios(result);
+  JsonValue entry = JsonValue::Object();
+  entry.Set("scheduler", JsonValue(result.scheduler_name));
+  entry.Set("t1_final_ms", JsonValue(result.Of("T1").back() / sfs::kTicksPerMsec));
+  entry.Set("group_to_t1", JsonValue(ratios.group_to_t1));
+  entry.Set("shorts_to_t1", JsonValue(ratios.shorts_to_t1));
+  return entry;
 }
 
 }  // namespace
 
-int main() {
+SFS_EXPERIMENT(fig5_short_jobs,
+               .description = "Figure 5: short-job chain allocation, SFQ vs SFS",
+               .schedulers = {"sfq", "sfs"}) {
   using sfs::sched::SchedKind;
 
-  std::cout << "=== Figure 5: the short jobs problem ===\n"
-            << "2 CPUs; T1(w=20), T2-T21(20 x w=1), T_short chain (w=5, 300ms each).\n\n";
+  reporter.out() << "=== Figure 5: the short jobs problem ===\n"
+                 << "2 CPUs; T1(w=20), T2-T21(20 x w=1), T_short chain (w=5, 300ms each).\n\n";
 
-  std::cout << "--- Figure 5(a): SFQ ---\n";
-  PrintSeries(sfs::eval::RunFig5(SchedKind::kSfq));
+  reporter.out() << "--- Figure 5(a): SFQ ---\n";
+  const auto sfq_run = sfs::eval::RunFig5(SchedKind::kSfq);
+  PrintSeries(reporter.out(), sfq_run);
 
-  std::cout << "--- Figure 5(b): SFS ---\n";
-  PrintSeries(sfs::eval::RunFig5(SchedKind::kSfs));
+  reporter.out() << "--- Figure 5(b): SFS ---\n";
+  const auto sfs_run = sfs::eval::RunFig5(SchedKind::kSfs);
+  PrintSeries(reporter.out(), sfs_run);
+
+  JsonValue cases = JsonValue::Array();
+  cases.Push(RatiosToJson(sfq_run));
+  cases.Push(RatiosToJson(sfs_run));
+  reporter.Set("requested_group_to_t1", JsonValue(1.0));
+  reporter.Set("requested_shorts_to_t1", JsonValue(0.25));
+  reporter.Set("cases", std::move(cases));
 
   // The residual short-job bonus under SFS at q=200ms is tag quantization (each
   // arriving short restarts at the virtual time, and tags advance in steps of
   // q/phi); it vanishes as the quantum shrinks.
-  std::cout << "--- quantum sensitivity of the SFS allocation ---\n";
-  sfs::common::Table sweep({"quantum (ms)", "T2-21 / T1", "T_short / T1", "requested"});
+  reporter.out() << "--- quantum sensitivity of the SFS allocation ---\n";
+  Table sweep({"quantum (ms)", "T2-21 / T1", "T_short / T1", "requested"});
+  JsonValue sweep_rows = JsonValue::Array();
   for (const sfs::Tick q : {sfs::Msec(200), sfs::Msec(100), sfs::Msec(50), sfs::Msec(20)}) {
     const auto s = sfs::eval::RunFig5(SchedKind::kSfs, sfs::Sec(30), q);
-    const double t1 = static_cast<double>(s.Of("T1").back());
-    sweep.AddRow({sfs::common::Table::Cell(q / sfs::kTicksPerMsec),
-                  sfs::common::Table::Cell(static_cast<double>(s.Of("T2-21").back()) / t1, 3),
-                  sfs::common::Table::Cell(static_cast<double>(s.Of("T_short").back()) / t1, 3),
-                  "1 : 0.25"});
+    const Ratios ratios = FinalRatios(s);
+    sweep.AddRow({Table::Cell(q / sfs::kTicksPerMsec), Table::Cell(ratios.group_to_t1, 3),
+                  Table::Cell(ratios.shorts_to_t1, 3), "1 : 0.25"});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("quantum_ms", JsonValue(q / sfs::kTicksPerMsec));
+    entry.Set("group_to_t1", JsonValue(ratios.group_to_t1));
+    entry.Set("shorts_to_t1", JsonValue(ratios.shorts_to_t1));
+    sweep_rows.Push(std::move(entry));
   }
-  sweep.Print(std::cout);
-  return 0;
+  sweep.Print(reporter.out());
+  reporter.Set("quantum_sweep", std::move(sweep_rows));
 }

@@ -4,27 +4,41 @@
 // dhrystones run at weight ratios 1:1, 1:2, 1:4, 1:7.  The measured loops/sec
 // of the two foreground benchmarks must track the requested ratio.
 
-#include <iostream>
+#include <string>
 
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 
-int main() {
+SFS_EXPERIMENT(fig6a_proportional,
+               .description = "Figure 6(a): dhrystone shares track requested weight ratios",
+               .schedulers = {"sfs"}) {
   using sfs::common::Table;
+  using sfs::harness::JsonValue;
   using sfs::sched::SchedKind;
 
-  std::cout << "=== Figure 6(a): processor shares received by dhrystones under SFS ===\n"
-            << "2 CPUs; 20 background dhrystones (w=1) + two foreground at wa:wb.\n\n";
+  reporter.out() << "=== Figure 6(a): processor shares received by dhrystones under SFS ===\n"
+                 << "2 CPUs; 20 background dhrystones (w=1) + two foreground at wa:wb.\n\n";
 
   Table table({"weights", "loops/s (A)", "loops/s (B)", "measured B/A", "requested B/A"});
+  JsonValue rows = JsonValue::Array();
   for (const int wb : {1, 2, 4, 7}) {
     const auto result = sfs::eval::RunFig6a(SchedKind::kSfs, 1, wb);
     table.AddRow({"1:" + std::to_string(wb), Table::Cell(result.loops_per_sec_a, 0),
                   Table::Cell(result.loops_per_sec_b, 0), Table::Cell(result.ratio, 2),
                   Table::Cell(static_cast<double>(wb), 2)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("weight_a", JsonValue(std::int64_t{1}));
+    entry.Set("weight_b", JsonValue(std::int64_t{wb}));
+    entry.Set("loops_per_sec_a", JsonValue(result.loops_per_sec_a));
+    entry.Set("loops_per_sec_b", JsonValue(result.loops_per_sec_b));
+    entry.Set("measured_ratio", JsonValue(result.ratio));
+    entry.Set("requested_ratio", JsonValue(static_cast<double>(wb)));
+    rows.Push(std::move(entry));
   }
-  table.Print(std::cout);
-  std::cout << "\nPaper: \"the processor bandwidth allocated by SFS to each dhrystone is in\n"
-            << "proportion to its weight\" (Figure 6(a)).\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nPaper: \"the processor bandwidth allocated by SFS to each dhrystone is "
+                    "in\nproportion to its weight\" (Figure 6(a)).\n";
+  reporter.Set("rows", std::move(rows));
 }

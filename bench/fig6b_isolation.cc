@@ -4,28 +4,39 @@
 // one processor) against 0-10 parallel compilation jobs on 2 CPUs.  SFS holds
 // ~30 fps flat; the time-sharing scheduler's frame rate decays with load.
 
-#include <iostream>
+#include <cstdint>
 
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 
-int main() {
+SFS_EXPERIMENT(fig6b_isolation,
+               .description = "Figure 6(b): MPEG decoder isolation from compile load",
+               .schedulers = {"sfs", "timeshare"}) {
   using sfs::common::Table;
+  using sfs::harness::JsonValue;
   using sfs::sched::SchedKind;
 
-  std::cout << "=== Figure 6(b): MPEG decoding with background compilations ===\n"
-            << "2 CPUs; decoder w=100 (30 fps clip, 30ms/frame), k compile jobs w=1.\n\n";
+  reporter.out() << "=== Figure 6(b): MPEG decoding with background compilations ===\n"
+                 << "2 CPUs; decoder w=100 (30 fps clip, 30ms/frame), k compile jobs w=1.\n\n";
 
   Table table({"compilations", "SFS fps", "timeshare fps"});
+  JsonValue rows = JsonValue::Array();
   for (int k = 0; k <= 10; ++k) {
     const double sfs_fps = sfs::eval::RunFig6b(SchedKind::kSfs, k);
     const double ts_fps = sfs::eval::RunFig6b(SchedKind::kTimeshare, k);
     table.AddRow({Table::Cell(static_cast<std::int64_t>(k)), Table::Cell(sfs_fps, 1),
                   Table::Cell(ts_fps, 1)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("compile_jobs", JsonValue(std::int64_t{k}));
+    entry.Set("sfs_fps", JsonValue(sfs_fps));
+    entry.Set("timeshare_fps", JsonValue(ts_fps));
+    rows.Push(std::move(entry));
   }
-  table.Print(std::cout);
-  std::cout << "\nPaper: \"SFS is able to isolate the video decoder from the compilation\n"
-            << "workload, whereas the Linux time sharing scheduler causes the processor\n"
-            << "share of the decoder to drop with increasing load\" (Figure 6(b)).\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nPaper: \"SFS is able to isolate the video decoder from the compilation\n"
+                 << "workload, whereas the Linux time sharing scheduler causes the processor\n"
+                 << "share of the decoder to drop with increasing load\" (Figure 6(b)).\n";
+  reporter.Set("rows", std::move(rows));
 }

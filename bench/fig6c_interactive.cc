@@ -5,29 +5,43 @@
 // Paper: SFS response times are comparable to time sharing (which is explicitly
 // biased toward I/O-bound tasks) — both stay low.
 
-#include <iostream>
+#include <cstdint>
 
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 
-int main() {
+SFS_EXPERIMENT(fig6c_interactive,
+               .description = "Figure 6(c): interactive response under background simulations",
+               .schedulers = {"sfs", "timeshare"}) {
   using sfs::common::Table;
+  using sfs::harness::JsonValue;
   using sfs::sched::SchedKind;
 
-  std::cout << "=== Figure 6(c): interactive response vs background simulations ===\n"
-            << "2 CPUs; Interact (5ms bursts, ~100ms think) + k disksim processes.\n\n";
+  reporter.out() << "=== Figure 6(c): interactive response vs background simulations ===\n"
+                 << "2 CPUs; Interact (5ms bursts, ~100ms think) + k disksim processes.\n\n";
 
   Table table({"disksim procs", "SFS mean (ms)", "SFS p95 (ms)", "timeshare mean (ms)",
                "timeshare p95 (ms)"});
+  JsonValue rows = JsonValue::Array();
   for (int k = 0; k <= 10; k += 2) {
     const auto sfs_stats = sfs::eval::RunFig6c(SchedKind::kSfs, k);
     const auto ts_stats = sfs::eval::RunFig6c(SchedKind::kTimeshare, k);
     table.AddRow({Table::Cell(static_cast<std::int64_t>(k)), Table::Cell(sfs_stats.mean_ms, 2),
                   Table::Cell(sfs_stats.p95_ms, 2), Table::Cell(ts_stats.mean_ms, 2),
                   Table::Cell(ts_stats.p95_ms, 2)});
+    JsonValue entry = JsonValue::Object();
+    entry.Set("disksim_jobs", JsonValue(std::int64_t{k}));
+    entry.Set("sfs_mean_ms", JsonValue(sfs_stats.mean_ms));
+    entry.Set("sfs_p95_ms", JsonValue(sfs_stats.p95_ms));
+    entry.Set("timeshare_mean_ms", JsonValue(ts_stats.mean_ms));
+    entry.Set("timeshare_p95_ms", JsonValue(ts_stats.p95_ms));
+    rows.Push(std::move(entry));
   }
-  table.Print(std::cout);
-  std::cout << "\nPaper: \"even in the presence of a compute-intensive workload, SFS provides\n"
-            << "response times that are comparable to the time sharing scheduler\" (Fig 6(c)).\n";
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nPaper: \"even in the presence of a compute-intensive workload, SFS "
+                    "provides\nresponse times that are comparable to the time sharing "
+                    "scheduler\" (Fig 6(c)).\n";
+  reporter.Set("rows", std::move(rows));
 }

@@ -16,22 +16,28 @@
 //
 // Run for both the time-sharing baseline and SFS; the paper's shape is that SFS
 // costs a few microseconds more per switch, vanishing against the 200 ms
-// quantum, with the gap narrowing as working sets dominate.
-
-#include <benchmark/benchmark.h>
+// quantum, with the gap narrowing as working sets dominate.  A second section
+// measures the cooperative-switch latency with real std::threads under the
+// user-level executor.  Everything here is wall-clock; it reaches the JSON only
+// under --timing.
 
 #include <chrono>
-#include <cstring>
-#include <iostream>
+#include <cstdint>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/table.h"
 #include "src/exec/executor.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
 #include "src/sched/factory.h"
 
 namespace {
 
+using sfs::harness::DoNotOptimize;
+using sfs::harness::Reporter;
 using sfs::sched::CreateScheduler;
 using sfs::sched::SchedConfig;
 using sfs::sched::SchedKind;
@@ -47,40 +53,37 @@ std::unique_ptr<sfs::sched::Scheduler> Make(SchedKind kind, int threads) {
   return scheduler;
 }
 
-void BM_Syscall_GetWeight(benchmark::State& state, SchedKind kind) {
+double SyscallGetWeightNs(SchedKind kind) {
   auto scheduler = Make(kind, 16);
   ThreadId tid = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler->GetWeight(tid));
+  return sfs::harness::MeasureNsPerOp([&] {
+    DoNotOptimize(scheduler->GetWeight(tid));
     tid = (tid + 1) % 16;
-  }
-  state.SetLabel(std::string(scheduler->name()));
+  });
 }
 
-void BM_Fork_AddRemoveThread(benchmark::State& state, SchedKind kind) {
+double ForkAddRemoveNs(SchedKind kind) {
   auto scheduler = Make(kind, 16);
   ThreadId next = 1000;
-  for (auto _ : state) {
+  return sfs::harness::MeasureNsPerOp([&] {
     scheduler->AddThread(next, 2.0);
     scheduler->RemoveThread(next);
     ++next;
-  }
-  state.SetLabel(std::string(scheduler->name()));
+  });
 }
 
-void BM_Exec_SetWeight(benchmark::State& state, SchedKind kind) {
+double ExecSetWeightNs(SchedKind kind) {
   auto scheduler = Make(kind, 16);
   double w = 1.0;
-  for (auto _ : state) {
+  return sfs::harness::MeasureNsPerOp([&] {
     scheduler->SetWeight(3, w);
     w = w >= 64.0 ? 1.0 : w * 2.0;
-  }
-  state.SetLabel(std::string(scheduler->name()));
+  });
 }
 
 // Context switch with `threads` processes each owning a `kb` KiB working set
 // that the incoming thread touches (lmbench's array-walk model).
-void CtxSwitch(benchmark::State& state, SchedKind kind, int threads, int kb) {
+double CtxSwitchNs(SchedKind kind, int threads, int kb) {
   auto scheduler = Make(kind, threads);
   std::vector<std::vector<char>> working_sets(static_cast<std::size_t>(threads));
   for (auto& ws : working_sets) {
@@ -88,50 +91,22 @@ void CtxSwitch(benchmark::State& state, SchedKind kind, int threads, int kb) {
   }
   ThreadId current = scheduler->PickNext(0);
   std::int64_t sum = 0;
-  for (auto _ : state) {
+  return sfs::harness::MeasureNsPerOp([&] {
     scheduler->Charge(current, sfs::Msec(10));
     current = scheduler->PickNext(0);
     auto& ws = working_sets[static_cast<std::size_t>(current)];
     for (std::size_t i = 0; i < ws.size(); i += 64) {
       sum += ws[i]++;
     }
-    benchmark::DoNotOptimize(sum);
-  }
-  state.SetLabel(std::string(scheduler->name()));
+    DoNotOptimize(sum);
+  });
 }
-
-void BM_CtxSwitch_2p_0KB(benchmark::State& state, SchedKind kind) {
-  CtxSwitch(state, kind, 2, 0);
-}
-void BM_CtxSwitch_8p_16KB(benchmark::State& state, SchedKind kind) {
-  CtxSwitch(state, kind, 8, 16);
-}
-void BM_CtxSwitch_16p_64KB(benchmark::State& state, SchedKind kind) {
-  CtxSwitch(state, kind, 16, 64);
-}
-
-}  // namespace
-
-BENCHMARK_CAPTURE(BM_Syscall_GetWeight, timeshare, SchedKind::kTimeshare);
-BENCHMARK_CAPTURE(BM_Syscall_GetWeight, sfs, SchedKind::kSfs);
-BENCHMARK_CAPTURE(BM_Fork_AddRemoveThread, timeshare, SchedKind::kTimeshare);
-BENCHMARK_CAPTURE(BM_Fork_AddRemoveThread, sfs, SchedKind::kSfs);
-BENCHMARK_CAPTURE(BM_Exec_SetWeight, timeshare, SchedKind::kTimeshare);
-BENCHMARK_CAPTURE(BM_Exec_SetWeight, sfs, SchedKind::kSfs);
-BENCHMARK_CAPTURE(BM_CtxSwitch_2p_0KB, timeshare, SchedKind::kTimeshare);
-BENCHMARK_CAPTURE(BM_CtxSwitch_2p_0KB, sfs, SchedKind::kSfs);
-BENCHMARK_CAPTURE(BM_CtxSwitch_8p_16KB, timeshare, SchedKind::kTimeshare);
-BENCHMARK_CAPTURE(BM_CtxSwitch_8p_16KB, sfs, SchedKind::kSfs);
-BENCHMARK_CAPTURE(BM_CtxSwitch_16p_64KB, timeshare, SchedKind::kTimeshare);
-BENCHMARK_CAPTURE(BM_CtxSwitch_16p_64KB, sfs, SchedKind::kSfs);
-
-namespace {
 
 // Real-thread section: actual std::threads under the user-level executor, with
 // lmbench's working-set-touch model inside each work unit.  The reported value
 // is the preempt-flag-to-yield latency — the cooperative analogue of lmbench's
 // context-switch time.
-void RealThreadSection() {
+void RealThreadSection(Reporter& reporter) {
   using sfs::exec::Executor;
   sfs::common::Table table(
       {"config", "scheduler", "median switch (us)", "p95 (us)", "switches"});
@@ -159,34 +134,63 @@ void RealThreadSection() {
               sum += (*buffer)[i]++;
             }
           } while (std::chrono::steady_clock::now() < end);
-          benchmark::DoNotOptimize(sum);
+          DoNotOptimize(sum);
           return true;
         });
       }
       executor.Run(sfs::Msec(400));
       const auto& lat = executor.preempt_latencies();
+      const std::string shape_label =
+          std::to_string(shape.procs) + "proc_" + std::to_string(shape.kb) + "KB";
       table.AddRow({std::to_string(shape.procs) + " proc/" + std::to_string(shape.kb) + "KB",
                     std::string(scheduler->name()),
                     sfs::common::Table::Cell(lat.Percentile(50), 1),
                     sfs::common::Table::Cell(lat.Percentile(95), 1),
                     sfs::common::Table::Cell(lat.count())});
+      reporter.Timing("executor/" + shape_label + "/" + std::string(scheduler->name()) +
+                          "/median_us",
+                      lat.Percentile(50));
     }
   }
-  std::cout << "\n=== Table 1 (real threads): cooperative switch latency under the\n"
-            << "user-level executor (2 virtual CPUs, 2ms quantum, 30us work units) ===\n\n";
-  table.Print(std::cout);
-  std::cout << '\n';
+  reporter.out() << "\n=== Table 1 (real threads): cooperative switch latency under the\n"
+                 << "user-level executor (2 virtual CPUs, 2ms quantum, 30us work units) ===\n\n";
+  table.Print(reporter.out());
+  reporter.out() << '\n';
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  RealThreadSection();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
-    return 1;
+SFS_EXPERIMENT(table1_lmbench,
+               .description = "Table 1: lmbench-analogue scheduler overheads (wall-clock)",
+               .schedulers = {"timeshare", "sfs"},
+               .repetitions = 1, .warmup = 1, .deterministic = false) {
+  using sfs::common::Table;
+
+  RealThreadSection(reporter);
+
+  reporter.out() << "=== Table 1 (scheduler code paths): ns per operation ===\n\n";
+  struct RowSpec {
+    const char* label;
+    double (*measure)(SchedKind);
+  };
+  const RowSpec rows[] = {
+      {"syscall_getweight", &SyscallGetWeightNs},
+      {"fork_add_remove", &ForkAddRemoveNs},
+      {"exec_setweight", &ExecSetWeightNs},
+      {"ctx_switch_2p_0KB", [](SchedKind kind) { return CtxSwitchNs(kind, 2, 0); }},
+      {"ctx_switch_8p_16KB", [](SchedKind kind) { return CtxSwitchNs(kind, 8, 16); }},
+      {"ctx_switch_16p_64KB", [](SchedKind kind) { return CtxSwitchNs(kind, 16, 64); }},
+  };
+  Table table({"operation", "timeshare (ns)", "sfs (ns)"});
+  for (const RowSpec& row : rows) {
+    const double ts_ns = row.measure(SchedKind::kTimeshare);
+    const double sfs_ns = row.measure(SchedKind::kSfs);
+    table.AddRow({row.label, Table::Cell(ts_ns, 1), Table::Cell(sfs_ns, 1)});
+    reporter.Timing(std::string(row.label) + "/timeshare_ns", ts_ns);
+    reporter.Timing(std::string(row.label) + "/sfs_ns", sfs_ns);
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  table.Print(reporter.out());
+  reporter.out() << "\nPaper's shape: SFS costs a few microseconds more per operation than\n"
+                 << "time sharing — negligible against the 200 ms quantum.\n";
+  reporter.Metric("operations_measured", static_cast<std::int64_t>(std::size(rows)));
 }

@@ -1,0 +1,6 @@
+// Entry point for the unified sfs_bench binary.  All experiments live in
+// bench/*.cc as SFS_EXPERIMENT registrations; this file only dispatches.
+
+#include "src/harness/runner.h"
+
+int main(int argc, char** argv) { return sfs::harness::RunBenchMain(argc, argv); }

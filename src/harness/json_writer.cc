@@ -1,0 +1,199 @@
+#include "src/harness/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/assert.h"
+
+namespace sfs::harness {
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Push(JsonValue v) {
+  SFS_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+std::size_t JsonValue::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue v) {
+  SFS_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return object_.back().second;
+}
+
+bool JsonValue::Has(std::string_view key) const { return Find(key) != nullptr; }
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::Find(std::string_view key) {
+  return const_cast<JsonValue*>(static_cast<const JsonValue&>(*this).Find(key));
+}
+
+void JsonValue::WriteEscaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void JsonValue::WriteDouble(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  SFS_CHECK(result.ec == std::errc());
+  os.write(buf, result.ptr - buf);
+}
+
+namespace {
+
+// Integers go through to_chars as well: ostream operator<< applies the global
+// locale's digit grouping, which would break both JSON validity and the
+// byte-identical guarantee under a non-"C" locale.
+template <typename Int>
+void WriteInteger(std::ostream& os, Int v) {
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  SFS_CHECK(result.ec == std::errc());
+  os.write(buf, result.ptr - buf);
+}
+
+}  // namespace
+
+namespace {
+
+void Indent(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) {
+    os << "  ";
+  }
+}
+
+}  // namespace
+
+void JsonValue::Write(std::ostream& os, int indent) const {
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      WriteInteger(os, int_);
+      break;
+    case Kind::kUint:
+      WriteInteger(os, uint_);
+      break;
+    case Kind::kDouble:
+      WriteDouble(os, double_);
+      break;
+    case Kind::kString:
+      WriteEscaped(os, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        Indent(os, indent + 1);
+        array_[i].Write(os, indent + 1);
+        os << (i + 1 < array_.size() ? ",\n" : "\n");
+      }
+      Indent(os, indent);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        Indent(os, indent + 1);
+        WriteEscaped(os, object_[i].first);
+        os << ": ";
+        object_[i].second.Write(os, indent + 1);
+        os << (i + 1 < object_.size() ? ",\n" : "\n");
+      }
+      Indent(os, indent);
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::ToString() const {
+  std::ostringstream os;
+  Write(os);
+  return os.str();
+}
+
+}  // namespace sfs::harness

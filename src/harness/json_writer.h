@@ -1,0 +1,78 @@
+// Deterministic JSON document model for benchmark output.
+//
+// BENCH_*.json files are diffed across PRs, so serialization must be stable:
+// objects preserve insertion order (no hash-map iteration), doubles print via
+// shortest-round-trip std::to_chars, and indentation is fixed.  Two runs that
+// record the same values produce byte-identical bytes.
+
+#ifndef SFS_HARNESS_JSON_WRITER_H_
+#define SFS_HARNESS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sfs::harness {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}     // NOLINT
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}     // NOLINT
+  JsonValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}  // NOLINT
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}    // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(std::string_view s) : kind_(Kind::kString), string_(s) {}        // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}             // NOLINT
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // --- array ------------------------------------------------------------------
+  JsonValue& Push(JsonValue v);
+  std::size_t size() const;
+
+  // --- object -----------------------------------------------------------------
+  // Insert-or-assign; a replaced key keeps its original position so late
+  // updates cannot perturb serialization order.
+  JsonValue& Set(std::string key, JsonValue v);
+  bool Has(std::string_view key) const;
+  const JsonValue* Find(std::string_view key) const;
+  JsonValue* Find(std::string_view key);
+
+  // --- serialization ----------------------------------------------------------
+  // Pretty-prints with 2-space indentation and '\n' line ends; `indent` is the
+  // starting depth.  Output is locale-independent and deterministic.
+  void Write(std::ostream& os, int indent = 0) const;
+  std::string ToString() const;
+
+  static void WriteEscaped(std::ostream& os, std::string_view s);
+  // Shortest round-trip formatting; non-finite values serialize as null
+  // (JSON has no NaN/Inf).
+  static void WriteDouble(std::ostream& os, double v);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace sfs::harness
+
+#endif  // SFS_HARNESS_JSON_WRITER_H_

@@ -1,0 +1,52 @@
+#include "src/harness/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/assert.h"
+
+namespace sfs::harness {
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::Register(ExperimentSpec spec, ExperimentFn fn) {
+  SFS_CHECK(fn != nullptr);
+  SFS_CHECK(!spec.name.empty());
+  if (Find(spec.name) != nullptr) {
+    std::fprintf(stderr, "duplicate experiment registration: %s\n", spec.name.c_str());
+    std::abort();
+  }
+  const auto pos = std::lower_bound(
+      experiments_.begin(), experiments_.end(), spec.name,
+      [](const Experiment& e, const std::string& name) { return e.spec.name < name; });
+  experiments_.insert(pos, Experiment{std::move(spec), fn});
+}
+
+const Experiment* Registry::Find(std::string_view name) const {
+  for (const Experiment& e : experiments_) {
+    if (e.spec.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> Registry::Match(std::string_view filter) const {
+  std::vector<const Experiment*> out;
+  for (const Experiment& e : experiments_) {
+    if (filter.empty() || e.spec.name.find(filter) != std::string::npos) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+Registrar::Registrar(ExperimentSpec spec, ExperimentFn fn) {
+  Registry::Instance().Register(std::move(spec), fn);
+}
+
+}  // namespace sfs::harness

@@ -1,0 +1,99 @@
+#include "src/harness/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sfs::harness {
+namespace {
+
+TEST(JsonWriterTest, ScalarSerialization) {
+  EXPECT_EQ(JsonValue().ToString(), "null");
+  EXPECT_EQ(JsonValue(true).ToString(), "true");
+  EXPECT_EQ(JsonValue(false).ToString(), "false");
+  EXPECT_EQ(JsonValue(std::int64_t{-42}).ToString(), "-42");
+  EXPECT_EQ(JsonValue("hi").ToString(), "\"hi\"");
+}
+
+TEST(JsonWriterTest, DoubleShortestRoundTrip) {
+  EXPECT_EQ(JsonValue(0.25).ToString(), "0.25");
+  EXPECT_EQ(JsonValue(1e100).ToString(), "1e+100");
+  // 0.1 has no exact double; shortest round-trip form is "0.1".
+  EXPECT_EQ(JsonValue(0.1).ToString(), "0.1");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).ToString(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).ToString(), "null");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").ToString(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonValue(std::string("\x01", 1)).ToString(), "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue(1));
+  obj.Set("apple", JsonValue(2));
+  obj.Set("mango", JsonValue(3));
+  EXPECT_EQ(obj.ToString(),
+            "{\n  \"zebra\": 1,\n  \"apple\": 2,\n  \"mango\": 3\n}");
+}
+
+TEST(JsonWriterTest, ReplacedKeyKeepsPosition) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("first", JsonValue(1));
+  obj.Set("second", JsonValue(2));
+  obj.Set("first", JsonValue(10));
+  EXPECT_EQ(obj.ToString(), "{\n  \"first\": 10,\n  \"second\": 2\n}");
+}
+
+TEST(JsonWriterTest, NestedStructure) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("empty_obj", JsonValue::Object());
+  doc.Set("empty_arr", JsonValue::Array());
+  JsonValue arr = JsonValue::Array();
+  arr.Push(JsonValue(1));
+  arr.Push(JsonValue("two"));
+  doc.Set("arr", std::move(arr));
+  EXPECT_EQ(doc.ToString(),
+            "{\n"
+            "  \"empty_obj\": {},\n"
+            "  \"empty_arr\": [],\n"
+            "  \"arr\": [\n"
+            "    1,\n"
+            "    \"two\"\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(JsonWriterTest, FindAndHas) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue(7));
+  EXPECT_TRUE(obj.Has("k"));
+  EXPECT_FALSE(obj.Has("missing"));
+  ASSERT_NE(obj.Find("k"), nullptr);
+  EXPECT_EQ(obj.Find("k")->ToString(), "7");
+}
+
+TEST(JsonWriterTest, SerializationIsDeterministic) {
+  const auto build = [] {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("b", JsonValue(0.30000000000000004));
+    doc.Set("a", JsonValue(std::int64_t{123456789}));
+    JsonValue runs = JsonValue::Array();
+    for (int i = 0; i < 3; ++i) {
+      JsonValue run = JsonValue::Object();
+      run.Set("i", JsonValue(std::int64_t{i}));
+      run.Set("x", JsonValue(1.0 / (i + 3)));
+      runs.Push(std::move(run));
+    }
+    doc.Set("runs", std::move(runs));
+    return doc.ToString();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace sfs::harness

@@ -1,0 +1,79 @@
+#include "src/harness/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.h"
+
+namespace sfs::harness {
+namespace {
+
+// Experiments registered via the macro, exactly as bench/*.cc does.
+SFS_EXPERIMENT(reg_alpha, .description = "first test experiment",
+               .schedulers = {"sfs"}) {
+  reporter.Metric("value", std::int64_t{1});
+}
+
+SFS_EXPERIMENT(reg_beta, .description = "second test experiment",
+               .schedulers = {"sfs", "sfq"}, .repetitions = 3) {
+  reporter.Metric("value", std::int64_t{2});
+}
+
+SFS_EXPERIMENT(other_gamma, .description = "third test experiment") {
+  reporter.Metric("value", std::int64_t{3});
+}
+
+TEST(RegistryTest, FindLocatesRegisteredExperiments) {
+  const Experiment* e = Registry::Instance().Find("reg_alpha");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->spec.name, "reg_alpha");
+  EXPECT_EQ(e->spec.description, "first test experiment");
+  ASSERT_EQ(e->spec.schedulers.size(), 1u);
+  EXPECT_EQ(e->spec.schedulers[0], "sfs");
+  EXPECT_EQ(e->spec.repetitions, 1);
+  EXPECT_TRUE(e->spec.deterministic);
+}
+
+TEST(RegistryTest, SpecFieldsCarryThrough) {
+  const Experiment* e = Registry::Instance().Find("reg_beta");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->spec.repetitions, 3);
+  ASSERT_EQ(e->spec.schedulers.size(), 2u);
+  EXPECT_EQ(e->spec.schedulers[1], "sfq");
+}
+
+TEST(RegistryTest, FindReturnsNullForUnknownName) {
+  EXPECT_EQ(Registry::Instance().Find("no_such_experiment"), nullptr);
+}
+
+TEST(RegistryTest, MatchFiltersBySubstring) {
+  const auto matches = Registry::Instance().Match("reg_");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0]->spec.name, "reg_alpha");
+  EXPECT_EQ(matches[1]->spec.name, "reg_beta");
+}
+
+TEST(RegistryTest, MatchEmptyFilterReturnsAllSorted) {
+  const auto all = Registry::Instance().Match("");
+  ASSERT_GE(all.size(), 3u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->spec.name, all[i]->spec.name);
+  }
+}
+
+TEST(RegistryTest, MatchUnknownSubstringIsEmpty) {
+  EXPECT_TRUE(Registry::Instance().Match("zzz_nothing").empty());
+}
+
+TEST(RegistryTest, ExperimentBodyRunsThroughReporter) {
+  const Experiment* e = Registry::Instance().Find("other_gamma");
+  ASSERT_NE(e, nullptr);
+  std::ostringstream human;
+  Reporter reporter(human, /*seed=*/1, /*repetition=*/0, /*timing_enabled=*/false);
+  e->fn(reporter);
+  JsonValue result = reporter.TakeResult();
+  ASSERT_NE(result.Find("value"), nullptr);
+  EXPECT_EQ(result.Find("value")->ToString(), "3");
+}
+
+}  // namespace
+}  // namespace sfs::harness

@@ -3,9 +3,13 @@
 // weight changes) with engine invariants checked throughout.  The point is not
 // a specific allocation but that no protocol invariant, accounting identity or
 // determinism property ever breaks.
+//
+// SFS_FUZZ_SEEDS bounds the seeds tried per policy (default 6); CI sets a
+// small value to keep the suite under a minute on slow runners.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -104,8 +108,18 @@ std::vector<Tick> RunOnce(SchedKind kind, std::uint64_t seed, Tick* idle_out,
   return services;
 }
 
+std::uint64_t FuzzSeedCount() {
+  if (const char* env = std::getenv("SFS_FUZZ_SEEDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::uint64_t>(parsed);
+    }
+  }
+  return 6;
+}
+
 TEST_P(EngineFuzzTest, AccountingAndDeterminismAcrossSeeds) {
-  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+  for (std::uint64_t seed = 1; seed <= FuzzSeedCount(); ++seed) {
     Tick idle_a = 0;
     Tick idle_b = 0;
     Tick cost_a = 0;
