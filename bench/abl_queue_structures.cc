@@ -58,7 +58,7 @@ double SortedListRepositionNs(std::size_t n, std::uint64_t seed) {
 
 double SkipListRepositionNs(std::size_t n, std::uint64_t seed) {
   std::vector<std::unique_ptr<Item>> items;
-  sfs::common::SkipList<Item, ByKey> list;
+  sfs::common::IndexedSkipList<Item, &Item::hook, ByKey> list;
   sfs::common::Rng rng(seed);
   for (std::size_t i = 0; i < n; ++i) {
     auto item = std::make_unique<Item>();

@@ -1,12 +1,11 @@
-// Deterministic skip list keyed like SortedList.
+// Deterministic indexed skip list keyed like SortedList.
 //
 // Section 3.2 notes the run-queue insertion cost "can be further reduced to
 // O(log t) if binary search is used to determine the insert position" — linked
 // lists cannot binary-search, but a skip list delivers the same bound with the
-// same ordering semantics.  This container mirrors SortedList's interface
-// (Insert / Remove / Front / PopFront / ForFirstK) so the two structures are
-// directly comparable; `bench/abl_queue_structures` measures the crossover on
-// the scheduler's charge-reposition pattern.
+// same ordering semantics.  IndexedSkipList is the O(log t) backend behind
+// sched::RunQueue; `bench/abl_queue_structures` measures its crossover against
+// SortedList on the scheduler's charge-reposition pattern.
 //
 // Tower heights come from an internal, fixed-seed generator, so behaviour is
 // fully deterministic.  The list does not own its elements.
@@ -17,131 +16,195 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <new>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
 
 #include "src/common/assert.h"
+#include "src/common/intrusive_list.h"
 
 namespace sfs::common {
 
-// KeyFn: struct with `static KeyType Key(const T&)`; KeyType totally ordered.
-// Equal keys keep insertion order (FIFO), like SortedList.
-template <typename T, typename KeyFn>
-class SkipList {
+// The O(log n) run-queue backend behind sched::RunQueue.  Beyond a textbook
+// skip list, it carries everything the schedulers' SortedList usage requires:
+//
+//   * removal *by element* even after the caller mutated the element's key
+//     (the schedulers' Reposition pattern updates tags first, then removes) —
+//     each tower node stores the key it was inserted under, and an element ->
+//     node index locates it in O(1);
+//   * O(1) next/prev/front/back/contains and backwards scans — the bottom
+//     level is threaded through the same intrusive ListHook the SortedList
+//     backend uses, so iteration never touches the towers or the index;
+//   * Clear() and Resort() for interface parity.
+//
+// Ordering semantics are identical to SortedList: ascending by KeyFn::Key with
+// FIFO order among equal keys (Insert and InsertFromBack both place new
+// elements after existing equals), which is the library-wide determinism
+// contract.  Tower heights come from a fixed-seed SplitMix64 generator and
+// the element index is never iterated, so behaviour is fully deterministic.
+// The list does not own its elements.
+template <typename T, ListHook T::*Hook, typename KeyFn>
+class IndexedSkipList {
  public:
   static constexpr int kMaxLevel = 16;
+  using Key = decltype(KeyFn::Key(std::declval<const T&>()));
 
-  SkipList() : rng_state_(0x9E3779B97F4A7C15ULL) {
-    head_ = NewNode(nullptr, kMaxLevel);
+  IndexedSkipList() : rng_state_(0x9E3779B97F4A7C15ULL) { head_ = NewNode(kMaxLevel); }
+
+  ~IndexedSkipList() {
+    Clear();
+    DeleteNode(head_);
   }
 
-  ~SkipList() {
-    Node* n = head_;
-    while (n != nullptr) {
-      Node* next = n->next[0];
-      DeleteNode(n);
-      n = next;
-    }
-  }
+  IndexedSkipList(const IndexedSkipList&) = delete;
+  IndexedSkipList& operator=(const IndexedSkipList&) = delete;
 
-  SkipList(const SkipList&) = delete;
-  SkipList& operator=(const SkipList&) = delete;
+  bool empty() const { return list_.empty(); }
+  std::size_t size() const { return list_.size(); }
 
-  bool empty() const { return head_->next[0] == nullptr; }
-  std::size_t size() const { return size_; }
+  T* front() { return list_.front(); }
+  const T* front() const { return list_.front(); }
+  T* back() { return list_.back(); }
+  const T* back() const { return list_.back(); }
+  bool contains(const T* elem) const { return list_.contains(elem); }
+  T* next(T* elem) { return list_.next(elem); }
+  T* prev(T* elem) { return list_.prev(elem); }
+  const T* next(const T* elem) const { return list_.next(elem); }
+  const T* prev(const T* elem) const { return list_.prev(elem); }
 
-  T* Front() {
-    Node* first = head_->next[0];
-    return first == nullptr ? nullptr : first->elem;
-  }
-
-  // Inserts keeping ascending key order; equal keys go after existing ones.
+  // Inserts keeping ascending key order; equal keys go after existing ones
+  // (FIFO among ties, matching SortedList).  O(log n).
   void Insert(T* elem) {
-    const auto key = KeyFn::Key(*elem);
+    const Key key = KeyFn::Key(*elem);
     std::array<Node*, kMaxLevel> update;
     Node* n = head_;
     for (int level = kMaxLevel - 1; level >= 0; --level) {
-      while (n->next[level] != nullptr && !(key < KeyFn::Key(*n->next[level]->elem))) {
+      while (n->next[level] != nullptr && !(key < n->next[level]->key)) {
         n = n->next[level];
       }
       update[static_cast<std::size_t>(level)] = n;
     }
     const int height = RandomHeight();
-    Node* node = NewNode(elem, height);
+    Node* node = NewNode(height);
+    node->elem = elem;
+    node->key = key;
     for (int level = 0; level < height; ++level) {
       node->next[level] = update[static_cast<std::size_t>(level)]->next[level];
       update[static_cast<std::size_t>(level)]->next[level] = node;
     }
-    ++size_;
+    // Bottom-level neighbour threading through the intrusive hook: update[0] is
+    // the last node with key <= elem's, i.e. the element's predecessor.
+    if (update[0] == head_) {
+      list_.push_front(elem);
+    } else {
+      list_.insert_after(update[0]->elem, elem);
+    }
+    const bool inserted = index_.emplace(elem, node).second;
+    SFS_CHECK(inserted);
   }
 
-  // Removes `elem`; CHECK-fails if absent.  O(log n) to locate the key run,
-  // then linear within equal keys.
+  // Removes `elem`; CHECK-fails if absent.  Valid even if the element's key
+  // changed since insertion (the node remembers the key it is filed under).
   void Remove(T* elem) {
-    const auto key = KeyFn::Key(*elem);
+    auto it = index_.find(elem);
+    SFS_CHECK(it != index_.end());
+    Node* target = it->second;
+    const Key key = target->key;
     std::array<Node*, kMaxLevel> update;
     Node* n = head_;
     for (int level = kMaxLevel - 1; level >= 0; --level) {
-      while (n->next[level] != nullptr && KeyFn::Key(*n->next[level]->elem) < key) {
+      while (n->next[level] != nullptr && n->next[level]->key < key) {
         n = n->next[level];
       }
       update[static_cast<std::size_t>(level)] = n;
     }
-    // Walk the equal-key run at the bottom until we find the exact element,
-    // keeping the update pointers in sync.
-    Node* target = update[0]->next[0];
-    while (target != nullptr && target->elem != elem &&
-           !(key < KeyFn::Key(*target->elem))) {
+    // Walk the equal-key run to the exact node, keeping the update pointers in
+    // sync (linear only within ties; keys with identity tie-breaks never tie).
+    Node* cur = update[0]->next[0];
+    while (cur != target) {
+      SFS_CHECK(cur != nullptr && !(key < cur->key));
       for (int level = 0; level < kMaxLevel; ++level) {
-        if (update[static_cast<std::size_t>(level)]->next[level] == target) {
-          update[static_cast<std::size_t>(level)] = target;
+        if (update[static_cast<std::size_t>(level)]->next[level] == cur) {
+          update[static_cast<std::size_t>(level)] = cur;
         }
       }
-      target = target->next[0];
+      cur = cur->next[0];
     }
-    SFS_CHECK(target != nullptr && target->elem == elem);
     for (int level = 0; level < kMaxLevel; ++level) {
       if (update[static_cast<std::size_t>(level)]->next[level] == target) {
         update[static_cast<std::size_t>(level)]->next[level] = target->next[level];
       }
     }
+    list_.erase(elem);
+    index_.erase(it);
     DeleteNode(target);
-    --size_;
   }
 
   T* PopFront() {
-    Node* first = head_->next[0];
-    if (first == nullptr) {
+    T* elem = list_.front();
+    if (elem == nullptr) {
       return nullptr;
     }
-    T* elem = first->elem;
-    for (int level = 0; level < kMaxLevel; ++level) {
-      if (head_->next[level] == first) {
-        head_->next[level] = first->next[level];
-      }
-    }
-    DeleteNode(first);
-    --size_;
+    Remove(elem);
     return elem;
   }
 
-  // Visits the first k elements in key order.
+  void Clear() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* following = n->next[0];
+      DeleteNode(n);
+      n = following;
+    }
+    for (int level = 0; level < kMaxLevel; ++level) {
+      head_->next[level] = nullptr;
+    }
+    index_.clear();
+    list_.clear();
+  }
+
+  // Re-snapshots every resident node's stored key from its element.  Required
+  // after an in-place key mutation that preserved the residents' relative
+  // order (uniform tag shifts; a refresh that already removed every
+  // out-of-order element): the tower structure is reused as-is, but later
+  // searches must compare against current keys.
+  void SyncKeys() {
+    for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      n->key = KeyFn::Key(*n->elem);
+    }
+    SFS_DCHECK(IsSorted());
+  }
+
+  // Visits the first / last k elements in key order; O(k) via the hooks.
   template <typename Fn>
   std::size_t ForFirstK(std::size_t k, Fn&& fn) {
     std::size_t visited = 0;
-    for (Node* n = head_->next[0]; n != nullptr && visited < k; n = n->next[0]) {
-      fn(n->elem);
+    for (T* cur = list_.front(); cur != nullptr && visited < k; cur = list_.next(cur)) {
+      fn(cur);
       ++visited;
     }
     return visited;
   }
 
-  // Debug helper: true iff keys are non-decreasing bottom-level order.
+  template <typename Fn>
+  std::size_t ForLastK(std::size_t k, Fn&& fn) {
+    std::size_t visited = 0;
+    for (T* cur = list_.back(); cur != nullptr && visited < k; cur = list_.prev(cur)) {
+      fn(cur);
+      ++visited;
+    }
+    return visited;
+  }
+
+  // Debug helper: true iff *current* keys are non-decreasing in list order.
   bool IsSorted() {
-    Node* n = head_->next[0];
-    while (n != nullptr && n->next[0] != nullptr) {
-      if (KeyFn::Key(*n->next[0]->elem) < KeyFn::Key(*n->elem)) {
+    const T* prev = nullptr;
+    for (T* cur = list_.front(); cur != nullptr; cur = list_.next(cur)) {
+      if (prev != nullptr && KeyFn::Key(*cur) < KeyFn::Key(*prev)) {
         return false;
       }
-      n = n->next[0];
+      prev = cur;
     }
     return true;
   }
@@ -149,16 +212,16 @@ class SkipList {
  private:
   struct Node {
     T* elem = nullptr;
-    // Variable-height tower; allocated with the node.
+    Key key{};
+    // Variable-height tower; allocated with the node (NewNode).
     Node* next[1];
   };
+  static_assert(std::is_trivially_destructible_v<Key>,
+                "nodes are freed without running Key destructors");
 
-  static Node* NewNode(T* elem, int height) {
-    // Over-allocate for the tower (height >= 1): nodes are raw storage, freed
-    // with DeleteNode.
+  static Node* NewNode(int height) {
     const std::size_t bytes = sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(height - 1);
-    Node* node = static_cast<Node*>(::operator new(bytes));
-    node->elem = elem;
+    Node* node = new (::operator new(bytes)) Node;
     for (int i = 0; i < height; ++i) {
       node->next[i] = nullptr;
     }
@@ -182,8 +245,9 @@ class SkipList {
     return height;
   }
 
-  Node* head_;
-  std::size_t size_ = 0;
+  Node* head_;  // sentinel: full-height towers only, no element
+  IntrusiveList<T, Hook> list_;
+  std::unordered_map<const T*, Node*> index_;
   std::uint64_t rng_state_;
 };
 

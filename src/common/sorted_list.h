@@ -34,6 +34,7 @@ class SortedList {
   T* front() { return list_.front(); }
   const T* front() const { return list_.front(); }
   T* back() { return list_.back(); }
+  const T* back() const { return list_.back(); }
   bool contains(const T* elem) const { return list_.contains(elem); }
   T* next(T* elem) { return list_.next(elem); }
   T* prev(T* elem) { return list_.prev(elem); }
@@ -76,12 +77,15 @@ class SortedList {
 
   // Re-establishes sorted order after keys changed, via insertion sort.  Near-linear
   // when the list is already mostly sorted (the common case after a virtual-time
-  // advance recomputes all surpluses; see Section 3.2).
-  void Resort() {
+  // advance recomputes all surpluses; see Section 3.2).  Returns the number of
+  // elements moved — an element moves exactly when its key dropped below the
+  // running maximum of the elements before it.
+  std::size_t Resort() {
     T* first = list_.front();
     if (first == nullptr) {
-      return;
+      return 0;
     }
+    std::size_t moved = 0;
     T* cur = list_.next(first);
     while (cur != nullptr) {
       T* following = list_.next(cur);
@@ -94,9 +98,11 @@ class SortedList {
         }
         list_.erase(cur);
         list_.insert_before(scan, cur);
+        ++moved;
       }
       cur = following;
     }
+    return moved;
   }
 
   // Repositions a single element whose key changed.  O(distance moved).

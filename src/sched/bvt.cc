@@ -4,7 +4,9 @@
 
 namespace sfs::sched {
 
-Bvt::Bvt(const SchedConfig& config) : GpsSchedulerBase(config) {}
+Bvt::Bvt(const SchedConfig& config) : GpsSchedulerBase(config) {
+  queue_.SetBackend(config.queue_backend);
+}
 
 Bvt::~Bvt() { queue_.Clear(); }
 

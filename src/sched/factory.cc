@@ -48,6 +48,25 @@ std::optional<SchedKind> ParseSchedKind(std::string_view name) {
   return std::nullopt;
 }
 
+std::string_view QueueBackendName(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kSortedList:
+      return "sorted_list";
+    case QueueBackend::kSkipList:
+      return "skip_list";
+  }
+  return "unknown";
+}
+
+std::optional<QueueBackend> ParseQueueBackend(std::string_view name) {
+  for (QueueBackend backend : {QueueBackend::kSortedList, QueueBackend::kSkipList}) {
+    if (name == QueueBackendName(backend)) {
+      return backend;
+    }
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<Scheduler> CreateScheduler(SchedKind kind, const SchedConfig& config) {
   switch (kind) {
     case SchedKind::kSfs: {

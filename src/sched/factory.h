@@ -29,6 +29,13 @@ std::string_view SchedKindName(SchedKind kind);
 // Parses a canonical name; nullopt if unknown.
 std::optional<SchedKind> ParseSchedKind(std::string_view name);
 
+// Canonical lower-case run-queue backend name ("sorted_list", "skip_list"),
+// used in benchmark output and experiment labels.
+std::string_view QueueBackendName(QueueBackend backend);
+
+// Parses a canonical backend name; nullopt if unknown.
+std::optional<QueueBackend> ParseQueueBackend(std::string_view name);
+
 // Constructs the scheduler.  SchedConfig::use_readjustment selects the
 // with/without-readjustment variants of the GPS baselines (SFS always readjusts).
 std::unique_ptr<Scheduler> CreateScheduler(SchedKind kind, const SchedConfig& config);

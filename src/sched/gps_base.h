@@ -30,7 +30,9 @@ class GpsSchedulerBase : public Scheduler {
 
  protected:
   explicit GpsSchedulerBase(const SchedConfig& config)
-      : Scheduler(config), arith_(config.fixed_point_digits) {}
+      : Scheduler(config), arith_(config.fixed_point_digits) {
+    weight_queue_.SetBackend(config.queue_backend);
+  }
 
   ~GpsSchedulerBase() override { weight_queue_.Clear(); }
 

@@ -58,12 +58,14 @@ HierarchicalSfs::HierarchicalSfs(const SchedConfig& config)
   root->id = kRootClass;
   root->weight = 1.0;
   root->share = 1.0;
+  root->members.SetBackend(config.queue_backend);
   nodes_.emplace(kRootClass, std::move(root));
 }
 
 HierarchicalSfs::~HierarchicalSfs() {
   for (auto& [id, node] : nodes_) {
-    node->members.clear();
+    node->members.Clear();
+    node->rr_members.clear();
   }
 }
 
@@ -77,6 +79,7 @@ void HierarchicalSfs::CreateClass(ClassId id, ClassId parent, Weight weight,
   node->parent = &parent_node;
   node->weight = weight;
   node->policy = policy;
+  node->members.SetBackend(config().queue_backend);
   parent_node.children.push_back(node.get());
   nodes_.emplace(id, std::move(node));
   RecomputeShares();
@@ -131,9 +134,17 @@ double HierarchicalSfs::LevelVirtualTime(const Node& n, const Node* exclude) con
     v = any ? std::min(v, child->start_tag) : child->start_tag;
     any = true;
   }
-  for (const Entity* e : n.members) {
-    v = any ? std::min(v, e->start_tag) : e->start_tag;
-    any = true;
+  if (n.policy == IntraClassPolicy::kSurplus) {
+    // The member queue is sorted by start tag: the minimum is the front.
+    if (const Entity* front = n.members.front(); front != nullptr) {
+      v = any ? std::min(v, front->start_tag) : front->start_tag;
+      any = true;
+    }
+  } else {
+    for (const Entity* e : n.rr_members) {
+      v = any ? std::min(v, e->start_tag) : e->start_tag;
+      any = true;
+    }
   }
   return any ? v : n.idle_vt;
 }
@@ -168,10 +179,19 @@ void HierarchicalSfs::RecomputeShares() {
         child->share = 0.0;
       }
     }
-    for (Entity* e : n->members) {
+    const auto add_member = [&](Entity* e) {
       thread_members.push_back(e);
       weights.push_back(e->weight);
       caps.push_back(bandwidth_cpus > 0.0 ? std::min(1.0, 1.0 / bandwidth_cpus) : 0.0);
+    };
+    if (n->policy == IntraClassPolicy::kSurplus) {
+      for (Entity* e = n->members.front(); e != nullptr; e = n->members.next(e)) {
+        add_member(e);
+      }
+    } else {
+      for (Entity* e : n->rr_members) {
+        add_member(e);
+      }
     }
 
     const std::vector<double> shares = WaterFill(weights, caps);
@@ -227,7 +247,11 @@ void HierarchicalSfs::OnAdmit(Entity& e) {
   thread_class_[e.tid] = cls_id;
   e.start_tag = std::max(e.finish_tag, LevelVirtualTime(cls));
   e.finish_tag = e.start_tag;
-  cls.members.push_back(&e);
+  if (cls.policy == IntraClassPolicy::kSurplus) {
+    cls.members.Insert(&e);
+  } else {
+    cls.rr_members.push_back(&e);
+  }
   PropagateRunnable(cls, +1);
   PropagateEligible(cls, +1);
   RecomputeShares();
@@ -236,7 +260,11 @@ void HierarchicalSfs::OnAdmit(Entity& e) {
 void HierarchicalSfs::OnRemove(Entity& e) {
   Node& cls = NodeOf(e);
   if (e.runnable) {
-    cls.members.erase(&e);
+    if (cls.policy == IntraClassPolicy::kSurplus) {
+      cls.members.Remove(&e);
+    } else {
+      cls.rr_members.erase(&e);
+    }
     PropagateRunnable(cls, -1);
     PropagateEligible(cls, -1);
     RecomputeShares();
@@ -246,7 +274,11 @@ void HierarchicalSfs::OnRemove(Entity& e) {
 
 void HierarchicalSfs::OnBlocked(Entity& e) {
   Node& cls = NodeOf(e);
-  cls.members.erase(&e);
+  if (cls.policy == IntraClassPolicy::kSurplus) {
+    cls.members.Remove(&e);
+  } else {
+    cls.rr_members.erase(&e);
+  }
   cls.idle_vt = std::max(cls.idle_vt, e.finish_tag);
   PropagateRunnable(cls, -1);
   PropagateEligible(cls, -1);
@@ -256,7 +288,11 @@ void HierarchicalSfs::OnBlocked(Entity& e) {
 void HierarchicalSfs::OnWoken(Entity& e) {
   Node& cls = NodeOf(e);
   e.start_tag = std::max(e.finish_tag, LevelVirtualTime(cls));
-  cls.members.push_back(&e);
+  if (cls.policy == IntraClassPolicy::kSurplus) {
+    cls.members.Insert(&e);
+  } else {
+    cls.rr_members.push_back(&e);
+  }
   PropagateRunnable(cls, +1);
   PropagateEligible(cls, +1);
   RecomputeShares();
@@ -299,7 +335,7 @@ Entity* HierarchicalSfs::PickNextEntity(CpuId cpu) {
       // rotates the member to the back).  A round-robin member competes against
       // child classes at surplus 0 - epsilon of nothing: compare with the best
       // class using surplus 0 (the member queue as a whole is at its turn).
-      for (Entity* e : n->members) {
+      for (Entity* e : n->rr_members) {
         if (!e->running) {
           if (better(0.0)) {
             best_surplus = 0.0;
@@ -310,7 +346,7 @@ Entity* HierarchicalSfs::PickNextEntity(CpuId cpu) {
         }
       }
     } else {
-      for (Entity* e : n->members) {
+      for (Entity* e = n->members.front(); e != nullptr; e = n->members.next(e)) {
         if (e->running) {
           continue;
         }
@@ -340,8 +376,12 @@ void HierarchicalSfs::OnCharge(Entity& e, Tick ran_for) {
   e.start_tag = e.finish_tag;
   if (cls.policy == IntraClassPolicy::kRoundRobin) {
     // Rotate to the back of the member FIFO.
-    cls.members.erase(&e);
-    cls.members.push_back(&e);
+    cls.rr_members.erase(&e);
+    cls.rr_members.push_back(&e);
+  } else {
+    // The start tag grew: restore the member queue's sorted order.
+    cls.members.Remove(&e);
+    cls.members.InsertFromBack(&e);
   }
   // Every ancestor class's tags at its own level.
   for (Node* n = &cls; n->parent != nullptr; n = n->parent) {

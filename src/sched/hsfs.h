@@ -34,9 +34,11 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/intrusive_list.h"
+#include "src/sched/run_queue.h"
 #include "src/sched/scheduler.h"
 #include "src/sched/tag_arith.h"
 
@@ -55,6 +57,13 @@ inline constexpr ClassId kInvalidClass = -1;
 enum class IntraClassPolicy {
   kSurplus,     // weighted surplus scheduling (default; flat-SFS semantics)
   kRoundRobin,  // equal turns regardless of member weights
+};
+
+// Key for a surplus-policy class's member queue: ascending start tag with the
+// library-wide thread-id tie-break, so the class-level virtual time is the
+// front element and iteration order is a deterministic total order.
+struct HsfsByStartAsc {
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag, e.tid}; }
 };
 
 class HierarchicalSfs : public Scheduler {
@@ -123,8 +132,13 @@ class HierarchicalSfs : public Scheduler {
     Tick total_service = 0;   // aggregate leaf service (survives departures)
     double idle_vt = 0.0;     // level virtual time frozen while nothing runnable
 
-    // Threads directly attached to this class that are runnable.
-    common::IntrusiveList<Entity, &Entity::by_rq> members;
+    // Runnable threads directly attached to this class.  Surplus-policy
+    // classes keep them sorted by (start tag, tid) on the backend-selectable
+    // run queue — the level virtual time is then the front element.
+    // Round-robin classes need rotation order, which no key expresses, so they
+    // keep the FIFO list; exactly one of the two is populated, per `policy`.
+    RunQueue<Entity, &Entity::by_rq, HsfsByStartAsc> members;
+    common::IntrusiveList<Entity, &Entity::by_rq> rr_members;
   };
 
   Node& FindNode(ClassId id);

@@ -12,6 +12,9 @@ PartitionedSfq::PartitionedSfq(const SchedConfig& config, int rebalance_every)
       partitions_(static_cast<std::size_t>(config.num_cpus)),
       rebalance_every_(rebalance_every) {
   SFS_CHECK(rebalance_every >= 0);
+  for (Partition& p : partitions_) {
+    p.queue.SetBackend(config.queue_backend);
+  }
 }
 
 PartitionedSfq::~PartitionedSfq() {

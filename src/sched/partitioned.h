@@ -25,7 +25,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/common/sorted_list.h"
+#include "src/sched/run_queue.h"
 #include "src/sched/scheduler.h"
 #include "src/sched/tag_arith.h"
 
@@ -61,7 +61,7 @@ class PartitionedSfq : public Scheduler {
   struct ByStartAsc {
     static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag, e.tid}; }
   };
-  using Queue = common::SortedList<Entity, &Entity::by_start, ByStartAsc>;
+  using Queue = RunQueue<Entity, &Entity::by_start, ByStartAsc>;
 
   struct Partition {
     Queue queue;

@@ -31,8 +31,8 @@
 #include <utility>
 #include <vector>
 
-#include "src/common/sorted_list.h"
 #include "src/sched/entity.h"
+#include "src/sched/run_queue.h"
 
 namespace sfs::sched {
 
@@ -42,7 +42,7 @@ namespace sfs::sched {
 struct ByWeightDesc {
   static std::pair<double, ThreadId> Key(const Entity& e) { return {-e.weight, e.tid}; }
 };
-using WeightQueue = common::SortedList<Entity, &Entity::by_weight, ByWeightDesc>;
+using WeightQueue = RunQueue<Entity, &Entity::by_weight, ByWeightDesc>;
 
 // Recursive reference implementation (Figure 2).  `weights` must be sorted in
 // descending order; returns the instantaneous weights in the same order.

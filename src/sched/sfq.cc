@@ -4,7 +4,9 @@
 
 namespace sfs::sched {
 
-Sfq::Sfq(const SchedConfig& config) : GpsSchedulerBase(config) {}
+Sfq::Sfq(const SchedConfig& config) : GpsSchedulerBase(config) {
+  queue_.SetBackend(config.queue_backend);
+}
 
 Sfq::~Sfq() { queue_.Clear(); }
 

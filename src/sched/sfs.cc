@@ -9,6 +9,8 @@ namespace sfs::sched {
 Sfs::Sfs(const SchedConfig& config) : GpsSchedulerBase(config) {
   SFS_CHECK(config.heuristic_k >= 0);
   SFS_CHECK(config.heuristic_refresh_period > 0);
+  start_queue_.SetBackend(config.queue_backend);
+  surplus_queue_.SetBackend(config.queue_backend);
 }
 
 Sfs::~Sfs() {
@@ -137,10 +139,12 @@ CpuId Sfs::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
       continue;
     }
     const Entity& r = FindEntity(running);
-    // Surplus the running thread would have if charged right now (its start tag
-    // advances by elapsed / phi, so its surplus grows by ~elapsed).
-    const double s = FreshSurplus(r, v) +
-                     arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi) * r.phi;
+    // Surplus the running thread would have if charged right now: its start tag
+    // advances by elapsed / phi, so in the fluid model its surplus alpha =
+    // phi * (S - v) grows by exactly `elapsed`.  (Round-tripping elapsed
+    // through the fixed-point WeightedService quantization and multiplying phi
+    // back would distort the projection and can pick the wrong victim.)
+    const double s = FreshSurplus(r, v) + static_cast<double>(elapsed[static_cast<std::size_t>(cpu)]);
     if (s > worst) {
       worst = s;
       victim = cpu;
@@ -161,10 +165,17 @@ void Sfs::DequeueRunnable(Entity& e) {
 }
 
 void Sfs::RefreshSurpluses(double v) {
-  for (Entity* e = start_queue_.front(); e != nullptr; e = start_queue_.next(e)) {
+  // Incremental refresh: recompute every surplus in place, then let the queue
+  // reposition only the entities whose order actually changed.  Between
+  // refreshes surpluses shift by -phi_i * dv, so relative order moves only
+  // across different phis and the queue stays almost sorted — Resort() is
+  // near-linear on both backends and O(log t) per misplaced entity on the
+  // skip list, and yields the same total (surplus, tid) order a full sort
+  // would, so dispatch decisions are unchanged.
+  for (Entity* e = surplus_queue_.front(); e != nullptr; e = surplus_queue_.next(e)) {
     e->surplus = FreshSurplus(*e, v);
   }
-  surplus_queue_.Resort();
+  refresh_repositions_ += static_cast<std::int64_t>(surplus_queue_.Resort());
   last_refresh_v_ = v;
   need_refresh_ = false;
   decisions_since_refresh_ = 0;
@@ -175,18 +186,29 @@ void Sfs::MaybeRebase(double v) {
   if (v <= config().tag_rebase_threshold) {
     return;
   }
-  // Shift all tags (including blocked threads' finish tags, which seed S on
-  // wakeup) down by the minimum start tag.  Orderings and surpluses are
-  // invariant; queue structures need no resort.
+  // Shift all tags down by `v` — the minimum start tag over runnable threads,
+  // by definition of the virtual time — so the new virtual time is 0.
+  // Orderings and surpluses are invariant under the uniform shift; queue
+  // structures need no resort.  Two values need care:
+  //   * a blocked thread's finish tag can lie below v and would drift toward
+  //     -inf over repeated rebases; since wakeup applies S = max(F, v') with
+  //     v' >= 0 after the shift, clamping such tags at 0 is behaviour-
+  //     identical and keeps them bounded;
+  //   * `last_refresh_v_` must shift with the tags unconditionally, or the
+  //     `VirtualTime() != last_refresh_v_` refresh check desynchronizes and
+  //     every subsequent decision pays a spurious full refresh.
   const double delta = v;
   ForEachEntity([delta](Entity& e) {
     e.start_tag -= delta;
     e.finish_tag -= delta;
+    if (!e.runnable && e.finish_tag < 0.0) {
+      e.finish_tag = 0.0;
+    }
   });
   idle_virtual_time_ = std::max(0.0, idle_virtual_time_ - delta);
-  if (last_refresh_v_ >= 0.0) {
-    last_refresh_v_ -= delta;
-  }
+  last_refresh_v_ -= delta;
+  // Start tags shifted in place; surpluses are untouched by the shift.
+  start_queue_.SyncKeys();
   ++rebases_;
 }
 

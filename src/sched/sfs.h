@@ -22,9 +22,12 @@
 //
 // Engineering faithful to Section 3:
 //   * three sorted queues (descending weight — in GpsSchedulerBase; ascending start
-//     tag; ascending surplus);
-//   * surpluses are recomputed and the surplus queue re-sorted (insertion sort)
-//     only when the virtual time advances or weights were readjusted;
+//     tag; ascending surplus), each on the backend selected by
+//     SchedConfig::queue_backend (paper-faithful sorted list, or the O(log t)
+//     indexed skip list of Section 3.2's "binary search" remark);
+//   * surpluses are recomputed — and only the entities whose queue order
+//     actually changed repositioned — when the virtual time advances or
+//     weights were readjusted;
 //   * optional scheduling heuristic: examine the first k threads of the start-tag
 //     and surplus queues and the last k of the weight queue, pick the least fresh
 //     surplus among them (Figure 3 measures its accuracy);
@@ -37,9 +40,10 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
-#include "src/common/sorted_list.h"
 #include "src/sched/gps_base.h"
+#include "src/sched/run_queue.h"
 
 namespace sfs::sched {
 
@@ -50,8 +54,8 @@ struct BySurplusAsc {
   static std::pair<double, ThreadId> Key(const Entity& e) { return {e.surplus, e.tid}; }
 };
 
-using StartTagQueue = common::SortedList<Entity, &Entity::by_start, ByStartTagAsc>;
-using SurplusQueue = common::SortedList<Entity, &Entity::by_surplus, BySurplusAsc>;
+using StartTagQueue = RunQueue<Entity, &Entity::by_start, ByStartTagAsc>;
+using SurplusQueue = RunQueue<Entity, &Entity::by_surplus, BySurplusAsc>;
 
 class Sfs : public GpsSchedulerBase {
  public:
@@ -97,6 +101,9 @@ class Sfs : public GpsSchedulerBase {
   std::int64_t decisions() const { return decisions_; }
   std::int64_t full_refreshes() const { return full_refreshes_; }
   std::int64_t rebases() const { return rebases_; }
+  // Entities re-inserted by the incremental surplus refresh (the entities whose
+  // surplus-queue order actually changed); everything else kept its position.
+  std::int64_t refresh_repositions() const { return refresh_repositions_; }
 
  protected:
   void OnAdmit(Entity& e) override;
@@ -113,8 +120,9 @@ class Sfs : public GpsSchedulerBase {
   void EnqueueRunnable(Entity& e);
   void DequeueRunnable(Entity& e);
 
-  // Recomputes every runnable surplus against `v` and insertion-sorts the surplus
-  // queue (the O(t log t) slow path of Section 3.2).
+  // Recomputes every runnable surplus against `v` and incrementally restores
+  // surplus-queue order: only entities whose new key breaks the ascending run
+  // are pulled out and re-inserted (O(log t) each on the skip-list backend).
   void RefreshSurpluses(double v);
 
   // Applies Section 3.2's wrap-around handling when v crosses the rebase
@@ -137,15 +145,18 @@ class Sfs : public GpsSchedulerBase {
 
   // Virtual time bookkeeping.  `idle_virtual_time_` implements "the virtual time
   // ... is set to the finish tag of the thread that ran last" when no thread is
-  // runnable.
+  // runnable.  `need_refresh_` starts true so `last_refresh_v_` is only ever
+  // compared after a refresh stored a real virtual time; MaybeRebase shifts it
+  // together with the tags so the comparison stays in sync across rebases.
   double idle_virtual_time_ = 0.0;
-  double last_refresh_v_ = -1.0;
+  double last_refresh_v_ = 0.0;
   bool need_refresh_ = true;
 
   int decisions_since_refresh_ = 0;
   std::int64_t decisions_ = 0;
   std::int64_t full_refreshes_ = 0;
   std::int64_t rebases_ = 0;
+  std::int64_t refresh_repositions_ = 0;
 };
 
 }  // namespace sfs::sched

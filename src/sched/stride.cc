@@ -4,7 +4,9 @@
 
 namespace sfs::sched {
 
-Stride::Stride(const SchedConfig& config) : GpsSchedulerBase(config) {}
+Stride::Stride(const SchedConfig& config) : GpsSchedulerBase(config) {
+  queue_.SetBackend(config.queue_backend);
+}
 
 Stride::~Stride() { queue_.Clear(); }
 

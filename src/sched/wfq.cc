@@ -4,7 +4,9 @@
 
 namespace sfs::sched {
 
-Wfq::Wfq(const SchedConfig& config) : GpsSchedulerBase(config) {}
+Wfq::Wfq(const SchedConfig& config) : GpsSchedulerBase(config) {
+  queue_.SetBackend(config.queue_backend);
+}
 
 Wfq::~Wfq() { queue_.Clear(); }
 

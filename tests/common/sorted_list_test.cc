@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -65,6 +66,52 @@ TEST(SortedListTest, InsertFromBackEquivalentOrder) {
   EXPECT_EQ(Ids(q), (std::vector<int>{2, 1, 3}));
   EXPECT_TRUE(q.IsSorted());
   q.Clear();
+}
+
+TEST(SortedListTest, InsertFromBackTieParityWithInsert) {
+  // Sfs::OnCharge re-queues via InsertFromBack while admissions use Insert;
+  // determinism requires both paths to file an equal key *after* the existing
+  // ties (FIFO among ties), i.e. the back-scan must stop at the last equal
+  // element and insert after it, never before.
+  Queue q;
+  Item a{1.0, 1}, b{1.0, 2}, c{1.0, 3};
+  q.Insert(&a);
+  q.Insert(&b);
+  q.InsertFromBack(&c);  // equal key via the back path: after a and b
+  EXPECT_EQ(Ids(q), (std::vector<int>{1, 2, 3}));
+  q.Clear();
+
+  // Equal keys at the very front: the back-scan walks past larger keys and
+  // must still land after the existing equals.
+  Item d{1.0, 1}, e{1.0, 2}, f{5.0, 3}, g{1.0, 4};
+  q.Insert(&d);
+  q.Insert(&e);
+  q.Insert(&f);
+  q.InsertFromBack(&g);
+  EXPECT_EQ(Ids(q), (std::vector<int>{1, 2, 4, 3}));
+  q.Clear();
+}
+
+TEST(SortedListTest, InsertAndInsertFromBackInterleavedIdenticalOrder) {
+  // The same mixed sequence of duplicate keys through both insertion paths
+  // must produce element-for-element identical lists.
+  const double keys[] = {2.0, 1.0, 2.0, 3.0, 2.0, 1.0, 3.0, 2.0};
+  std::vector<Item> front_items(std::size(keys));
+  std::vector<Item> back_items(std::size(keys));
+  Queue via_front;
+  Queue via_back;
+  for (std::size_t i = 0; i < std::size(keys); ++i) {
+    front_items[i].key = keys[i];
+    front_items[i].id = static_cast<int>(i);
+    back_items[i].key = keys[i];
+    back_items[i].id = static_cast<int>(i);
+    via_front.Insert(&front_items[i]);
+    via_back.InsertFromBack(&back_items[i]);
+  }
+  EXPECT_EQ(Ids(via_front), Ids(via_back));
+  EXPECT_EQ(Ids(via_front), (std::vector<int>{1, 5, 0, 2, 4, 7, 3, 6}));
+  via_front.Clear();
+  via_back.Clear();
 }
 
 TEST(SortedListTest, RemoveAndPopFront) {

@@ -6,6 +6,8 @@
 //
 // SFS_FUZZ_SEEDS bounds the seeds tried per policy (default 6); CI sets a
 // small value to keep the suite under a minute on slow runners.
+// SFS_FUZZ_QUEUE_BACKEND ("sorted_list" / "skip_list") pins the run-queue
+// backend; unset, each seed draws one at random so both are fuzzed.
 
 #include <gtest/gtest.h>
 
@@ -32,6 +34,14 @@ std::vector<Tick> RunOnce(SchedKind kind, std::uint64_t seed, Tick* idle_out,
   sched::SchedConfig config;
   config.num_cpus = static_cast<int>(rng.UniformInt(1, 4));
   config.quantum = Msec(rng.UniformInt(5, 200));
+  // Fuzz both run-queue backends: per-seed draw, overridable via env.
+  config.queue_backend =
+      rng.Bernoulli(0.5) ? sched::QueueBackend::kSkipList : sched::QueueBackend::kSortedList;
+  if (const char* env = std::getenv("SFS_FUZZ_QUEUE_BACKEND"); env != nullptr) {
+    const auto parsed = sched::ParseQueueBackend(env);
+    EXPECT_TRUE(parsed.has_value()) << "bad SFS_FUZZ_QUEUE_BACKEND: " << env;
+    config.queue_backend = parsed.value_or(config.queue_backend);
+  }
   auto scheduler = CreateScheduler(kind, config);
 
   sim::EngineConfig engine_config;

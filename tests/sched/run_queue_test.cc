@@ -1,0 +1,199 @@
+// RunQueue backend parity: the sorted-list and skip-list backends must expose
+// identical observable state — order, neighbours, ends, bounded scans — after
+// any operation sequence, including removals after key mutation (the
+// schedulers' tag-update-then-reposition pattern).  This is the container-level
+// half of the determinism contract; the scheduler-level half lives in
+// backend_differential_test.cc.
+
+#include "src/sched/run_queue.h"
+
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+
+namespace sfs::sched {
+namespace {
+
+struct Item {
+  double key = 0.0;
+  int id = 0;
+  common::ListHook hook;
+};
+
+struct ByKeyThenId {
+  static std::pair<double, int> Key(const Item& item) { return {item.key, item.id}; }
+};
+
+using Queue = RunQueue<Item, &Item::hook, ByKeyThenId>;
+
+std::vector<int> IdsInOrder(Queue& q) {
+  std::vector<int> ids;
+  for (Item* cur = q.front(); cur != nullptr; cur = q.next(cur)) {
+    ids.push_back(cur->id);
+  }
+  return ids;
+}
+
+std::vector<int> IdsBackwards(Queue& q) {
+  std::vector<int> ids;
+  for (Item* cur = q.back(); cur != nullptr; cur = q.prev(cur)) {
+    ids.push_back(cur->id);
+  }
+  return ids;
+}
+
+TEST(RunQueueTest, SkipListBackendBasicOrder) {
+  Queue q;
+  q.SetBackend(QueueBackend::kSkipList);
+  std::vector<Item> items(5);
+  const double keys[] = {3.0, 1.0, 4.0, 1.5, 2.0};
+  for (int i = 0; i < 5; ++i) {
+    items[static_cast<std::size_t>(i)].key = keys[i];
+    items[static_cast<std::size_t>(i)].id = i;
+    q.Insert(&items[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(IdsInOrder(q), (std::vector<int>{1, 3, 4, 0, 2}));
+  EXPECT_EQ(IdsBackwards(q), (std::vector<int>{2, 0, 4, 3, 1}));
+  EXPECT_TRUE(q.IsSorted());
+  EXPECT_EQ(q.front()->id, 1);
+  EXPECT_EQ(q.back()->id, 2);
+  EXPECT_TRUE(q.contains(&items[2]));
+  q.Remove(&items[2]);
+  EXPECT_FALSE(q.contains(&items[2]));
+  EXPECT_EQ(q.size(), 4u);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RunQueueTest, SkipListRemoveAfterKeyMutation) {
+  // The schedulers mutate tags first, then call Remove/Reposition; the skip
+  // list must still locate the element via its insert-time key.
+  Queue q;
+  q.SetBackend(QueueBackend::kSkipList);
+  std::vector<Item> items(8);
+  for (int i = 0; i < 8; ++i) {
+    items[static_cast<std::size_t>(i)].key = static_cast<double>(i);
+    items[static_cast<std::size_t>(i)].id = i;
+    q.Insert(&items[static_cast<std::size_t>(i)]);
+  }
+  items[3].key = 100.0;  // stale position, new key
+  q.Remove(&items[3]);
+  EXPECT_EQ(q.size(), 7u);
+  q.Insert(&items[3]);
+  EXPECT_EQ(q.back()->id, 3);
+  items[3].key = -1.0;
+  q.Reposition(&items[3]);
+  EXPECT_EQ(q.front()->id, 3);
+  EXPECT_TRUE(q.IsSorted());
+  q.Clear();
+}
+
+TEST(RunQueueTest, BackendsAgreeUnderRandomOperations) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    Queue sorted;
+    Queue skip;
+    skip.SetBackend(QueueBackend::kSkipList);
+    common::Rng rng(seed);
+
+    constexpr int kItems = 64;
+    std::vector<Item> a(kItems);
+    std::vector<Item> b(kItems);
+    std::vector<bool> present(kItems, false);
+    for (int i = 0; i < kItems; ++i) {
+      a[static_cast<std::size_t>(i)].id = i;
+      b[static_cast<std::size_t>(i)].id = i;
+    }
+
+    const auto set_key = [&](int i, double key) {
+      a[static_cast<std::size_t>(i)].key = key;
+      b[static_cast<std::size_t>(i)].key = key;
+    };
+
+    for (int op = 0; op < 4000; ++op) {
+      const int i = static_cast<int>(rng.UniformInt(0, kItems - 1));
+      const auto choice = rng.UniformInt(0, 5);
+      if (!present[static_cast<std::size_t>(i)] && choice <= 2) {
+        // Duplicate keys on purpose: FIFO-among-ties must match too.
+        set_key(i, static_cast<double>(rng.UniformInt(0, 15)));
+        sorted.Insert(&a[static_cast<std::size_t>(i)]);
+        skip.Insert(&b[static_cast<std::size_t>(i)]);
+        present[static_cast<std::size_t>(i)] = true;
+      } else if (present[static_cast<std::size_t>(i)] && choice == 3) {
+        sorted.Remove(&a[static_cast<std::size_t>(i)]);
+        skip.Remove(&b[static_cast<std::size_t>(i)]);
+        present[static_cast<std::size_t>(i)] = false;
+      } else if (present[static_cast<std::size_t>(i)] && choice == 4) {
+        // Reposition after key mutation, via the OnCharge pattern.
+        set_key(i, a[static_cast<std::size_t>(i)].key +
+                       static_cast<double>(rng.UniformInt(1, 10)));
+        sorted.Remove(&a[static_cast<std::size_t>(i)]);
+        sorted.InsertFromBack(&a[static_cast<std::size_t>(i)]);
+        skip.Remove(&b[static_cast<std::size_t>(i)]);
+        skip.InsertFromBack(&b[static_cast<std::size_t>(i)]);
+      } else if (choice == 5 && !sorted.empty()) {
+        Item* fa = sorted.PopFront();
+        Item* fb = skip.PopFront();
+        ASSERT_EQ(fa->id, fb->id);
+        present[static_cast<std::size_t>(fa->id)] = false;
+      }
+
+      ASSERT_EQ(sorted.size(), skip.size());
+      ASSERT_EQ(IdsInOrder(sorted), IdsInOrder(skip)) << "seed " << seed << " op " << op;
+    }
+
+    // Bounded scans and backwards iteration agree at the end state.
+    std::vector<int> first_a;
+    std::vector<int> first_b;
+    sorted.ForFirstK(10, [&first_a](Item* item) { first_a.push_back(item->id); });
+    skip.ForFirstK(10, [&first_b](Item* item) { first_b.push_back(item->id); });
+    EXPECT_EQ(first_a, first_b);
+    std::vector<int> last_a;
+    std::vector<int> last_b;
+    sorted.ForLastK(10, [&last_a](Item* item) { last_a.push_back(item->id); });
+    skip.ForLastK(10, [&last_b](Item* item) { last_b.push_back(item->id); });
+    EXPECT_EQ(last_a, last_b);
+    EXPECT_EQ(IdsBackwards(sorted), IdsBackwards(skip));
+    EXPECT_TRUE(sorted.IsSorted());
+    EXPECT_TRUE(skip.IsSorted());
+
+    sorted.Clear();
+    skip.Clear();
+  }
+}
+
+TEST(RunQueueTest, ResortAgreesAcrossBackends) {
+  Queue sorted;
+  Queue skip;
+  skip.SetBackend(QueueBackend::kSkipList);
+  constexpr int kItems = 32;
+  std::vector<Item> a(kItems);
+  std::vector<Item> b(kItems);
+  common::Rng rng(99);
+  for (int i = 0; i < kItems; ++i) {
+    const double key = static_cast<double>(rng.UniformInt(0, 10));
+    a[static_cast<std::size_t>(i)].key = key;
+    a[static_cast<std::size_t>(i)].id = i;
+    b[static_cast<std::size_t>(i)].key = key;
+    b[static_cast<std::size_t>(i)].id = i;
+    sorted.Insert(&a[static_cast<std::size_t>(i)]);
+    skip.Insert(&b[static_cast<std::size_t>(i)]);
+  }
+  // Perturb every key, then resort both.
+  for (int i = 0; i < kItems; ++i) {
+    const double key = static_cast<double>(rng.UniformInt(0, 10));
+    a[static_cast<std::size_t>(i)].key = key;
+    b[static_cast<std::size_t>(i)].key = key;
+  }
+  sorted.Resort();
+  skip.Resort();
+  EXPECT_TRUE(sorted.IsSorted());
+  EXPECT_TRUE(skip.IsSorted());
+  EXPECT_EQ(IdsInOrder(sorted), IdsInOrder(skip));
+  sorted.Clear();
+  skip.Clear();
+}
+
+}  // namespace
+}  // namespace sfs::sched
