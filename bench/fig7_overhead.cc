@@ -11,6 +11,8 @@
 // Wall-clock measurements flow through Reporter::Timing, so the JSON document
 // stays deterministic unless --timing is given.
 
+#include <array>
+#include <cstdint>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -19,10 +21,12 @@
 #include "src/harness/registry.h"
 #include "src/harness/runner.h"
 #include "src/sched/factory.h"
+#include "src/sched/sharded.h"
 
 namespace {
 
 using sfs::harness::DoNotOptimize;
+using sfs::sched::CpuId;
 using sfs::sched::CreateScheduler;
 using sfs::sched::SchedConfig;
 using sfs::sched::SchedKind;
@@ -46,11 +50,67 @@ double RescheduleNsPerOp(SchedKind kind, int heuristic_k, int threads) {
   });
 }
 
+// Deterministic sharded-SFS drive: phases that drain shard 0 (blocking every
+// thread homed there, forcing CPU 0 to steal) alternate with wake phases
+// (re-imbalancing the weights so the periodic rebalancer moves threads).  A
+// pure function of nothing, so the counters may enter the JSON as Metrics.
+struct ShardedCounters {
+  std::int64_t decisions = 0;
+  std::int64_t steals = 0;
+  std::int64_t rebalance_migrations = 0;
+};
+
+ShardedCounters DriveShardedCounters() {
+  SchedConfig config;
+  config.num_cpus = 2;
+  config.shard_rebalance_period = 32;
+  auto scheduler = CreateScheduler(SchedKind::kShardedSfs, config);
+  auto* sharded = static_cast<sfs::sched::ShardedScheduler*>(scheduler.get());
+  constexpr ThreadId kThreads = 8;
+  for (ThreadId tid = 0; tid < kThreads; ++tid) {
+    scheduler->AddThread(tid, 1.0 + (tid % 3));
+  }
+  std::array<ThreadId, 2> running = {sfs::sched::kInvalidThread, sfs::sched::kInvalidThread};
+  ShardedCounters counters;
+  for (int round = 0; round < 300; ++round) {
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+      if (running[static_cast<std::size_t>(cpu)] != sfs::sched::kInvalidThread) {
+        scheduler->Charge(running[static_cast<std::size_t>(cpu)], sfs::Msec(1 + round % 7));
+      }
+    }
+    if (round % 40 == 10) {
+      for (ThreadId tid = 0; tid < kThreads; ++tid) {
+        if (scheduler->IsRunnable(tid) && !scheduler->IsRunning(tid) &&
+            sharded->ShardOf(tid) == 0) {
+          scheduler->Block(tid);
+        }
+      }
+    } else if (round % 40 == 30) {
+      for (ThreadId tid = 0; tid < kThreads; ++tid) {
+        if (!scheduler->IsRunnable(tid)) {
+          scheduler->Wakeup(tid);
+        }
+      }
+    }
+    // CPU 1 (the victim side) dispatches first so its shard is busy when the
+    // drained CPU 0 looks for a steal (idle-source shards are never robbed).
+    for (const CpuId cpu : {CpuId{1}, CpuId{0}}) {
+      running[static_cast<std::size_t>(cpu)] = scheduler->PickNext(cpu);
+      if (running[static_cast<std::size_t>(cpu)] != sfs::sched::kInvalidThread) {
+        ++counters.decisions;
+      }
+    }
+  }
+  counters.steals = scheduler->steals();
+  counters.rebalance_migrations = scheduler->shard_migrations();
+  return counters;
+}
+
 }  // namespace
 
 SFS_EXPERIMENT(fig7_overhead,
                .description = "Figure 7: reschedule cost vs runnable processes (wall-clock)",
-               .schedulers = {"timeshare", "sfs", "sfq"},
+               .schedulers = {"timeshare", "sfs", "sfq", "sharded-sfs"},
                .repetitions = 1, .warmup = 1, .deterministic = false) {
   using sfs::common::Table;
 
@@ -67,6 +127,7 @@ SFS_EXPERIMENT(fig7_overhead,
       {"sfs_exact", SchedKind::kSfs, 0},
       {"sfs_heuristic_k20", SchedKind::kSfs, 20},
       {"sfq", SchedKind::kSfq, 0},
+      {"sharded_sfs", SchedKind::kShardedSfs, 0},
   };
   // 2..50 processes, matching the x-axis of Figure 7 (plus larger counts to
   // show the asymptotic trend the heuristic flattens).
@@ -83,9 +144,20 @@ SFS_EXPERIMENT(fig7_overhead,
   }
   table.Print(reporter.out());
   reporter.out() << "\nPaper's shape: SFS costs more than time sharing and grows with the\n"
-                 << "run-queue length; the k-bounded heuristic flattens the growth; all are\n"
-                 << "negligible against the 200 ms quantum.\n";
+                 << "run-queue length; the k-bounded heuristic flattens the growth (and the\n"
+                 << "sharded variant keeps each decision shard-local); all are negligible\n"
+                 << "against the 200 ms quantum.\n";
   reporter.Metric("schedulers_measured", static_cast<std::int64_t>(std::size(configs)));
   reporter.Metric("process_counts_measured",
                   static_cast<std::int64_t>(std::size(process_counts)));
+
+  // Deterministic sharded counters: steals and rebalance migrations from a
+  // fixed drain/wake drive (seed-independent, so plain Metrics).
+  const ShardedCounters sharded = DriveShardedCounters();
+  reporter.out() << "sharded-SFS drain/wake drive: " << sharded.decisions << " decisions, "
+                 << sharded.steals << " steals, " << sharded.rebalance_migrations
+                 << " rebalance migrations\n";
+  reporter.Metric("sharded_sfs_decisions", sharded.decisions);
+  reporter.Metric("sharded_sfs_steals", sharded.steals);
+  reporter.Metric("sharded_sfs_rebalance_migrations", sharded.rebalance_migrations);
 }

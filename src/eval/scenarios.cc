@@ -391,4 +391,129 @@ RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, 
   return result;
 }
 
+ShardedFairnessResult RunShardedFairness(std::string_view policy,
+                                         const sched::SchedConfig& config, int threads,
+                                         Tick horizon, std::uint64_t seed) {
+  SFS_CHECK(threads >= 1);
+  std::string error;
+  auto scheduler = sched::MakeScheduler(policy, config, &error);
+  if (scheduler == nullptr) {
+    std::fprintf(stderr, "RunShardedFairness: %s\n", error.c_str());
+    SFS_CHECK(scheduler != nullptr);
+  }
+  sim::Engine engine(*scheduler);
+  sched::GmsReference gms(config.num_cpus);
+
+  engine.SetSchedEventHook([&gms](sim::SchedEvent event, const sim::Task& task, Tick now) {
+    switch (event) {
+      case sim::SchedEvent::kArrival:
+        gms.AddThread(task.tid(), task.weight(), now);
+        break;
+      case sim::SchedEvent::kDeparture:
+        gms.RemoveThread(task.tid(), now);
+        break;
+      case sim::SchedEvent::kBlock:
+        gms.Block(task.tid(), now);
+        break;
+      case sim::SchedEvent::kWakeup:
+        gms.Wakeup(task.tid(), now);
+        break;
+    }
+  });
+
+  std::uint64_t fingerprint = 1469598103934665603ULL;
+  const auto mix = [&fingerprint](std::uint64_t x) {
+    fingerprint ^= x;
+    fingerprint *= 1099511628211ULL;
+  };
+  engine.SetRunIntervalHook(
+      [&mix](Tick start, Tick len, sched::CpuId cpu, ThreadId tid) {
+        mix(static_cast<std::uint64_t>(start));
+        mix(static_cast<std::uint64_t>(len));
+        mix(static_cast<std::uint64_t>(cpu));
+        mix(static_cast<std::uint64_t>(tid));
+      });
+
+  common::Rng rng(seed);
+  std::vector<double> weights(static_cast<std::size_t>(threads));
+  double weight_sum = 0.0;
+  for (double& w : weights) {
+    w = static_cast<double>(rng.UniformInt(1, 20));
+    weight_sum += w;
+  }
+
+  // Roles: every 8th thread up to a cap is an interactive sleeper, every 4th
+  // a terminator (exits after a fraction of its fair-share service — the GMS
+  // mirror is O(t log t) per event, so the event-generating bands are capped
+  // while the hog population scales with `threads`).  The rest are hogs.
+  const int sleeper_cap = std::min(threads / 8, 16);
+  std::vector<ThreadId> hogs;
+  int sleepers = 0;
+  for (int i = 0; i < threads; ++i) {
+    const auto tid = static_cast<ThreadId>(i + 1);
+    const double w = weights[static_cast<std::size_t>(i)];
+    if (i % 8 == 5 && sleepers < sleeper_cap) {
+      ++sleepers;
+      workload::Interact::Params params;
+      params.mean_think = Msec(200 + 50 * static_cast<Tick>(rng.UniformInt(0, 4)));
+      params.burst = Msec(5 + static_cast<Tick>(rng.UniformInt(0, 15)));
+      params.seed = seed ^ static_cast<std::uint64_t>(tid);
+      engine.AddTaskAt(0, workload::MakeInteract(tid, w, params, nullptr, "sleeper"));
+    } else if (i % 4 == 2) {
+      // Fair share over the horizon is ~ p * w / W; exit after roughly a
+      // third of it so the departure lands mid-run.
+      const double fair = static_cast<double>(config.num_cpus) * w / weight_sum *
+                          static_cast<double>(horizon);
+      const Tick work = std::max<Tick>(config.quantum, static_cast<Tick>(fair / 3.0));
+      engine.AddTaskAt(0, workload::MakeFixedWork(tid, w, work, "terminator"));
+    } else {
+      hogs.push_back(tid);
+      engine.AddTaskAt(0, workload::MakeInf(tid, w, "hog"));
+    }
+  }
+
+  // A seeded batch of hogs is killed at a third of the horizon ("terminated
+  // threads"), draining whatever shards they lived on.
+  const std::size_t kill_count = std::min<std::size_t>(hogs.size() / 4, 32);
+  const std::vector<ThreadId> kills(hogs.begin(),
+                                    hogs.begin() + static_cast<std::ptrdiff_t>(kill_count));
+  std::vector<ThreadId> survivors(hogs.begin() + static_cast<std::ptrdiff_t>(kill_count),
+                                  hogs.end());
+  engine.AddPeriodicHook(horizon / 3, [&kills, done = false](sim::Engine& e) mutable {
+    if (done) {
+      return;
+    }
+    done = true;
+    for (const ThreadId tid : kills) {
+      e.KillTask(tid);
+    }
+  });
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  engine.RunUntil(horizon);
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+  gms.AdvanceTo(horizon);
+
+  ShardedFairnessResult result;
+  result.decisions = engine.dispatches();
+  result.schedule_fingerprint = fingerprint;
+  result.steals = scheduler->steals();
+  result.shard_migrations = scheduler->shard_migrations();
+  result.engine_migrations = engine.migrations();
+  result.wall_ns_per_decision =
+      result.decisions > 0 ? static_cast<double>(wall) / static_cast<double>(result.decisions)
+                           : 0.0;
+
+  std::vector<double> actual;
+  std::vector<double> fluid;
+  for (const ThreadId tid : survivors) {
+    actual.push_back(static_cast<double>(engine.ServiceIncludingRunning(tid)));
+    fluid.push_back(gms.Service(tid));
+  }
+  result.gms_deviation_ms = metrics::MaxGmsDeviation(actual, fluid) / 1000.0;
+  return result;
+}
+
 }  // namespace sfs::eval

@@ -4,7 +4,7 @@
 // it through the discrete-event simulator, and returns structured data.  The
 // bench binaries print these as tables/series; the integration tests assert the
 // paper's qualitative results (who wins, who starves, what's proportional).
-// See DESIGN.md section 4 for the experiment index.
+// See DESIGN.md section 5 for the experiment index.
 
 #ifndef SFS_EVAL_SCENARIOS_H_
 #define SFS_EVAL_SCENARIOS_H_
@@ -147,6 +147,32 @@ struct RunScalingResult {
 };
 RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, Tick horizon,
                             std::uint64_t seed, Tick quantum = kDefaultQuantum);
+
+// ---------------------------------------------------------------------------
+// Sharded scheduling pathology (Section 1.2, generalized): `threads` threads
+// with seeded random weights on config.num_cpus processors — mostly
+// compute-bound hogs, plus a capped band of interactive sleepers (blocking)
+// and fixed-work terminators (exiting mid-run), and a seeded batch of hogs
+// killed at a third of the horizon.  This recreates the "blocked/terminated
+// threads can cause imbalances (and unfairness) across partitions" scenario
+// the paper cites against per-processor scheduling.  The scheduler is built
+// from its canonical policy name via sched::MakeScheduler, so one runner
+// drives the global, partitioned and sharded designs; fairness is the max
+// deviation of the surviving hogs from the event-mirrored GMS fluid
+// reference.  Everything except wall_ns_per_decision is a pure function of
+// (policy, config, threads, horizon, seed).
+struct ShardedFairnessResult {
+  std::int64_t decisions = 0;              // engine dispatches over the horizon
+  std::uint64_t schedule_fingerprint = 0;  // FNV-1a over every run interval
+  double gms_deviation_ms = 0.0;           // max |A_i - A_i^GMS| over surviving hogs, ms
+  std::int64_t steals = 0;                 // scheduler-level idle-pull migrations
+  std::int64_t shard_migrations = 0;       // scheduler-level rebalance moves
+  std::int64_t engine_migrations = 0;      // cross-CPU dispatches the engine saw
+  double wall_ns_per_decision = 0.0;       // wall clock; Reporter::Timing only
+};
+ShardedFairnessResult RunShardedFairness(std::string_view policy,
+                                         const sched::SchedConfig& config, int threads,
+                                         Tick horizon, std::uint64_t seed);
 
 }  // namespace sfs::eval
 

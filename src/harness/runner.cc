@@ -41,6 +41,7 @@ void Reporter::Counters(std::string_view key, const sim::Engine& engine) {
   counters.Set("context_switches", JsonValue(engine.context_switches()));
   counters.Set("preemptions", JsonValue(engine.preemptions()));
   counters.Set("migrations", JsonValue(engine.migrations()));
+  counters.Set("steals", JsonValue(engine.steals()));
   counters.Set("idle_ticks", JsonValue(engine.idle_time()));
   counters.Set("context_switch_cost_ticks", JsonValue(engine.total_context_switch_cost()));
   result_.Set(std::string(key), std::move(counters));

@@ -59,6 +59,12 @@ void Bvt::OnWoken(Entity& e) {
 
 void Bvt::OnWeightChanged(Entity& e, Weight old_weight) { UpdateWeight(e, old_weight); }
 
+void Bvt::OnAttach(Entity& e) {
+  // Migrated entity: keep the translated actual virtual time (no clamp).
+  AdmitWeight(e);
+  queue_.Insert(&e);
+}
+
 Entity* Bvt::PickNextEntity(CpuId cpu) {
   (void)cpu;
   for (Entity* e = queue_.front(); e != nullptr; e = queue_.next(e)) {

@@ -39,6 +39,11 @@ class Bvt : public GpsSchedulerBase {
   double ActualVirtualTime(ThreadId tid) const { return FindEntity(tid).pass; }
   double SchedulerVirtualTime() const;
 
+  // Migration timeline (sched::Sharded): tags live on the actual-virtual-time
+  // (pass) axis; warp travels with the entity unchanged.
+  double LocalVirtualTime() const override { return SchedulerVirtualTime(); }
+  double EntityTag(const Entity& e) const override { return e.pass; }
+
  protected:
   void OnAdmit(Entity& e) override;
   void OnRemove(Entity& e) override;
@@ -47,6 +52,7 @@ class Bvt : public GpsSchedulerBase {
   void OnWeightChanged(Entity& e, Weight old_weight) override;
   Entity* PickNextEntity(CpuId cpu) override;
   void OnCharge(Entity& e, Tick ran_for) override;
+  void OnAttach(Entity& e) override;
 
  private:
   EffectiveVtQueue queue_;

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "src/sched/scheduler.h"
@@ -20,14 +21,26 @@ enum class SchedKind {
   kBvt,        // borrowed virtual time
   kTimeshare,  // Linux 2.2-style time sharing
   kRoundRobin,
-  kLottery,    // lottery scheduling (randomized proportional share)
+  kLottery,  // lottery scheduling (randomized proportional share)
+  // Sharded variants: one uniprocessor instance of the policy per CPU behind
+  // the steal/rebalance/coupling machinery of sched::Sharded.
+  kShardedSfs,
+  kShardedSfq,
+  kShardedWfq,
+  kShardedStride,
+  kShardedBvt,
 };
 
-// Canonical lower-case name ("sfs", "sfq", ...).
+// Canonical lower-case name ("sfs", "sharded-sfs", ...).
 std::string_view SchedKindName(SchedKind kind);
 
 // Parses a canonical name; nullopt if unknown.
 std::optional<SchedKind> ParseSchedKind(std::string_view name);
+
+// The sharded variant of a flat GPS policy kind (e.g. kSfs -> kShardedSfs);
+// nullopt for kinds without one (hsfs and the non-GPS baselines) and for
+// already-sharded kinds.
+std::optional<SchedKind> ShardedKindFor(SchedKind kind);
 
 // Canonical lower-case run-queue backend name ("sorted_list", "skip_list"),
 // used in benchmark output and experiment labels.
@@ -36,9 +49,33 @@ std::string_view QueueBackendName(QueueBackend backend);
 // Parses a canonical backend name; nullopt if unknown.
 std::optional<QueueBackend> ParseQueueBackend(std::string_view name);
 
+// Canonical lower-case steal-policy name ("none", "max_surplus").
+std::string_view ShardStealPolicyName(ShardStealPolicy policy);
+
+// Parses a canonical steal-policy name; nullopt if unknown.
+std::optional<ShardStealPolicy> ParseShardStealPolicy(std::string_view name);
+
+// Comma-separated lists of every known canonical name, for error messages.
+std::string KnownSchedKindNames();
+std::string KnownQueueBackendNames();
+std::string KnownShardStealPolicyNames();
+
+// Validates a configuration: returns an empty string when usable, otherwise a
+// message naming the offending knob (queue backend, steal policy, rebalance
+// period, coupling, ...) and the accepted values.
+std::string ValidateSchedConfig(const SchedConfig& config);
+
 // Constructs the scheduler.  SchedConfig::use_readjustment selects the
-// with/without-readjustment variants of the GPS baselines (SFS always readjusts).
+// with/without-readjustment variants of the GPS baselines (SFS always
+// readjusts).  CHECK-fails on invalid configurations; use MakeScheduler for
+// the error-reporting path.
 std::unique_ptr<Scheduler> CreateScheduler(SchedKind kind, const SchedConfig& config);
+
+// Parses `policy` and constructs the scheduler after validating `config`.  On
+// failure returns nullptr and, when `error` is non-null, stores a message
+// naming the rejected input and listing the accepted alternatives.
+std::unique_ptr<Scheduler> MakeScheduler(std::string_view policy, const SchedConfig& config,
+                                         std::string* error = nullptr);
 
 }  // namespace sfs::sched
 

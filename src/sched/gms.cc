@@ -17,7 +17,7 @@ void GmsReference::AddThread(ThreadId tid, Weight weight, Tick now) {
   SFS_CHECK(inserted);
   it->second.weight = weight;
   it->second.runnable = true;
-  RecomputeRates();
+  rates_dirty_ = true;
 }
 
 void GmsReference::RemoveThread(ThreadId tid, Tick now) {
@@ -27,7 +27,7 @@ void GmsReference::RemoveThread(ThreadId tid, Tick now) {
   m.departed = true;
   m.runnable = false;
   m.rate = 0.0;
-  RecomputeRates();
+  rates_dirty_ = true;
 }
 
 void GmsReference::Block(ThreadId tid, Tick now) {
@@ -36,7 +36,7 @@ void GmsReference::Block(ThreadId tid, Tick now) {
   SFS_CHECK(m.runnable);
   m.runnable = false;
   m.rate = 0.0;
-  RecomputeRates();
+  rates_dirty_ = true;
 }
 
 void GmsReference::Wakeup(ThreadId tid, Tick now) {
@@ -44,20 +44,23 @@ void GmsReference::Wakeup(ThreadId tid, Tick now) {
   Member& m = Find(tid);
   SFS_CHECK(!m.runnable && !m.departed);
   m.runnable = true;
-  RecomputeRates();
+  rates_dirty_ = true;
 }
 
 void GmsReference::SetWeight(ThreadId tid, Weight weight, Tick now) {
   SFS_CHECK(weight > 0);
   AdvanceTo(now);
   Find(tid).weight = weight;
-  RecomputeRates();
+  rates_dirty_ = true;
 }
 
 void GmsReference::AdvanceTo(Tick now) {
   SFS_CHECK(now >= last_advance_);
   const double dt = static_cast<double>(now - last_advance_);
   if (dt > 0) {
+    // Rates dirtied by the event batch at last_advance_ apply from that
+    // instant on; refresh them before integrating over the interval.
+    EnsureRates();
     for (auto& [tid, m] : members_) {
       m.service += m.rate * dt;
     }
@@ -67,9 +70,15 @@ void GmsReference::AdvanceTo(Tick now) {
 
 double GmsReference::Service(ThreadId tid) const { return Find(tid).service; }
 
-double GmsReference::Rate(ThreadId tid) const { return Find(tid).rate; }
+double GmsReference::Rate(ThreadId tid) const {
+  EnsureRates();
+  return Find(tid).rate;
+}
 
-double GmsReference::Phi(ThreadId tid) const { return Find(tid).phi; }
+double GmsReference::Phi(ThreadId tid) const {
+  EnsureRates();
+  return Find(tid).phi;
+}
 
 GmsReference::Member& GmsReference::Find(ThreadId tid) {
   auto it = members_.find(tid);
@@ -83,7 +92,11 @@ const GmsReference::Member& GmsReference::Find(ThreadId tid) const {
   return it->second;
 }
 
-void GmsReference::RecomputeRates() {
+void GmsReference::EnsureRates() const {
+  if (!rates_dirty_) {
+    return;
+  }
+  rates_dirty_ = false;
   // Collect the runnable set sorted by descending weight (stable on tid so that
   // the readjusted assignment is deterministic).
   std::vector<std::pair<ThreadId, Member*>> runnable;

@@ -33,7 +33,9 @@ class GmsReference {
   void Wakeup(ThreadId tid, Tick now);
   void SetWeight(ThreadId tid, Weight weight, Tick now);
 
-  // Integrates fluid service up to `now` with the current rates.
+  // Integrates fluid service up to `now` with the current rates.  Rates are
+  // recomputed lazily: a batch of same-timestamp events (e.g. a mass arrival
+  // at t=0) costs one readjustment pass, not one per event.
   void AdvanceTo(Tick now);
 
   // Cumulative fluid service A_i^GMS in (fractional) ticks.  Valid for departed
@@ -61,12 +63,15 @@ class GmsReference {
   Member& Find(ThreadId tid);
   const Member& Find(ThreadId tid) const;
 
-  // Recomputes phi (via the readjustment algorithm) and rates for the runnable set.
-  void RecomputeRates();
+  // Recomputes phi (via the readjustment algorithm) and rates for the runnable
+  // set if an event invalidated them since the last recompute.
+  void EnsureRates() const;
 
   int num_cpus_;
   Tick last_advance_ = 0;
-  std::unordered_map<ThreadId, Member> members_;
+  // Rates/phis are derived state, refreshed lazily from the runnable set.
+  mutable bool rates_dirty_ = false;
+  mutable std::unordered_map<ThreadId, Member> members_;
 };
 
 }  // namespace sfs::sched

@@ -1,167 +1,31 @@
 #include "src/sched/partitioned.h"
 
-#include <algorithm>
+#include <memory>
 
 #include "src/common/assert.h"
+#include "src/sched/sfq.h"
 
 namespace sfs::sched {
 
-PartitionedSfq::PartitionedSfq(const SchedConfig& config, int rebalance_every)
-    : Scheduler(config),
-      arith_(config.fixed_point_digits),
-      partitions_(static_cast<std::size_t>(config.num_cpus)),
-      rebalance_every_(rebalance_every) {
+namespace {
+
+// The strawman's knobs: no stealing, independent shard timelines, rebalance
+// only on the caller-chosen period.
+SchedConfig StrawmanConfig(const SchedConfig& config, int rebalance_every) {
   SFS_CHECK(rebalance_every >= 0);
-  for (Partition& p : partitions_) {
-    p.queue.SetBackend(config.queue_backend);
-  }
+  SchedConfig strawman = config;
+  strawman.shard_steal = ShardStealPolicy::kNone;
+  strawman.shard_rebalance_period = rebalance_every;
+  strawman.shard_coupling = 0.0;
+  return strawman;
 }
 
-PartitionedSfq::~PartitionedSfq() {
-  for (auto& partition : partitions_) {
-    partition.queue.Clear();
-  }
-}
+}  // namespace
 
-std::vector<double> PartitionedSfq::PartitionWeights() const {
-  std::vector<double> weights;
-  weights.reserve(partitions_.size());
-  for (const auto& partition : partitions_) {
-    weights.push_back(partition.runnable_weight);
-  }
-  return weights;
-}
-
-double PartitionedSfq::PartitionVirtualTime(const Partition& p) const {
-  const Entity* head = p.queue.front();
-  return head == nullptr ? p.idle_virtual_time : head->start_tag;
-}
-
-CpuId PartitionedSfq::LightestPartition() const {
-  CpuId best = 0;
-  for (CpuId cpu = 1; cpu < num_cpus(); ++cpu) {
-    if (partitions_[static_cast<std::size_t>(cpu)].runnable_weight <
-        partitions_[static_cast<std::size_t>(best)].runnable_weight) {
-      best = cpu;
-    }
-  }
-  return best;
-}
-
-void PartitionedSfq::Enqueue(Entity& e, CpuId partition) {
-  e.partition = partition;
-  Partition& p = partitions_[static_cast<std::size_t>(partition)];
-  p.queue.Insert(&e);
-  p.runnable_weight += e.weight;
-}
-
-void PartitionedSfq::Dequeue(Entity& e) {
-  SFS_DCHECK(e.partition != kInvalidCpu);
-  Partition& p = partitions_[static_cast<std::size_t>(e.partition)];
-  p.idle_virtual_time = std::max(p.idle_virtual_time, e.finish_tag);
-  p.queue.Remove(&e);
-  p.runnable_weight -= e.weight;
-}
-
-void PartitionedSfq::OnAdmit(Entity& e) {
-  const CpuId target = LightestPartition();
-  e.start_tag = PartitionVirtualTime(partitions_[static_cast<std::size_t>(target)]);
-  e.finish_tag = e.start_tag;
-  Enqueue(e, target);
-}
-
-void PartitionedSfq::OnRemove(Entity& e) {
-  if (e.runnable) {
-    Dequeue(e);
-  }
-}
-
-void PartitionedSfq::OnBlocked(Entity& e) { Dequeue(e); }
-
-void PartitionedSfq::OnWoken(Entity& e) {
-  // Wakes rejoin their home partition (cache affinity is this design's point).
-  const CpuId home = e.partition != kInvalidCpu ? e.partition : LightestPartition();
-  e.start_tag = std::max(
-      e.finish_tag, PartitionVirtualTime(partitions_[static_cast<std::size_t>(home)]));
-  Enqueue(e, home);
-}
-
-void PartitionedSfq::OnWeightChanged(Entity& e, Weight old_weight) {
-  if (e.runnable) {
-    partitions_[static_cast<std::size_t>(e.partition)].runnable_weight += e.weight - old_weight;
-  }
-  e.phi = e.weight;  // uniprocessor partitions: no readjustment needed
-}
-
-Entity* PartitionedSfq::PickNextEntity(CpuId cpu) {
-  if (rebalance_every_ > 0 && ++decisions_since_rebalance_ >= rebalance_every_) {
-    decisions_since_rebalance_ = 0;
-    Rebalance();
-  }
-  Queue& queue = partitions_[static_cast<std::size_t>(cpu)].queue;
-  for (Entity* e = queue.front(); e != nullptr; e = queue.next(e)) {
-    if (!e->running) {
-      return e;
-    }
-  }
-  return nullptr;  // this partition is empty even if others are backlogged
-}
-
-void PartitionedSfq::OnCharge(Entity& e, Tick ran_for) {
-  e.finish_tag = e.start_tag + arith_.WeightedService(ran_for, e.weight);
-  e.start_tag = e.finish_tag;
-  Partition& p = partitions_[static_cast<std::size_t>(e.partition)];
-  p.queue.Remove(&e);
-  p.queue.InsertFromBack(&e);
-  if (p.queue.size() == 1) {
-    p.idle_virtual_time = std::max(p.idle_virtual_time, e.finish_tag);
-  }
-}
-
-void PartitionedSfq::Rebalance() {
-  // Greedy: repeatedly move a (non-running) thread from the heaviest to the
-  // lightest partition while that strictly reduces the imbalance.
-  for (int iteration = 0; iteration < thread_count(); ++iteration) {
-    std::size_t heavy = 0;
-    std::size_t light = 0;
-    for (std::size_t i = 1; i < partitions_.size(); ++i) {
-      if (partitions_[i].runnable_weight > partitions_[heavy].runnable_weight) {
-        heavy = i;
-      }
-      if (partitions_[i].runnable_weight < partitions_[light].runnable_weight) {
-        light = i;
-      }
-    }
-    const double gap =
-        partitions_[heavy].runnable_weight - partitions_[light].runnable_weight;
-    if (gap <= 0.0) {
-      return;
-    }
-    // Smallest movable thread in the heavy partition whose move helps
-    // (w < gap means the imbalance strictly shrinks).
-    Entity* candidate = nullptr;
-    for (Entity* e = partitions_[heavy].queue.front(); e != nullptr;
-         e = partitions_[heavy].queue.next(e)) {
-      if (e->running || e->weight >= gap) {
-        continue;
-      }
-      if (candidate == nullptr || e->weight < candidate->weight) {
-        candidate = e;
-      }
-    }
-    if (candidate == nullptr) {
-      return;
-    }
-    // Preserve the thread's relative lead over its old partition's virtual time
-    // when rebasing into the new partition's timeline.
-    const double rel =
-        std::max(0.0, candidate->start_tag - PartitionVirtualTime(partitions_[heavy]));
-    Dequeue(*candidate);
-    candidate->start_tag = PartitionVirtualTime(partitions_[light]) + rel;
-    candidate->finish_tag = candidate->start_tag;
-    Enqueue(*candidate, static_cast<CpuId>(light));
-    ++rebalance_moves_;
-  }
-}
+PartitionedSfq::PartitionedSfq(const SchedConfig& config, int rebalance_every)
+    : ShardedScheduler(StrawmanConfig(config, rebalance_every),
+                       [](const SchedConfig& shard_config) {
+                         return std::make_unique<Sfq>(shard_config);
+                       }) {}
 
 }  // namespace sfs::sched

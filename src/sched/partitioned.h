@@ -10,79 +10,41 @@
 //   Frequent repartitioning can be expensive; doing so infrequently can result
 //   in imbalances (and unfairness) across partitions."
 //
-// Each processor runs an independent uniprocessor SFQ over its own partition
-// (uniprocessor = every weight assignment feasible, so no readjustment is
-// needed — the approach's selling point).  Threads are placed on the
-// least-loaded partition at arrival and the partitions are re-balanced by
-// weight every `rebalance_every` scheduling decisions.  The
-// bench (`bench/abl_partitioned`) sweeps the rebalancing period to reproduce
-// the fairness-vs-cost trade the paper describes.
+// The strawman is the sharded scheduling layer (src/sched/sharded.h) with the
+// production knobs turned off: one uniprocessor SFQ per CPU (every weight
+// assignment feasible, so no readjustment is needed — the approach's selling
+// point), weight-balanced placement at arrival, *no* work stealing (a drained
+// partition idles even while its peers are backlogged), fully independent
+// virtual timelines (coupling 0), and only the periodic weight rebalance every
+// `rebalance_every` scheduling decisions (0 = never).  The bench
+// (`bench/abl_partitioned`) sweeps the rebalancing period to reproduce the
+// fairness-vs-cost trade the paper describes; `bench/abl_sharded` contrasts it
+// with the steal/coupling-enabled sharded-SFS design.
 
 #ifndef SFS_SCHED_PARTITIONED_H_
 #define SFS_SCHED_PARTITIONED_H_
 
 #include <cstdint>
-#include <utility>
 #include <vector>
 
-#include "src/sched/run_queue.h"
-#include "src/sched/scheduler.h"
-#include "src/sched/tag_arith.h"
+#include "src/sched/sharded.h"
 
 namespace sfs::sched {
 
-class PartitionedSfq : public Scheduler {
+class PartitionedSfq : public ShardedScheduler {
  public:
   // `rebalance_every` = scheduling decisions between repartitioning passes
   // (0 = never rebalance).
   PartitionedSfq(const SchedConfig& config, int rebalance_every);
 
-  ~PartitionedSfq() override;
-
   std::string_view name() const override { return "partitioned-SFQ"; }
 
   // Number of threads moved between partitions by rebalancing so far (each move
   // abandons the thread's cache state — the "expensive" part).
-  std::int64_t rebalance_moves() const { return rebalance_moves_; }
+  std::int64_t rebalance_moves() const { return shard_migrations(); }
 
   // Current weight of each partition's runnable threads, for tests.
-  std::vector<double> PartitionWeights() const;
-
- protected:
-  void OnAdmit(Entity& e) override;
-  void OnRemove(Entity& e) override;
-  void OnBlocked(Entity& e) override;
-  void OnWoken(Entity& e) override;
-  void OnWeightChanged(Entity& e, Weight old_weight) override;
-  Entity* PickNextEntity(CpuId cpu) override;
-  void OnCharge(Entity& e, Tick ran_for) override;
-
- private:
-  struct ByStartAsc {
-    static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag, e.tid}; }
-  };
-  using Queue = RunQueue<Entity, &Entity::by_start, ByStartAsc>;
-
-  struct Partition {
-    Queue queue;
-    double runnable_weight = 0.0;
-    double idle_virtual_time = 0.0;
-  };
-
-  double PartitionVirtualTime(const Partition& p) const;
-  CpuId LightestPartition() const;
-  void Enqueue(Entity& e, CpuId partition);
-  void Dequeue(Entity& e);
-
-  // Greedy repartition: move runnable, non-running threads from overweight to
-  // underweight partitions until balanced (or no move helps).
-  void Rebalance();
-
-  TagArith arith_;
-  std::vector<Partition> partitions_;
-  int rebalance_every_;
-  int decisions_since_rebalance_ = 0;
-  std::int64_t rebalance_moves_ = 0;
+  std::vector<double> PartitionWeights() const { return ShardRunnableWeights(); }
 };
 
 }  // namespace sfs::sched

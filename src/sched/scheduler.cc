@@ -100,6 +100,62 @@ CpuId Scheduler::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elap
   return kInvalidCpu;
 }
 
+std::unique_ptr<Entity> Scheduler::DetachEntity(ThreadId tid) {
+  auto it = threads_.find(tid);
+  SFS_CHECK(it != threads_.end());
+  Entity& e = *it->second;
+  SFS_CHECK(!e.running);
+  if (e.runnable) {
+    --runnable_count_;
+  }
+  OnRemove(e);  // the policy dequeues it; all entity fields survive
+  std::unique_ptr<Entity> entity = std::move(it->second);
+  threads_.erase(it);
+  return entity;
+}
+
+void Scheduler::AttachEntity(std::unique_ptr<Entity> entity) {
+  SFS_CHECK(entity != nullptr);
+  Entity& e = *entity;
+  SFS_CHECK(e.tid != kInvalidThread);
+  SFS_CHECK(!e.running);
+  SFS_CHECK(threads_.find(e.tid) == threads_.end());
+  threads_.emplace(e.tid, std::move(entity));
+  if (e.runnable) {
+    ++runnable_count_;
+    OnAttach(e);
+  }
+  // A blocked entity needs no policy action until Wakeup.
+}
+
+Entity* Scheduler::PickMigrationCandidate(double max_weight, double* score) {
+  Entity* best = nullptr;
+  double best_score = 0.0;
+  // Hoisted: LocalVirtualTime() can itself be a queue walk (WFQ/BVT), so
+  // evaluating it per entity would make the scan quadratic.
+  const double v = LocalVirtualTime();
+  for (auto& [tid, entity] : threads_) {
+    Entity& e = *entity;
+    if (!e.runnable || e.running) {
+      continue;
+    }
+    if (max_weight > 0.0 && e.weight >= max_weight) {
+      continue;
+    }
+    const double entity_score = e.phi * (EntityTag(e) - v);
+    // Deterministic despite the unordered table: total order on (score, -tid).
+    if (best == nullptr || entity_score > best_score ||
+        (entity_score == best_score && e.tid < best->tid)) {
+      best = &e;
+      best_score = entity_score;
+    }
+  }
+  if (best != nullptr && score != nullptr) {
+    *score = best_score;
+  }
+  return best;
+}
+
 bool Scheduler::Contains(ThreadId tid) const { return threads_.find(tid) != threads_.end(); }
 
 bool Scheduler::IsRunnable(ThreadId tid) const { return FindEntity(tid).runnable; }

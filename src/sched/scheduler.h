@@ -22,6 +22,7 @@
 #ifndef SFS_SCHED_SCHEDULER_H_
 #define SFS_SCHED_SCHEDULER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <unordered_map>
@@ -88,6 +89,46 @@ class Scheduler {
   // with their own criterion; the default never preempts.
   virtual CpuId SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed);
 
+  // --- Migration protocol (sched::Sharded) ------------------------------------
+  //
+  // A sharded host moves a thread between two uniprocessor scheduler instances
+  // by detaching its entity from the source (which dequeues it and forgets it,
+  // but preserves every field: weight, tags, runnable/blocked state, cumulative
+  // service), re-expressing the tags in the destination's virtual time, and
+  // attaching it to the destination.  The thread must not be running.
+
+  // Removes `tid` from this scheduler and returns its entity intact.
+  std::unique_ptr<Entity> DetachEntity(ThreadId tid);
+
+  // Adopts a detached entity, preserving its (already translated) tags.  The
+  // tid must be unused here.  Runnable entities are enqueued via OnAttach.
+  void AttachEntity(std::unique_ptr<Entity> entity);
+
+  // This scheduler's virtual timeline origin for tag translation: the GPS
+  // policies return their system virtual time (minimum primary tag over
+  // runnable threads); policies without virtual-time tags return 0.
+  virtual double LocalVirtualTime() const { return 0.0; }
+
+  // The entity's position on that timeline (its primary tag): start tag for
+  // SFS/SFQ/WFQ, pass for stride/BVT.
+  virtual double EntityTag(const Entity& e) const { return e.start_tag; }
+
+  // Phi-weighted lead of `e` over the local virtual time — the SFS surplus
+  // alpha_i = phi_i * (S_i - v) generalized to any tagged policy.  The sharded
+  // layer steals the thread with the greatest score.
+  double MigrationScore(const Entity& e) const {
+    return e.phi * (EntityTag(e) - LocalVirtualTime());
+  }
+
+  // Best thread to migrate away: the runnable, not-running entity with the
+  // highest MigrationScore (ties broken toward the lowest tid, so the choice
+  // is deterministic).  `max_weight` > 0 restricts candidates to weights
+  // strictly below it (the rebalancer's "move only if the imbalance shrinks"
+  // constraint).  Returns nullptr if no entity qualifies; otherwise `score`
+  // (when non-null) receives the winner's MigrationScore — the virtual time
+  // is evaluated once for the whole scan, not per entity.
+  Entity* PickMigrationCandidate(double max_weight = 0.0, double* score = nullptr);
+
   // --- Introspection ----------------------------------------------------------
 
   bool Contains(ThreadId tid) const;
@@ -102,6 +143,12 @@ class Scheduler {
   int runnable_count() const { return runnable_count_; }
   int thread_count() const { return static_cast<int>(threads_.size()); }
 
+  // Threads the scheduler itself moved between internal shards: idle-pull
+  // steals and periodic rebalance migrations (sched::Sharded).  Flat policies
+  // report zero; the simulation engine mirrors `steals` into its counters.
+  virtual std::int64_t steals() const { return 0; }
+  virtual std::int64_t shard_migrations() const { return 0; }
+
  protected:
   // Policy hooks.  The base class has already updated the generic state
   // (runnable/running flags, accounting) when these are invoked.
@@ -112,6 +159,12 @@ class Scheduler {
   virtual void OnWeightChanged(Entity& e, Weight old_weight) = 0;  // weight updated
   virtual Entity* PickNextEntity(CpuId cpu) = 0;  // dispatch decision
   virtual void OnCharge(Entity& e, Tick ran_for) = 0;  // tag/accounting update
+
+  // A detached entity arriving via AttachEntity (runnable, tags already
+  // translated into this scheduler's timeline).  The default reuses the wakeup
+  // path: every GPS policy's OnWoken applies `tag = max(tag, v)`, which leaves
+  // a translated tag (>= v by construction) untouched while enqueueing.
+  virtual void OnAttach(Entity& e) { OnWoken(e); }
 
   // Lookup helpers; CHECK-fail on unknown tid.
   Entity& FindEntity(ThreadId tid);

@@ -47,6 +47,12 @@ void Sfq::OnWoken(Entity& e) {
 
 void Sfq::OnWeightChanged(Entity& e, Weight old_weight) { UpdateWeight(e, old_weight); }
 
+void Sfq::OnAttach(Entity& e) {
+  // Migrated entity: keep the translated start tag (no wakeup-style clamp).
+  AdmitWeight(e);
+  queue_.Insert(&e);
+}
+
 Entity* Sfq::PickNextEntity(CpuId cpu) {
   (void)cpu;
   for (Entity* e = queue_.front(); e != nullptr; e = queue_.next(e)) {

@@ -40,6 +40,9 @@ class Sfq : public GpsSchedulerBase {
   double VirtualTime() const;
   double StartTag(ThreadId tid) const { return FindEntity(tid).start_tag; }
 
+  // Migration timeline (sched::Sharded): tags live on the start-tag axis.
+  double LocalVirtualTime() const override { return VirtualTime(); }
+
  protected:
   void OnAdmit(Entity& e) override;
   void OnRemove(Entity& e) override;
@@ -48,6 +51,7 @@ class Sfq : public GpsSchedulerBase {
   void OnWeightChanged(Entity& e, Weight old_weight) override;
   Entity* PickNextEntity(CpuId cpu) override;
   void OnCharge(Entity& e, Tick ran_for) override;
+  void OnAttach(Entity& e) override;
 
  private:
   SfqQueue queue_;

@@ -79,6 +79,17 @@ void Sfs::OnWoken(Entity& e) {
   EnqueueRunnable(e);
 }
 
+void Sfs::OnAttach(Entity& e) {
+  // A migrated entity keeps its translated start tag verbatim — unlike a
+  // wakeup, no max(F, v) clamp: a coupled migrant may arrive *behind* the
+  // local virtual time precisely so it gets compensated for past under-service
+  // in its source shard.
+  if (AdmitWeight(e)) {
+    need_refresh_ = true;
+  }
+  EnqueueRunnable(e);
+}
+
 void Sfs::OnWeightChanged(Entity& e, Weight old_weight) {
   if (UpdateWeight(e, old_weight)) {
     need_refresh_ = true;

@@ -80,6 +80,9 @@ class Sfs : public GpsSchedulerBase {
   // last value before the system went idle).
   double VirtualTime() const;
 
+  // Migration timeline (sched::Sharded): tags live on the start-tag axis.
+  double LocalVirtualTime() const override { return VirtualTime(); }
+
   // Fresh surplus of a runnable thread at the current virtual time.
   double Surplus(ThreadId tid) const;
 
@@ -113,6 +116,7 @@ class Sfs : public GpsSchedulerBase {
   void OnWeightChanged(Entity& e, Weight old_weight) override;
   Entity* PickNextEntity(CpuId cpu) override;
   void OnCharge(Entity& e, Tick ran_for) override;
+  void OnAttach(Entity& e) override;
 
  private:
   // Inserts a runnable entity into the start-tag and surplus queues with a fresh

@@ -1,0 +1,247 @@
+#include "src/sched/sharded.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/assert.h"
+
+namespace sfs::sched {
+
+void TranslateMigratedTags(Entity& e, double v_src, double v_dst, double coupling) {
+  const double origin = v_dst + coupling * (v_src - v_dst);
+  // Both tag axes are translated with the same rule; each policy reads only
+  // its own (start/finish for SFS/SFQ/WFQ, pass for stride/BVT).
+  e.start_tag = origin + std::max(0.0, e.start_tag - v_src);
+  e.finish_tag = e.start_tag;
+  e.pass = origin + std::max(0.0, e.pass - v_src);
+  e.surplus = 0.0;
+}
+
+ShardedScheduler::ShardedScheduler(const SchedConfig& config, ShardFactory make_shard)
+    : Scheduler(config) {
+  SFS_CHECK(config.shard_rebalance_period >= 0);
+  SFS_CHECK(config.shard_coupling >= 0.0 && config.shard_coupling <= 1.0);
+  SchedConfig shard_config = config;
+  shard_config.num_cpus = 1;
+  shards_.reserve(static_cast<std::size_t>(num_cpus()));
+  for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
+    Shard shard;
+    shard.scheduler = make_shard(shard_config);
+    SFS_CHECK(shard.scheduler != nullptr);
+    SFS_CHECK(shard.scheduler->num_cpus() == 1);
+    shards_.push_back(std::move(shard));
+  }
+  name_ = "sharded-" + std::string(shards_.front().scheduler->name());
+}
+
+ShardedScheduler::~ShardedScheduler() = default;
+
+Tick ShardedScheduler::QuantumFor(ThreadId tid) {
+  return ShardAt(FindEntity(tid).partition).scheduler->QuantumFor(tid);
+}
+
+CpuId ShardedScheduler::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
+  const Entity& e = FindEntity(woken);
+  if (!e.runnable || e.running) {
+    return kInvalidCpu;
+  }
+  const CpuId home = e.partition;
+  const std::vector<Tick> local_elapsed = {elapsed[static_cast<std::size_t>(home)]};
+  const CpuId inner = ShardAt(home).scheduler->SuggestPreemption(woken, local_elapsed);
+  return inner == 0 ? home : kInvalidCpu;
+}
+
+CpuId ShardedScheduler::ShardOf(ThreadId tid) const { return FindEntity(tid).partition; }
+
+std::vector<double> ShardedScheduler::ShardRunnableWeights() const {
+  std::vector<double> weights;
+  weights.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    weights.push_back(shard.runnable_weight);
+  }
+  return weights;
+}
+
+const Scheduler& ShardedScheduler::shard(CpuId cpu) const { return *ShardAt(cpu).scheduler; }
+
+Scheduler& ShardedScheduler::shard(CpuId cpu) { return *ShardAt(cpu).scheduler; }
+
+CpuId ShardedScheduler::LightestShard() const {
+  CpuId best = 0;
+  for (CpuId cpu = 1; cpu < num_cpus(); ++cpu) {
+    if (ShardAt(cpu).runnable_weight < ShardAt(best).runnable_weight) {
+      best = cpu;
+    }
+  }
+  return best;
+}
+
+void ShardedScheduler::OnAdmit(Entity& e) {
+  const CpuId target = LightestShard();
+  e.partition = target;
+  e.phi = e.weight;  // uniprocessor shards: every weight assignment is feasible
+  Shard& shard = ShardAt(target);
+  shard.runnable_weight += e.weight;
+  shard.scheduler->AddThread(e.tid, e.weight);
+}
+
+void ShardedScheduler::OnRemove(Entity& e) {
+  Shard& shard = ShardAt(e.partition);
+  if (e.runnable) {
+    shard.runnable_weight -= e.weight;
+  }
+  shard.scheduler->RemoveThread(e.tid);
+}
+
+void ShardedScheduler::OnBlocked(Entity& e) {
+  Shard& shard = ShardAt(e.partition);
+  shard.runnable_weight -= e.weight;
+  shard.scheduler->Block(e.tid);
+}
+
+void ShardedScheduler::OnWoken(Entity& e) {
+  // Wakes rejoin their home shard (cache affinity); imbalance this creates is
+  // repaired by stealing/rebalancing, not by re-placing the waker.
+  Shard& shard = ShardAt(e.partition);
+  shard.runnable_weight += e.weight;
+  shard.scheduler->Wakeup(e.tid);
+}
+
+void ShardedScheduler::OnWeightChanged(Entity& e, Weight old_weight) {
+  if (e.runnable) {
+    ShardAt(e.partition).runnable_weight += e.weight - old_weight;
+  }
+  e.phi = e.weight;
+  ShardAt(e.partition).scheduler->SetWeight(e.tid, e.weight);
+}
+
+Entity* ShardedScheduler::PickNextEntity(CpuId cpu) {
+  MaybeRebalance(cpu);
+  ThreadId tid = ShardAt(cpu).scheduler->PickNext(0);
+  if (tid == kInvalidThread && config().shard_steal == ShardStealPolicy::kMaxSurplus) {
+    tid = TrySteal(cpu);
+  }
+  return tid == kInvalidThread ? nullptr : &FindEntity(tid);
+}
+
+void ShardedScheduler::OnCharge(Entity& e, Tick ran_for) {
+  ShardAt(e.partition).scheduler->Charge(e.tid, ran_for);
+}
+
+void ShardedScheduler::MaybeRebalance(CpuId dispatching_cpu) {
+  if (config().shard_rebalance_period <= 0 ||
+      ++decisions_since_rebalance_ < config().shard_rebalance_period) {
+    return;
+  }
+  // Pull-based greedy repartitioning: the dispatching CPU's shard pulls the
+  // highest-surplus movable thread from the heaviest shard while each move
+  // strictly shrinks the imbalance (candidate weight < gap).  Pulling into
+  // the shard that is about to dispatch guarantees migrated work is served
+  // immediately — pushing toward an idle processor with no pending dispatch
+  // would park it indefinitely.
+  bool acted = false;
+  for (int iteration = 0; iteration < thread_count(); ++iteration) {
+    CpuId heavy = 0;
+    for (CpuId cpu = 1; cpu < num_cpus(); ++cpu) {
+      if (ShardAt(cpu).runnable_weight > ShardAt(heavy).runnable_weight) {
+        heavy = cpu;
+      }
+    }
+    if (heavy == dispatching_cpu) {
+      break;
+    }
+    const double gap =
+        ShardAt(heavy).runnable_weight - ShardAt(dispatching_cpu).runnable_weight;
+    if (gap <= 0.0) {
+      acted = true;  // balanced from this shard's point of view: pass complete
+      break;
+    }
+    Entity* candidate = ShardAt(heavy).scheduler->PickMigrationCandidate(/*max_weight=*/gap);
+    if (candidate == nullptr) {
+      break;
+    }
+    Migrate(candidate->tid, heavy, dispatching_cpu, /*steal=*/false);
+    acted = true;
+  }
+  // When this processor's shard could not act (it *is* the heaviest, or the
+  // heavy shard had nothing movable), retry at the very next decision —
+  // likely on another CPU — instead of waiting out a whole fresh period.
+  decisions_since_rebalance_ = acted ? 0 : config().shard_rebalance_period;
+}
+
+ThreadId ShardedScheduler::TrySteal(CpuId thief) {
+  // Victim: across all other shards, the stealable (runnable, not running)
+  // thread with the greatest phi-weighted lead over its shard's virtual time.
+  // Each shard nominates its own best candidate; the thief prefers a
+  // cache-warm nominee (last ran here) within affinity_tolerance of the best.
+  Entity* victim = nullptr;
+  CpuId victim_shard = kInvalidCpu;
+  double victim_score = 0.0;
+  Entity* affine = nullptr;
+  CpuId affine_shard = kInvalidCpu;
+  double affine_score = 0.0;
+  for (CpuId source = 0; source < num_cpus(); ++source) {
+    if (source == thief) {
+      continue;
+    }
+    // Only steal from shards whose processor is busy: a queued thread on an
+    // idle source processor will be served locally (cache-warm) as soon as
+    // that processor dispatches — the engine tries every idle CPU on a
+    // wakeup — so pulling it across shards would be a gratuitous migration.
+    if (RunningOn(source) == kInvalidThread) {
+      continue;
+    }
+    Scheduler& shard = *ShardAt(source).scheduler;
+    double score = 0.0;
+    Entity* candidate = shard.PickMigrationCandidate(/*max_weight=*/0.0, &score);
+    if (candidate == nullptr) {
+      continue;
+    }
+    if (victim == nullptr || score > victim_score ||
+        (score == victim_score && candidate->tid < victim->tid)) {
+      victim = candidate;
+      victim_shard = source;
+      victim_score = score;
+    }
+    // Cache warmth lives on the outer entity (inner shards only ever see
+    // their single local processor 0).
+    if (FindEntity(candidate->tid).last_cpu == thief &&
+        (affine == nullptr || score > affine_score ||
+         (score == affine_score && candidate->tid < affine->tid))) {
+      affine = candidate;
+      affine_shard = source;
+      affine_score = score;
+    }
+  }
+  if (victim == nullptr) {
+    return kInvalidThread;
+  }
+  if (affine != nullptr && affine != victim &&
+      affine_score + static_cast<double>(config().affinity_tolerance) >= victim_score) {
+    victim = affine;
+    victim_shard = affine_shard;
+  }
+  Migrate(victim->tid, victim_shard, thief, /*steal=*/true);
+  return ShardAt(thief).scheduler->PickNext(0);
+}
+
+void ShardedScheduler::Migrate(ThreadId tid, CpuId from, CpuId to, bool steal) {
+  SFS_DCHECK(from != to);
+  Scheduler& src = *ShardAt(from).scheduler;
+  Scheduler& dst = *ShardAt(to).scheduler;
+  // Read both timelines before detaching: removing the entity can move the
+  // source's virtual time (it may hold the minimum tag).
+  const double v_src = src.LocalVirtualTime();
+  const double v_dst = dst.LocalVirtualTime();
+  std::unique_ptr<Entity> inner = src.DetachEntity(tid);
+  SFS_CHECK(inner->runnable && !inner->running);
+  TranslateMigratedTags(*inner, v_src, v_dst, config().shard_coupling);
+  dst.AttachEntity(std::move(inner));
+  Entity& outer = FindEntity(tid);
+  ShardAt(from).runnable_weight -= outer.weight;
+  ShardAt(to).runnable_weight += outer.weight;
+  outer.partition = to;
+  ++(steal ? steals_ : rebalance_migrations_);
+}
+
+}  // namespace sfs::sched

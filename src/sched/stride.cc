@@ -45,6 +45,12 @@ void Stride::OnWoken(Entity& e) {
 
 void Stride::OnWeightChanged(Entity& e, Weight old_weight) { UpdateWeight(e, old_weight); }
 
+void Stride::OnAttach(Entity& e) {
+  // Migrated entity: keep the translated pass (no wakeup-style clamp).
+  AdmitWeight(e);
+  queue_.Insert(&e);
+}
+
 Entity* Stride::PickNextEntity(CpuId cpu) {
   (void)cpu;
   for (Entity* e = queue_.front(); e != nullptr; e = queue_.next(e)) {

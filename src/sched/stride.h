@@ -37,6 +37,10 @@ class Stride : public GpsSchedulerBase {
   double GlobalPass() const;
   double Pass(ThreadId tid) const { return FindEntity(tid).pass; }
 
+  // Migration timeline (sched::Sharded): tags live on the pass axis.
+  double LocalVirtualTime() const override { return GlobalPass(); }
+  double EntityTag(const Entity& e) const override { return e.pass; }
+
  protected:
   void OnAdmit(Entity& e) override;
   void OnRemove(Entity& e) override;
@@ -45,6 +49,7 @@ class Stride : public GpsSchedulerBase {
   void OnWeightChanged(Entity& e, Weight old_weight) override;
   Entity* PickNextEntity(CpuId cpu) override;
   void OnCharge(Entity& e, Tick ran_for) override;
+  void OnAttach(Entity& e) override;
 
  private:
   PassQueue queue_;

@@ -32,6 +32,15 @@ enum class QueueBackend {
   kSkipList,    // indexed skip list, O(log t) insert/reposition
 };
 
+// Victim-selection policy for the sharded scheduling layer's idle-pull work
+// stealing (sched::Sharded).  Kept an enum so the strawman (no stealing, the
+// paper's Section 1.2 partitioned design) and the production answer share one
+// code path and differ only in this knob.
+enum class ShardStealPolicy {
+  kNone,        // never steal: a shard whose queue drains idles (partitioned)
+  kMaxSurplus,  // idle CPU pulls the highest-surplus stealable thread
+};
+
 // Common scheduler construction parameters.
 struct SchedConfig {
   // Number of processors p.
@@ -74,8 +83,27 @@ struct SchedConfig {
   // Processor-affinity extension (Section 5 future work): when > 0, a dispatch
   // may pick any thread whose surplus is within this many ticks of the minimum,
   // preferring one that last ran on the dispatching CPU (cache-warm).  0 keeps
-  // the paper's affinity-blind SFS.
+  // the paper's affinity-blind SFS.  The sharded layer honours the same
+  // tolerance when choosing a steal victim (prefer cache-warm candidates).
   Tick affinity_tolerance = 0;
+
+  // --- sched::Sharded knobs (per-CPU shards; ignored by flat schedulers) ------
+
+  // Idle-pull work stealing: what an idle shard may take from its peers.
+  ShardStealPolicy shard_steal = ShardStealPolicy::kMaxSurplus;
+
+  // Scheduling decisions between surplus-aware rebalancing passes across
+  // shards (the paper's "periodic repartitioning"); 0 = never rebalance.
+  int shard_rebalance_period = 0;
+
+  // Cross-shard virtual-time coupling in [0, 1], applied when a thread
+  // migrates between shards: 0 re-expresses tags purely relative to the
+  // destination's virtual time (independent timelines, the partitioned
+  // semantics — past cross-shard imbalance is forgiven), 1 keeps the absolute
+  // tags (shards share one global timeline, so a migrant from a slow —
+  // overloaded — shard arrives behind and is compensated until it catches
+  // up, bounding cross-shard unfairness).
+  double shard_coupling = 1.0;
 };
 
 }  // namespace sfs::sched

@@ -39,6 +39,10 @@ class Wfq : public GpsSchedulerBase {
   double VirtualTime() const;
   double FinishTag(ThreadId tid) const { return FindEntity(tid).finish_tag; }
 
+  // Migration timeline (sched::Sharded): start tags anchor the translation;
+  // finish tags are re-predicted on attach.
+  double LocalVirtualTime() const override { return VirtualTime(); }
+
  protected:
   void OnAdmit(Entity& e) override;
   void OnRemove(Entity& e) override;
@@ -47,6 +51,7 @@ class Wfq : public GpsSchedulerBase {
   void OnWeightChanged(Entity& e, Weight old_weight) override;
   Entity* PickNextEntity(CpuId cpu) override;
   void OnCharge(Entity& e, Tick ran_for) override;
+  void OnAttach(Entity& e) override;
 
  private:
   // Predicted finish tag assuming a full nominal quantum.

@@ -271,12 +271,16 @@ void Engine::HandlePeriodic(std::size_t idx) {
 }
 
 void Engine::PlaceRunnable(sched::ThreadId tid, bool may_preempt) {
-  // Idle processor first.
+  // Idle processors first.  A dispatch can legitimately come up empty (a
+  // sharded scheduler with stealing disabled only serves its own shard), so
+  // keep trying the remaining idle processors until one accepts work.
   for (sched::CpuId cpu_id = 0; cpu_id < scheduler_.num_cpus(); ++cpu_id) {
     Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
     if (cpu.running == sched::kInvalidThread) {
       Dispatch(cpu_id);
-      return;
+      if (cpu.running != sched::kInvalidThread) {
+        return;
+      }
     }
   }
   if (!may_preempt) {
@@ -335,7 +339,9 @@ void Engine::StopRunning(sched::CpuId cpu_id) {
 void Engine::Dispatch(sched::CpuId cpu_id) {
   Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
   SFS_CHECK(cpu.running == sched::kInvalidThread);
+  const std::int64_t scheduler_steals_before = scheduler_.steals();
   const sched::ThreadId tid = scheduler_.PickNext(cpu_id);
+  steals_ += scheduler_.steals() - scheduler_steals_before;
   if (tid == sched::kInvalidThread) {
     // Stay idle; idle_since was set when the CPU was freed (or at start).
     return;

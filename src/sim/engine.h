@@ -126,6 +126,9 @@ class Engine {
   // Dispatches that moved a task to a different processor than it last ran on
   // (cache-cold starts; the affinity extension reduces these).
   std::int64_t migrations() const { return migrations_; }
+  // Idle-pull steals the scheduler performed while serving this engine's
+  // dispatches (sharded policies; zero for flat schedulers).
+  std::int64_t steals() const { return steals_; }
   // Processor time consumed by context switches so far, including the consumed
   // part of any in-flight switch window (so the capacity identity
   // service + idle + switch cost == p * elapsed holds at any instant).
@@ -207,6 +210,7 @@ class Engine {
   std::int64_t dispatches_ = 0;
   std::int64_t preemptions_ = 0;
   std::int64_t migrations_ = 0;
+  std::int64_t steals_ = 0;
   Tick total_ctx_cost_ = 0;
 };
 

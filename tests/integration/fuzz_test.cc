@@ -8,6 +8,9 @@
 // small value to keep the suite under a minute on slow runners.
 // SFS_FUZZ_QUEUE_BACKEND ("sorted_list" / "skip_list") pins the run-queue
 // backend; unset, each seed draws one at random so both are fuzzed.
+// SFS_FUZZ_SHARDED ("0" / "1") pins whether GPS policies run behind the
+// sharded per-CPU layer; unset, each seed draws it (plus random steal,
+// rebalance and coupling knobs) so flat and sharded variants are both fuzzed.
 
 #include <gtest/gtest.h>
 
@@ -42,7 +45,24 @@ std::vector<Tick> RunOnce(SchedKind kind, std::uint64_t seed, Tick* idle_out,
     EXPECT_TRUE(parsed.has_value()) << "bad SFS_FUZZ_QUEUE_BACKEND: " << env;
     config.queue_backend = parsed.value_or(config.queue_backend);
   }
-  auto scheduler = CreateScheduler(kind, config);
+  // Sharded dimension: GPS policies also run behind per-CPU shards with
+  // randomized steal/rebalance/coupling knobs, drawn per seed.
+  SchedKind effective_kind = kind;
+  if (const auto sharded_kind = sched::ShardedKindFor(kind); sharded_kind.has_value()) {
+    bool use_sharded = rng.Bernoulli(0.5);
+    if (const char* env = std::getenv("SFS_FUZZ_SHARDED"); env != nullptr) {
+      use_sharded = env[0] == '1';
+    }
+    if (use_sharded) {
+      effective_kind = *sharded_kind;
+      config.shard_steal = rng.Bernoulli(0.75) ? sched::ShardStealPolicy::kMaxSurplus
+                                               : sched::ShardStealPolicy::kNone;
+      config.shard_rebalance_period =
+          rng.Bernoulli(0.5) ? static_cast<int>(rng.UniformInt(4, 256)) : 0;
+      config.shard_coupling = 0.5 * static_cast<double>(rng.UniformInt(0, 2));
+    }
+  }
+  auto scheduler = CreateScheduler(effective_kind, config);
 
   sim::EngineConfig engine_config;
   engine_config.context_switch_cost = Usec(rng.UniformInt(0, 500));

@@ -7,10 +7,12 @@
 namespace sfs::sched {
 namespace {
 
-constexpr SchedKind kAllKinds[] = {SchedKind::kSfs,       SchedKind::kHsfs,
-                                   SchedKind::kSfq,       SchedKind::kStride,
-                                   SchedKind::kWfq,       SchedKind::kBvt,
-                                   SchedKind::kTimeshare, SchedKind::kRoundRobin};
+constexpr SchedKind kAllKinds[] = {
+    SchedKind::kSfs,       SchedKind::kHsfs,        SchedKind::kSfq,
+    SchedKind::kStride,    SchedKind::kWfq,         SchedKind::kBvt,
+    SchedKind::kTimeshare, SchedKind::kRoundRobin,  SchedKind::kLottery,
+    SchedKind::kShardedSfs, SchedKind::kShardedSfq, SchedKind::kShardedWfq,
+    SchedKind::kShardedStride, SchedKind::kShardedBvt};
 
 TEST(FactoryTest, NameParseRoundTrip) {
   for (const SchedKind kind : kAllKinds) {
@@ -62,6 +64,87 @@ TEST(FactoryTest, SfsAlwaysReadjustsEvenIfConfigSaysNo) {
   config.use_readjustment = false;
   auto scheduler = CreateScheduler(SchedKind::kSfs, config);
   EXPECT_TRUE(scheduler->config().use_readjustment);
+}
+
+TEST(FactoryTest, ShardedKindForMapsEveryGpsPolicy) {
+  EXPECT_EQ(ShardedKindFor(SchedKind::kSfs), SchedKind::kShardedSfs);
+  EXPECT_EQ(ShardedKindFor(SchedKind::kSfq), SchedKind::kShardedSfq);
+  EXPECT_EQ(ShardedKindFor(SchedKind::kWfq), SchedKind::kShardedWfq);
+  EXPECT_EQ(ShardedKindFor(SchedKind::kStride), SchedKind::kShardedStride);
+  EXPECT_EQ(ShardedKindFor(SchedKind::kBvt), SchedKind::kShardedBvt);
+  EXPECT_FALSE(ShardedKindFor(SchedKind::kHsfs).has_value());
+  EXPECT_FALSE(ShardedKindFor(SchedKind::kTimeshare).has_value());
+  EXPECT_FALSE(ShardedKindFor(SchedKind::kShardedSfs).has_value());
+}
+
+TEST(FactoryTest, ShardStealPolicyNameRoundTrip) {
+  for (const ShardStealPolicy policy :
+       {ShardStealPolicy::kNone, ShardStealPolicy::kMaxSurplus}) {
+    const auto parsed = ParseShardStealPolicy(ShardStealPolicyName(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParseShardStealPolicy("random").has_value());
+}
+
+TEST(FactoryTest, MakeSchedulerBuildsEveryKnownPolicyByName) {
+  SchedConfig config;
+  config.num_cpus = 2;
+  for (const SchedKind kind : kAllKinds) {
+    std::string error = "sentinel";
+    auto scheduler = MakeScheduler(SchedKindName(kind), config, &error);
+    ASSERT_NE(scheduler, nullptr) << SchedKindName(kind) << ": " << error;
+    EXPECT_TRUE(error.empty()) << SchedKindName(kind);
+    EXPECT_FALSE(scheduler->name().empty());
+  }
+}
+
+TEST(FactoryTest, MakeSchedulerRejectsUnknownPolicyListingAlternatives) {
+  std::string error;
+  EXPECT_EQ(MakeScheduler("cfs", SchedConfig{}, &error), nullptr);
+  EXPECT_NE(error.find("unknown scheduler policy \"cfs\""), std::string::npos) << error;
+  // The message lists the valid alternatives.
+  EXPECT_NE(error.find("sfs"), std::string::npos) << error;
+  EXPECT_NE(error.find("sharded-sfs"), std::string::npos) << error;
+  EXPECT_NE(error.find("sharded-bvt"), std::string::npos) << error;
+  // A null error pointer is accepted.
+  EXPECT_EQ(MakeScheduler("cfs", SchedConfig{}), nullptr);
+}
+
+TEST(FactoryTest, MakeSchedulerValidatesShardingKnobs) {
+  std::string error;
+  SchedConfig config;
+  config.shard_coupling = 1.5;
+  EXPECT_EQ(MakeScheduler("sharded-sfs", config, &error), nullptr);
+  EXPECT_NE(error.find("shard_coupling"), std::string::npos) << error;
+
+  config = SchedConfig{};
+  config.shard_rebalance_period = -3;
+  EXPECT_EQ(MakeScheduler("sharded-sfq", config, &error), nullptr);
+  EXPECT_NE(error.find("shard_rebalance_period"), std::string::npos) << error;
+
+  config = SchedConfig{};
+  config.shard_steal = static_cast<ShardStealPolicy>(42);
+  EXPECT_EQ(MakeScheduler("sharded-sfs", config, &error), nullptr);
+  EXPECT_NE(error.find("steal"), std::string::npos) << error;
+  EXPECT_NE(error.find("max_surplus"), std::string::npos) << error;
+
+  config = SchedConfig{};
+  config.num_cpus = 0;
+  EXPECT_EQ(MakeScheduler("sfs", config, &error), nullptr);
+  EXPECT_NE(error.find("num_cpus"), std::string::npos) << error;
+}
+
+TEST(FactoryTest, ValidateSchedConfigAcceptsDefaults) {
+  EXPECT_TRUE(ValidateSchedConfig(SchedConfig{}).empty());
+}
+
+TEST(FactoryTest, ShardedSchedulerNamesExposeThePolicy) {
+  SchedConfig config;
+  config.num_cpus = 2;
+  EXPECT_EQ(CreateScheduler(SchedKind::kShardedSfs, config)->name(), "sharded-SFS");
+  EXPECT_EQ(CreateScheduler(SchedKind::kShardedStride, config)->name(),
+            "sharded-stride+readjust");
 }
 
 TEST(FactoryTest, SfqVariantsNamedDistinctly) {

@@ -9,6 +9,7 @@
 
 #include "src/sched/round_robin.h"
 #include "src/sched/sfs.h"
+#include "src/sched/sharded.h"
 #include "src/workload/workloads.h"
 
 namespace sfs::sim {
@@ -145,6 +146,32 @@ TEST(EngineTest, KillRunningTask) {
   engine.RunUntil(Sec(2));
   // Task 2 now owns the whole CPU.
   EXPECT_EQ(engine.ServiceIncludingRunning(2) - before, Sec(1));
+}
+
+TEST(EngineTest, KillRunningTaskOnShardedSchedulerStealsToRefill) {
+  // Three equal hogs on 2 sharded CPUs: threads 1 and 3 share shard 0, thread
+  // 2 owns shard 1.  Killing thread 2 *while it is running* must charge it,
+  // remove it, and refill CPU 1 by stealing from shard 0 — the kill lands on a
+  // currently-running thread and the refill crosses shards.
+  sched::Sharded<sched::Sfs> scheduler(Config(2));
+  Engine engine(scheduler);
+  for (sched::ThreadId tid = 1; tid <= 3; ++tid) {
+    engine.AddTaskAt(0, workload::MakeInf(tid, 1.0, "hog"));
+  }
+  engine.RunUntil(Sec(1));
+  ASSERT_EQ(engine.task(2).state(), Task::State::kRunning);
+  ASSERT_EQ(engine.steals(), 0);  // both shards were self-sufficient so far
+  engine.KillTask(2);
+  EXPECT_EQ(engine.task(2).state(), Task::State::kExited);
+  EXPECT_EQ(engine.steals(), 1);  // the freed CPU pulled from shard 0
+  EXPECT_EQ(scheduler.steals(), 1);
+  const Tick before_1 = engine.ServiceIncludingRunning(1);
+  const Tick before_3 = engine.ServiceIncludingRunning(3);
+  engine.RunUntil(Sec(2));
+  // Two survivors, two CPUs: each owns one from here on, no idling.
+  EXPECT_EQ(engine.ServiceIncludingRunning(1) - before_1, Sec(1));
+  EXPECT_EQ(engine.ServiceIncludingRunning(3) - before_3, Sec(1));
+  EXPECT_EQ(engine.idle_time(), 0);
 }
 
 TEST(EngineTest, KillBlockedTaskIgnoresStaleWakeup) {
