@@ -105,7 +105,11 @@ double CtxSwitchNs(SchedKind kind, int threads, int kb) {
 // Real-thread section: actual std::threads under the user-level executor, with
 // lmbench's working-set-touch model inside each work unit.  The reported value
 // is the preempt-flag-to-yield latency — the cooperative analogue of lmbench's
-// context-switch time.
+// context-switch time.  Since the executor went concurrent (one dispatcher
+// thread per CPU driving the scheduler in parallel under the scheduler.h
+// locking contract), these latencies include real cross-dispatcher lock
+// traffic — sharded-sfs rides per-shard locks, the flat policies one coarse
+// dispatch mutex; abl_lock_contention isolates that difference as p grows.
 void RealThreadSection(Reporter& reporter) {
   using sfs::exec::Executor;
   sfs::common::Table table(
@@ -115,7 +119,8 @@ void RealThreadSection(Reporter& reporter) {
     int kb;
   };
   for (const Shape shape : {Shape{2, 0}, Shape{8, 16}, Shape{16, 64}}) {
-    for (const SchedKind kind : {SchedKind::kTimeshare, SchedKind::kSfs}) {
+    for (const SchedKind kind :
+         {SchedKind::kTimeshare, SchedKind::kSfs, SchedKind::kShardedSfs}) {
       SchedConfig config;
       config.num_cpus = 2;
       auto scheduler = CreateScheduler(kind, config);
@@ -162,7 +167,7 @@ void RealThreadSection(Reporter& reporter) {
 
 SFS_EXPERIMENT(table1_lmbench,
                .description = "Table 1: lmbench-analogue scheduler overheads (wall-clock)",
-               .schedulers = {"timeshare", "sfs"},
+               .schedulers = {"timeshare", "sfs", "sharded-sfs"},
                .repetitions = 1, .warmup = 1, .deterministic = false) {
   using sfs::common::Table;
 

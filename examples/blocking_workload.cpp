@@ -1,0 +1,89 @@
+// Real threads that *sleep*: interactive tasks alternating computation with
+// simulated I/O (Executor::WorkResult::Block) next to batch hogs, on the
+// sharded scheduler with one dispatcher thread per CPU.
+//
+// Demonstrates the executor's Block/Wakeup path end to end: a blocked task
+// leaves its shard, the timer thread wakes it, the wakeup may preempt a
+// running hog (SuggestPreemption) or re-dispatch an idle CPU (work
+// conservation), and per-shard dispatch locks keep the four dispatchers out
+// of each other's way the whole time.
+//
+//   $ ./examples/blocking_workload
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/exec/executor.h"
+#include "src/sched/factory.h"
+
+int main() {
+  using namespace sfs;
+
+  sched::SchedConfig config;
+  config.num_cpus = 4;  // four shards, four concurrent dispatcher threads
+  auto scheduler = sched::CreateScheduler(sched::SchedKind::kShardedSfs, config);
+
+  exec::Executor::Config exec_config;
+  exec_config.quantum = Msec(5);
+  exec::Executor executor(*scheduler, exec_config);
+
+  // Four batch hogs (weight 1) that never yield voluntarily...
+  auto hog_units = std::make_shared<std::array<std::atomic<std::int64_t>, 4>>();
+  for (sched::ThreadId tid = 0; tid < 4; ++tid) {
+    executor.AddTask(tid, 1.0, [hog_units, tid] {
+      const auto end = std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+      while (std::chrono::steady_clock::now() < end) {
+      }
+      (*hog_units)[static_cast<std::size_t>(tid)].fetch_add(1, std::memory_order_relaxed);
+      return true;
+    });
+  }
+  // ...and four interactive tasks (weight 4) that compute ~250 us, then sleep
+  // 3 ms on simulated I/O — mpeg_play against gcc, at user level.
+  auto io_rounds = std::make_shared<std::array<std::atomic<std::int64_t>, 4>>();
+  for (sched::ThreadId tid = 4; tid < 8; ++tid) {
+    executor.AddTask(tid, 4.0, [io_rounds, tid]() -> exec::Executor::WorkResult {
+      const auto end = std::chrono::steady_clock::now() + std::chrono::microseconds(250);
+      while (std::chrono::steady_clock::now() < end) {
+      }
+      (*io_rounds)[static_cast<std::size_t>(tid - 4)].fetch_add(1, std::memory_order_relaxed);
+      return exec::Executor::WorkResult::Block(Msec(3));
+    });
+  }
+
+  std::cout << "Running 4 batch hogs (w=1) + 4 interactive I/O tasks (w=4)\n"
+            << "on sharded-SFS, 4 shards / 4 dispatcher threads, for 2s...\n\n";
+  const Tick wall = executor.Run(Sec(2));
+
+  common::Table table({"task", "kind", "weight", "CPU time (ms)", "units / I/O rounds"});
+  for (sched::ThreadId tid = 0; tid < 8; ++tid) {
+    const bool hog = tid < 4;
+    const std::int64_t progress =
+        hog ? (*hog_units)[static_cast<std::size_t>(tid)].load()
+            : (*io_rounds)[static_cast<std::size_t>(tid - 4)].load();
+    table.AddRow({(hog ? "hog-" : "io-") + std::to_string(hog ? tid : tid - 4),
+                  hog ? "batch" : "interactive", common::Table::Cell(hog ? 1.0 : 4.0, 0),
+                  common::Table::Cell(executor.CpuTime(tid) / kTicksPerMsec),
+                  common::Table::Cell(progress)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nwall time: " << ToMillis(wall) << " ms"
+            << ",  dispatches: " << executor.dispatches()
+            << ",  wakeups: " << executor.wakeups()
+            << ",  preemptions: " << executor.preemptions() << '\n'
+            << "median dispatch latency: " << executor.dispatch_latencies().Percentile(50)
+            << " us,  median preempt latency: "
+            << executor.preempt_latencies().Percentile(50) << " us\n"
+            << "\nThe interactive tasks spend most of their life blocked, so their CPU\n"
+            << "time is small regardless of weight — what their weight buys is being\n"
+            << "dispatched promptly at every wakeup, which is visible in the I/O round\n"
+            << "counts staying near the 3 ms cadence ceiling while the hogs soak up\n"
+            << "the remaining CPU.\n";
+  return 0;
+}

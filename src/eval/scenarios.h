@@ -4,7 +4,7 @@
 // it through the discrete-event simulator, and returns structured data.  The
 // bench binaries print these as tables/series; the integration tests assert the
 // paper's qualitative results (who wins, who starves, what's proportional).
-// See DESIGN.md section 5 for the experiment index.
+// See DESIGN.md section 6 for the experiment index.
 
 #ifndef SFS_EVAL_SCENARIOS_H_
 #define SFS_EVAL_SCENARIOS_H_

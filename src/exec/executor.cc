@@ -1,7 +1,7 @@
 #include "src/exec/executor.h"
 
 #include <algorithm>
-#include <chrono>
+#include <utility>
 
 #include "src/common/assert.h"
 
@@ -14,6 +14,8 @@ using Clock = std::chrono::steady_clock;
 Tick ToTicks(Clock::duration d) {
   return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
 }
+
+std::chrono::microseconds FromTicks(Tick t) { return std::chrono::microseconds(t); }
 
 }  // namespace
 
@@ -35,7 +37,8 @@ Executor::~Executor() {
   }
 }
 
-void Executor::AddTask(sched::ThreadId tid, sched::Weight weight, std::function<bool()> work) {
+void Executor::AddTask(sched::ThreadId tid, sched::Weight weight,
+                       std::function<WorkResult()> work) {
   SFS_CHECK(!started_);
   auto worker = std::make_unique<Worker>();
   worker->tid = tid;
@@ -44,202 +47,411 @@ void Executor::AddTask(sched::ThreadId tid, sched::Weight weight, std::function<
   workers_.push_back(std::move(worker));
 }
 
+void Executor::AddTask(sched::ThreadId tid, sched::Weight weight,
+                       std::function<bool()> work) {
+  AddTask(tid, weight, [body = std::move(work)] {
+    return body() ? WorkResult::Continue() : WorkResult::Done();
+  });
+}
+
+std::unique_lock<std::mutex> Executor::MaybeSerialize() {
+  if (config_.serialize_dispatch) {
+    return std::unique_lock<std::mutex>(serial_mu_);
+  }
+  return std::unique_lock<std::mutex>();
+}
+
 void Executor::WorkerBody(Worker& w) {
   for (;;) {
+    sched::CpuId cpu;
     {
       std::unique_lock<std::mutex> lk(w.mu);
       w.cv.wait(lk, [&] { return w.granted || w.shutdown.load(); });
       if (w.shutdown.load()) {
         return;
       }
+      cpu = w.granted_cpu;
     }
     const Clock::time_point start = Clock::now();
-    bool done = false;
-    while (!w.preempt.load(std::memory_order_relaxed)) {
-      if (!w.work()) {
-        done = true;
+    Report report;
+    report.tid = w.tid;
+    while (true) {
+      if (w.preempt.load(std::memory_order_relaxed)) {
+        report.preempt_observed = true;
+        break;
+      }
+      const WorkResult result = w.work();
+      if (result.kind != WorkResult::Kind::kContinue) {
+        report.kind = result.kind;
+        report.block_for = result.block_for;
         break;
       }
     }
     const Clock::time_point end = Clock::now();
+    report.ran = std::max<Tick>(0, ToTicks(end - start));
+    report.yielded_at = end;
     {
       std::lock_guard<std::mutex> lk(w.mu);
       w.granted = false;
     }
     w.preempt.store(false);
 
-    Report report;
-    report.tid = w.tid;
-    report.ran = std::max<Tick>(0, ToTicks(end - start));
-    report.done = done;
-    report.yield_delay = ToTicks(end.time_since_epoch());  // absolute; resolved by dispatcher
+    const bool done = report.kind == WorkResult::Kind::kDone;
+    Cpu& mailbox = *cpus_[static_cast<std::size_t>(cpu)];
     {
-      std::lock_guard<std::mutex> lk(report_mu_);
-      reports_.push_back(report);
+      std::lock_guard<std::mutex> lk(mailbox.mu);
+      SFS_CHECK(!mailbox.report.has_value());
+      mailbox.report = report;
     }
-    report_cv_.notify_one();
+    mailbox.cv.notify_all();
     if (done) {
       return;
     }
   }
 }
 
-void Executor::Grant(Worker& w) {
+void Executor::Grant(Worker& w, sched::CpuId cpu) {
+  // The caller has already cleared any stale preempt flag under cpu.mu (the
+  // same lock the timer holds while setting it), so the flag cannot be
+  // erased/lost across this handoff.
   {
     std::lock_guard<std::mutex> lk(w.mu);
     w.granted = true;
+    w.granted_cpu = cpu;
   }
   w.cv.notify_one();
+}
+
+void Executor::KickIdleCpus() {
+  // The version bump must be visible to a dispatcher that is about to wait
+  // (it re-checks under idle_mu_), but the mutex+notify are only needed when
+  // somebody is actually idle — the common all-busy case stays lock-free so
+  // kicks don't serialize concurrent dispatchers.
+  state_version_.fetch_add(1);
+  if (idle_count_.load() == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+  }
+  idle_cv_.notify_all();
+}
+
+void Executor::StopAll() {
+  stop_.store(true);
+  KickIdleCpus();
+  for (auto& cpu : cpus_) {
+    {
+      std::lock_guard<std::mutex> lk(cpu->mu);
+    }
+    cpu->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+  }
+  timer_cv_.notify_all();
+}
+
+void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool preempt_sent,
+                            Clock::time_point preempt_sent_at) {
+  Worker* w = worker_by_tid_.at(report.tid);
+  if (preempt_sent && report.preempt_observed) {
+    // Raw time-point subtraction: both instants keep the clock's native
+    // resolution, so the latency is not the difference of two independently
+    // truncated values.  (A negative value is still possible if the worker
+    // was already past its flag check when the flag landed; clamp to zero.)
+    const double latency_us =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                report.yielded_at - preempt_sent_at)
+                                .count()) /
+        1000.0;
+    cpus_[static_cast<std::size_t>(cpu_idx)]->preempt_latencies.Add(
+        std::max(0.0, latency_us));
+    preemptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  switch (report.kind) {
+    case WorkResult::Kind::kContinue: {
+      auto serial = MaybeSerialize();
+      auto guard = scheduler_.LockDispatch(cpu_idx);
+      scheduler_.Charge(report.tid, report.ran);
+      w->cpu_time += report.ran;
+      break;
+    }
+    case WorkResult::Kind::kDone: {
+      {
+        auto serial = MaybeSerialize();
+        auto guard = scheduler_.LockLifecycle();
+        scheduler_.Charge(report.tid, report.ran);
+        w->cpu_time += report.ran;
+        scheduler_.RemoveThread(report.tid);
+      }
+      if (active_.fetch_sub(1) == 1) {
+        StopAll();
+      }
+      break;
+    }
+    case WorkResult::Kind::kBlock: {
+      {
+        // Charge-then-Block must be atomic against other dispatchers: between
+        // the two calls the thread is runnable and not running, so a concurrent
+        // PickNext could grab it and Block would fire on a running thread.
+        auto serial = MaybeSerialize();
+        auto guard = scheduler_.LockLifecycle();
+        scheduler_.Charge(report.tid, report.ran);
+        w->cpu_time += report.ran;
+        scheduler_.Block(report.tid);
+      }
+      {
+        std::lock_guard<std::mutex> lk(timer_mu_);
+        wake_queue_.push(PendingWakeup{Clock::now() + FromTicks(report.block_for), report.tid});
+      }
+      timer_cv_.notify_all();
+      break;
+    }
+  }
+  // Work conservation: the charge (and any block/exit) changed scheduler
+  // state; an idle CPU may now have work to pick or steal.
+  KickIdleCpus();
+}
+
+void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
+  Cpu& cpu = *cpus_[static_cast<std::size_t>(cpu_idx)];
+  while (!stop_.load()) {
+    if (Clock::now() >= wall_end_) {
+      break;
+    }
+    const std::uint64_t version = state_version_.load();
+    sched::ThreadId tid = sched::kInvalidThread;
+    Tick quantum = config_.quantum;
+    const Clock::time_point pick_start = Clock::now();
+    {
+      auto serial = MaybeSerialize();
+      auto guard = scheduler_.LockDispatch(cpu_idx);
+      tid = scheduler_.PickNext(cpu_idx);
+      if (tid != sched::kInvalidThread) {
+        quantum = std::min(quantum, std::max<Tick>(1, scheduler_.QuantumFor(tid)));
+      }
+    }
+    const Clock::time_point picked = Clock::now();
+
+    if (tid == sched::kInvalidThread) {
+      // Nothing runnable here: sleep until any scheduler-state change.  The
+      // version check makes the wait race-free — a kick between our empty
+      // pick and this wait bumps the version and the wait falls through
+      // (kickers that see idle_count_ == 0 skip the notify, so the count must
+      // rise only after the version snapshot, which this ordering ensures).
+      std::unique_lock<std::mutex> lk(idle_mu_);
+      idle_count_.fetch_add(1);
+      idle_cv_.wait_until(lk, wall_end_, [&] {
+        return stop_.load() || state_version_.load() != version;
+      });
+      idle_count_.fetch_sub(1);
+      continue;
+    }
+
+    cpu.dispatch_latencies.Add(static_cast<double>(
+                                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                       picked - pick_start)
+                                       .count()) /
+                               1000.0);
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+
+    Worker* w = worker_by_tid_.at(tid);
+    {
+      std::lock_guard<std::mutex> lk(cpu.mu);
+      // Clear any stale preempt flag (e.g. a timer preemption that raced with
+      // the worker's previous voluntary yield) before publishing running_tid:
+      // the timer only stores the flag while holding cpu.mu *after* seeing
+      // running_tid, so a wakeup preemption can never be erased by this clear.
+      w->preempt.store(false);
+      cpu.running_tid = tid;
+      cpu.preempt_sent = false;
+    }
+    cpu.grant_at.store(ToTicks(picked - t0_), std::memory_order_relaxed);
+    Grant(*w, cpu_idx);
+    // A dispatch is itself a state change: a previously unstealable shard may
+    // now be busy, making its queued threads fair game for idle thieves.
+    KickIdleCpus();
+
+    const Clock::time_point deadline = std::min(picked + FromTicks(quantum), wall_end_);
+    Report report;
+    bool preempt_sent = false;
+    Clock::time_point preempt_sent_at{};
+    {
+      std::unique_lock<std::mutex> lk(cpu.mu);
+      if (!cpu.cv.wait_until(lk, deadline, [&] { return cpu.report.has_value(); })) {
+        // Quantum expired (or the run is ending): preempt the worker — unless
+        // the timer already preempted this slice on a wakeup, whose earlier
+        // flag-set instant must survive or the recorded preempt-to-yield
+        // latency would shrink.
+        if (!cpu.preempt_sent) {
+          cpu.preempt_sent = true;
+          cpu.preempt_sent_at = Clock::now();
+          w->preempt.store(true, std::memory_order_relaxed);
+        }
+        // The worker is guaranteed to observe the flag within one work unit.
+        cpu.cv.wait(lk, [&] { return cpu.report.has_value(); });
+      }
+      report = *cpu.report;
+      cpu.report.reset();
+      preempt_sent = cpu.preempt_sent;
+      preempt_sent_at = cpu.preempt_sent_at;
+      cpu.preempt_sent = false;
+      cpu.running_tid = sched::kInvalidThread;
+    }
+    HandleReport(cpu_idx, report, preempt_sent, preempt_sent_at);
+  }
+  // No slice is ever in flight here: an iteration that grants always waits
+  // out the report (preempting at deadline = min(quantum end, wall_end_), so
+  // the wall limit itself winds the last slice down) and charges it before
+  // the loop re-checks stop_/wall_end_.
+  {
+    std::lock_guard<std::mutex> lk(cpu.mu);
+    SFS_CHECK(cpu.running_tid == sched::kInvalidThread);
+  }
+}
+
+void Executor::TimerLoop() {
+  for (;;) {
+    std::vector<sched::ThreadId> due;
+    {
+      std::unique_lock<std::mutex> lk(timer_mu_);
+      for (;;) {
+        if (stop_.load()) {
+          return;
+        }
+        const Clock::time_point now = Clock::now();
+        if (now >= wall_end_) {
+          return;
+        }
+        if (!wake_queue_.empty() && wake_queue_.top().at <= now) {
+          break;
+        }
+        const Clock::time_point until =
+            wake_queue_.empty() ? wall_end_ : std::min(wake_queue_.top().at, wall_end_);
+        timer_cv_.wait_until(lk, until);
+      }
+      const Clock::time_point now = Clock::now();
+      while (!wake_queue_.empty() && wake_queue_.top().at <= now) {
+        due.push_back(wake_queue_.top().tid);
+        wake_queue_.pop();
+      }
+    }
+    for (const sched::ThreadId tid : due) {
+      sched::ThreadId target_tid = sched::kInvalidThread;
+      sched::CpuId target_cpu = sched::kInvalidCpu;
+      {
+        auto serial = MaybeSerialize();
+        auto guard = scheduler_.LockLifecycle();
+        if (!scheduler_.Contains(tid)) {
+          continue;
+        }
+        scheduler_.Wakeup(tid);
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+        // reschedule_idle(): does the wakeup warrant preempting a running
+        // thread?  elapsed[c] approximates each CPU's uncharged run time.
+        const Tick now_ticks = ToTicks(Clock::now() - t0_);
+        std::vector<Tick> elapsed(cpus_.size(), 0);
+        for (std::size_t c = 0; c < cpus_.size(); ++c) {
+          if (scheduler_.RunningOn(static_cast<sched::CpuId>(c)) != sched::kInvalidThread) {
+            elapsed[c] = std::max<Tick>(
+                0, now_ticks - cpus_[c]->grant_at.load(std::memory_order_relaxed));
+          }
+        }
+        target_cpu = scheduler_.SuggestPreemption(tid, elapsed);
+        if (target_cpu != sched::kInvalidCpu) {
+          target_tid = scheduler_.RunningOn(target_cpu);
+        }
+      }
+      if (target_tid != sched::kInvalidThread) {
+        Cpu& cpu = *cpus_[static_cast<std::size_t>(target_cpu)];
+        std::lock_guard<std::mutex> lk(cpu.mu);
+        // Only preempt if that CPU's dispatcher still has this worker granted
+        // and its report is not already in the mailbox; the flag store happens
+        // under cpu.mu so it cannot race a Grant-time clear (which also holds
+        // cpu.mu) and truncate an unrelated fresh slice.
+        if (cpu.running_tid == target_tid && !cpu.preempt_sent && !cpu.report.has_value()) {
+          cpu.preempt_sent = true;
+          cpu.preempt_sent_at = Clock::now();
+          worker_by_tid_.at(target_tid)->preempt.store(true, std::memory_order_relaxed);
+        }
+      }
+      // Work conservation: the woken thread must be picked up by an idle CPU
+      // immediately, not whenever that CPU happens to produce its own report.
+      KickIdleCpus();
+    }
+  }
 }
 
 Tick Executor::Run(Tick wall_limit) {
   SFS_CHECK(!started_);
   started_ = true;
 
-  struct CpuState {
-    Worker* running = nullptr;
-    Clock::time_point deadline;
-    Clock::time_point preempt_sent_at;
-    bool preempt_sent = false;
-  };
+  t0_ = Clock::now();
+  wall_end_ = t0_ + FromTicks(wall_limit);
 
-  const Clock::time_point t0 = Clock::now();
-  const Clock::time_point wall_end = t0 + std::chrono::microseconds(wall_limit);
+  cpus_.clear();
+  for (int c = 0; c < scheduler_.num_cpus(); ++c) {
+    cpus_.push_back(std::make_unique<Cpu>());
+  }
+
+  worker_by_tid_.clear();
+  worker_by_tid_.reserve(workers_.size());
+  for (auto& w : workers_) {
+    const bool inserted = worker_by_tid_.emplace(w->tid, w.get()).second;
+    SFS_CHECK(inserted);  // duplicate task ids would corrupt dispatch routing
+  }
+
+  active_.store(static_cast<int>(workers_.size()));
+  if (workers_.empty()) {
+    stop_.store(true);
+  }
 
   // Register and launch every worker (they start waiting for a grant).
+  {
+    auto guard = scheduler_.LockLifecycle();
+    for (auto& w : workers_) {
+      scheduler_.AddThread(w->tid, w->weight);
+    }
+  }
   for (auto& w : workers_) {
-    scheduler_.AddThread(w->tid, w->weight);
     w->thread = std::thread([this, worker = w.get()] { WorkerBody(*worker); });
   }
 
-  std::vector<CpuState> cpus(static_cast<std::size_t>(scheduler_.num_cpus()));
-  auto find_worker = [&](sched::ThreadId tid) -> Worker* {
-    for (auto& w : workers_) {
-      if (w->tid == tid) {
-        return w.get();
-      }
-    }
-    SFS_CHECK(false);
-    return nullptr;
-  };
-
-  int active = static_cast<int>(workers_.size());
-  int running_count = 0;
-
-  auto dispatch = [&](std::size_t cpu_idx) {
-    const sched::ThreadId tid = scheduler_.PickNext(static_cast<sched::CpuId>(cpu_idx));
-    if (tid == sched::kInvalidThread) {
-      cpus[cpu_idx].running = nullptr;
-      return;
-    }
-    Worker* w = find_worker(tid);
-    cpus[cpu_idx].running = w;
-    cpus[cpu_idx].deadline = Clock::now() + std::chrono::microseconds(config_.quantum);
-    cpus[cpu_idx].preempt_sent = false;
-    ++dispatches_;
-    ++running_count;
-    Grant(*w);
-  };
-
-  for (std::size_t c = 0; c < cpus.size(); ++c) {
-    dispatch(c);
+  std::thread timer([this] { TimerLoop(); });
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(cpus_.size());
+  for (std::size_t c = 0; c < cpus_.size(); ++c) {
+    dispatchers.emplace_back(
+        [this, c] { DispatcherLoop(static_cast<sched::CpuId>(c)); });
   }
 
-  while (active > 0 && Clock::now() < wall_end) {
-    // Next timer event: earliest quantum deadline among running CPUs.
-    Clock::time_point next_deadline = wall_end;
-    for (const auto& cpu : cpus) {
-      if (cpu.running != nullptr && !cpu.preempt_sent) {
-        next_deadline = std::min(next_deadline, cpu.deadline);
-      }
+  for (auto& d : dispatchers) {
+    d.join();
+  }
+  StopAll();
+  timer.join();
+
+  for (const auto& cpu : cpus_) {
+    for (const double sample : cpu->dispatch_latencies.samples()) {
+      dispatch_latencies_.Add(sample);
     }
-
-    Report report;
-    bool have_report = false;
-    {
-      std::unique_lock<std::mutex> lk(report_mu_);
-      report_cv_.wait_until(lk, next_deadline, [&] { return !reports_.empty(); });
-      if (!reports_.empty()) {
-        report = reports_.front();
-        reports_.pop_front();
-        have_report = true;
-      }
-    }
-
-    if (have_report) {
-      // Find the CPU this worker was running on.
-      std::size_t cpu_idx = cpus.size();
-      for (std::size_t c = 0; c < cpus.size(); ++c) {
-        if (cpus[c].running != nullptr && cpus[c].running->tid == report.tid) {
-          cpu_idx = c;
-          break;
-        }
-      }
-      SFS_CHECK(cpu_idx < cpus.size());
-      CpuState& cpu = cpus[cpu_idx];
-      Worker* w = cpu.running;
-      cpu.running = nullptr;
-      --running_count;
-
-      scheduler_.Charge(report.tid, report.ran);
-      w->cpu_time += report.ran;
-      if (cpu.preempt_sent) {
-        const Tick latency =
-            report.yield_delay - ToTicks(cpu.preempt_sent_at.time_since_epoch());
-        preempt_latencies_.Add(static_cast<double>(std::max<Tick>(0, latency)));
-      }
-      if (report.done) {
-        scheduler_.RemoveThread(report.tid);
-        --active;
-      }
-      dispatch(cpu_idx);
-      continue;
-    }
-
-    // Timer: preempt every CPU whose quantum expired.
-    const Clock::time_point now = Clock::now();
-    for (auto& cpu : cpus) {
-      if (cpu.running != nullptr && !cpu.preempt_sent && now >= cpu.deadline) {
-        cpu.preempt_sent = true;
-        cpu.preempt_sent_at = now;
-        cpu.running->preempt.store(true, std::memory_order_relaxed);
-      }
+    for (const double sample : cpu->preempt_latencies.samples()) {
+      preempt_latencies_.Add(sample);
     }
   }
 
-  // Wind down: stop everything still on a CPU and drain their final reports.
-  for (auto& cpu : cpus) {
-    if (cpu.running != nullptr) {
-      cpu.running->preempt.store(true, std::memory_order_relaxed);
-    }
-  }
-  while (running_count > 0) {
-    Report report;
-    {
-      std::unique_lock<std::mutex> lk(report_mu_);
-      report_cv_.wait(lk, [&] { return !reports_.empty(); });
-      report = reports_.front();
-      reports_.pop_front();
-    }
-    for (auto& cpu : cpus) {
-      if (cpu.running != nullptr && cpu.running->tid == report.tid) {
-        scheduler_.Charge(report.tid, report.ran);
-        cpu.running->cpu_time += report.ran;
-        if (report.done) {
-          scheduler_.RemoveThread(report.tid);
-          --active;
-        }
-        cpu.running = nullptr;
-        --running_count;
-        break;
-      }
-    }
-  }
   // Unregister tasks that never finished, then stop their (waiting) threads.
-  for (auto& w : workers_) {
-    if (scheduler_.Contains(w->tid)) {
-      scheduler_.RemoveThread(w->tid);
+  {
+    auto guard = scheduler_.LockLifecycle();
+    for (auto& w : workers_) {
+      if (scheduler_.Contains(w->tid)) {
+        scheduler_.RemoveThread(w->tid);
+      }
     }
+  }
+  for (auto& w : workers_) {
     w->shutdown.store(true);
     {
       std::lock_guard<std::mutex> lk(w->mu);
@@ -251,7 +463,7 @@ Tick Executor::Run(Tick wall_limit) {
       w->thread.join();
     }
   }
-  return ToTicks(Clock::now() - t0);
+  return ToTicks(Clock::now() - t0_);
 }
 
 Tick Executor::CpuTime(sched::ThreadId tid) const {

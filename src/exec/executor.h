@@ -4,29 +4,49 @@
 // the kernel arrangement at user level:
 //
 //   * at most `num_cpus` workers are granted the CPU at once (the "processors");
-//   * a dispatcher thread plays the role of the timer interrupt: it sets a
-//     worker's preempt flag when its quantum expires, charges the scheduler with
-//     the *measured* run time, and dispatches the next pick;
+//   * one dispatcher thread *per CPU* plays the role of that processor's
+//     scheduler invocation: it picks, grants, times the quantum, sets the
+//     worker's preempt flag on expiry, charges the scheduler with the
+//     *measured* run time, and dispatches the next pick — concurrently with
+//     every other CPU's dispatcher, exactly as kernel CPUs run schedule() in
+//     parallel (Section 3.1: quanta on different processors are not
+//     synchronized);
+//   * a timer thread delivers simulated-I/O completions: tasks may return
+//     WorkResult::Block(d) to sleep, the scheduler sees Block/Wakeup, and every
+//     wakeup (or any other scheduler-state change) re-dispatches all idle CPUs
+//     so the executor stays work-conserving;
 //   * preemption is cooperative: worker bodies perform a small unit of work per
 //     call and re-check the flag, like a kernel preemption point.
 //
-// This is how the repository demonstrates real proportional sharing on the host
-// (examples/realtime_exec) and how Table 1's context-switch latencies get a
-// real-code analogue (bench/table1): the dispatch latency measured here includes
-// the actual scheduler data-structure work.
+// Scheduler calls follow the sched::Scheduler thread-safety contract
+// (scheduler.h): the dispatch path runs under LockDispatch(cpu) — a per-shard
+// mutex for sched::Sharded, one coarse mutex for flat policies — and
+// lifecycle transitions (block, wakeup, exit) run under the exclusive
+// LockLifecycle.  Config::serialize_dispatch additionally funnels every
+// scheduler call through one executor-wide mutex, restoring the old
+// single-dispatcher serialization (bench/abl_lock_contention measures what
+// that costs, with a protocol-level harness of the same shape).
 //
-// Thread-safety: the Scheduler is touched only by the dispatcher thread.
+// This is how the repository demonstrates real proportional sharing on the host
+// (examples/realtime_exec, examples/blocking_workload) and how Table 1's
+// context-switch latencies get a real-code analogue (bench/table1): the
+// dispatch latency measured here includes the actual scheduler data-structure
+// work plus any lock contention between concurrent dispatchers.
 
 #ifndef SFS_EXEC_EXECUTOR_H_
 #define SFS_EXEC_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <queue>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -41,6 +61,25 @@ class Executor {
     // Quantum handed to each dispatch.  Shorter than the kernel's 200 ms default
     // so that demo runs interleave visibly.
     Tick quantum = Msec(20);
+
+    // Funnel every scheduler operation through one executor-wide mutex, even
+    // when the scheduler offers per-CPU dispatch locks.  Emulates the
+    // pre-concurrent single-dispatcher executor's serialization (the
+    // global-lock side of the abl_lock_contention comparison).
+    bool serialize_dispatch = false;
+  };
+
+  // Outcome of one work unit: keep running, finish, or sleep on simulated I/O
+  // for `block_for` ticks (the timer thread wakes the task afterwards).
+  struct WorkResult {
+    enum class Kind { kContinue, kDone, kBlock };
+
+    static WorkResult Continue() { return {Kind::kContinue, 0}; }
+    static WorkResult Done() { return {Kind::kDone, 0}; }
+    static WorkResult Block(Tick block_for) { return {Kind::kBlock, block_for}; }
+
+    Kind kind = Kind::kContinue;
+    Tick block_for = 0;
   };
 
   // The scheduler decides who runs; its num_cpus() bounds concurrency.
@@ -51,8 +90,14 @@ class Executor {
   Executor& operator=(const Executor&) = delete;
 
   // Registers a worker before Run().  `work` is invoked repeatedly while the
-  // task holds a CPU; each call should do a small unit (tens of microseconds) of
-  // work and return true to continue or false when the task is finished.
+  // task holds a CPU; each call should do a small unit (tens of microseconds)
+  // of work and report through its WorkResult whether to continue, finish, or
+  // block.
+  void AddTask(sched::ThreadId tid, sched::Weight weight,
+               std::function<WorkResult()> work);
+
+  // Convenience overload: `work` returns true to continue, false when done
+  // (never blocks).
   void AddTask(sched::ThreadId tid, sched::Weight weight, std::function<bool()> work);
 
   // Runs until every task finishes or `wall_limit` elapses.  Returns the wall
@@ -63,48 +108,121 @@ class Executor {
   Tick CpuTime(sched::ThreadId tid) const;
 
   // Latency from preempt-flag set to the worker actually yielding; a user-level
-  // proxy for context-switch cost.
+  // proxy for context-switch cost.  Computed from raw steady_clock time points
+  // (flag-set and yield instants are subtracted *before* any truncation to
+  // ticks, so the samples carry no quantization bias).
   const common::SampleSet& preempt_latencies() const { return preempt_latencies_; }
 
-  std::int64_t dispatches() const { return dispatches_; }
+  // Latency of one scheduling decision: acquiring the dispatch lock (including
+  // any contention with other CPUs' dispatchers) plus PickNext.  Idle picks
+  // (nothing runnable) are not sampled.
+  const common::SampleSet& dispatch_latencies() const { return dispatch_latencies_; }
+
+  std::int64_t dispatches() const { return dispatches_.load(std::memory_order_relaxed); }
+  std::int64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  std::int64_t preemptions() const { return preemptions_.load(std::memory_order_relaxed); }
 
  private:
-  struct Worker {
-    sched::ThreadId tid = sched::kInvalidThread;
-    sched::Weight weight = 1.0;
-    std::function<bool()> work;
-
-    std::mutex mu;
-    std::condition_variable cv;
-    bool granted = false;        // guarded by mu
-    std::atomic<bool> preempt{false};
-    std::atomic<bool> shutdown{false};
-
-    std::thread thread;
-    Tick cpu_time = 0;  // written by dispatcher only
-  };
+  using Clock = std::chrono::steady_clock;
 
   struct Report {
     sched::ThreadId tid = sched::kInvalidThread;
     Tick ran = 0;
-    bool done = false;
-    Tick yield_delay = 0;  // preempt-flag-to-yield latency (0 if voluntary)
+    WorkResult::Kind kind = WorkResult::Kind::kContinue;
+    Tick block_for = 0;
+    bool preempt_observed = false;   // yielded because the flag was set
+    Clock::time_point yielded_at{};  // raw instant the work loop exited
+  };
+
+  struct Worker {
+    sched::ThreadId tid = sched::kInvalidThread;
+    sched::Weight weight = 1.0;
+    std::function<WorkResult()> work;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool granted = false;                      // guarded by mu
+    sched::CpuId granted_cpu = sched::kInvalidCpu;  // guarded by mu
+    std::atomic<bool> preempt{false};
+    std::atomic<bool> shutdown{false};
+
+    std::thread thread;
+    Tick cpu_time = 0;  // written under the dispatch/lifecycle lock of the charging CPU
+  };
+
+  // Per-processor dispatcher state.  The mailbox (report/cv) carries the
+  // running worker's yield report back to this CPU's dispatcher.
+  struct Cpu {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Report> report;                  // guarded by mu
+    sched::ThreadId running_tid = sched::kInvalidThread;  // guarded by mu
+    bool preempt_sent = false;                     // guarded by mu
+    Clock::time_point preempt_sent_at{};           // guarded by mu
+    // Grant instant in ticks since run start, for the elapsed[] vector handed
+    // to SuggestPreemption; advisory, hence lock-free.
+    std::atomic<Tick> grant_at{0};
+    // This dispatcher's latency samples; written only by its own thread and
+    // merged after the run, so sampling never serializes dispatchers.
+    common::SampleSet dispatch_latencies;
+    common::SampleSet preempt_latencies;
+  };
+
+  struct PendingWakeup {
+    Clock::time_point at;
+    sched::ThreadId tid;
+    bool operator>(const PendingWakeup& other) const { return at > other.at; }
   };
 
   void WorkerBody(Worker& w);
-  void Grant(Worker& w);
+  void Grant(Worker& w, sched::CpuId cpu);
+  void DispatcherLoop(sched::CpuId cpu);
+  void TimerLoop();
+  void HandleReport(sched::CpuId cpu, const Report& report, bool preempt_sent,
+                    Clock::time_point preempt_sent_at);
+  // Wakes every idle dispatcher so it re-picks; call after any scheduler-state
+  // change that may have made a CPU's idleness stale (work conservation).
+  void KickIdleCpus();
+  void StopAll();
+
+  // Serialization point for Config::serialize_dispatch (no-op lock otherwise).
+  std::unique_lock<std::mutex> MaybeSerialize();
 
   sched::Scheduler& scheduler_;
   Config config_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::unordered_map<sched::ThreadId, Worker*> worker_by_tid_;  // built in Run
+  std::vector<std::unique_ptr<Cpu>> cpus_;
 
-  std::mutex report_mu_;
-  std::condition_variable report_cv_;
-  std::deque<Report> reports_;
+  Clock::time_point t0_;
+  Clock::time_point wall_end_;
 
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_{0};
+
+  // Idle dispatchers wait here; state_version_ advances on every kick so a
+  // dispatcher that observed version v before an empty pick cannot miss a
+  // wakeup that raced with it, and idle_count_ lets the all-busy kick path
+  // skip the mutex entirely.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::uint64_t> state_version_{0};
+  std::atomic<int> idle_count_{0};
+
+  // Sleeping tasks, ordered by wake time; drained by the timer thread.
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<PendingWakeup, std::vector<PendingWakeup>, std::greater<>> wake_queue_;
+
+  std::mutex serial_mu_;  // Config::serialize_dispatch
+
+  // Merged from the per-CPU sample sets after the dispatchers join.
   common::SampleSet preempt_latencies_;
-  std::int64_t dispatches_ = 0;
+  common::SampleSet dispatch_latencies_;
+  std::atomic<std::int64_t> dispatches_{0};
+  std::atomic<std::int64_t> wakeups_{0};
+  std::atomic<std::int64_t> preemptions_{0};
   bool started_ = false;
 };
 

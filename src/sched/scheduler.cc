@@ -12,6 +12,36 @@ Scheduler::Scheduler(const SchedConfig& config) : config_(config) {
 
 Scheduler::~Scheduler() = default;
 
+Scheduler::DispatchGuard Scheduler::LockDispatch(CpuId cpu) {
+  return DispatchGuard(DispatchMutex(cpu));
+}
+
+Scheduler::LifecycleGuard Scheduler::LockLifecycle() {
+  // Every distinct dispatch mutex in ascending CPU-id order (flat schedulers
+  // return the same mutex for every CPU — lock it once, not num_cpus times).
+  LifecycleGuard guard;
+  guard.reserve(static_cast<std::size_t>(num_cpus()));
+  for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
+    std::mutex& mu = DispatchMutex(cpu);
+    bool held = false;
+    for (const auto& lock : guard) {
+      if (lock.mutex() == &mu) {
+        held = true;
+        break;
+      }
+    }
+    if (!held) {
+      guard.emplace_back(mu);
+    }
+  }
+  return guard;
+}
+
+std::mutex& Scheduler::DispatchMutex(CpuId cpu) {
+  (void)cpu;
+  return dispatch_mu_;
+}
+
 void Scheduler::AddThread(ThreadId tid, Weight weight) {
   SFS_CHECK(tid != kInvalidThread);
   SFS_CHECK(weight > 0);

@@ -18,12 +18,44 @@
 // All bookkeeping common to every policy (the thread table, runnable/running state,
 // cumulative service accounting) lives here; concrete schedulers implement the
 // `On*` hooks and the dispatch decision.
+//
+// Thread-safety contract (concurrent drivers, e.g. the per-CPU dispatcher
+// threads of exec::Executor):
+//
+//   * A Scheduler performs no internal synchronization of its own entry
+//     points.  Single-threaded drivers (the simulator) call everything
+//     directly, paying nothing.
+//   * A concurrent driver brackets every call in one of two lock classes:
+//       - LockDispatch(cpu) covers the dispatch path on that processor:
+//         PickNext(cpu), Charge(tid) for the thread running on `cpu`, and
+//         QuantumFor(tid) for the thread just picked there.  Flat policies
+//         share one dispatch mutex (all per-CPU dispatch serializes — the
+//         coarse global-lock contract); sched::Sharded overrides
+//         DispatchMutex() with a per-shard mutex, so dispatch on different
+//         CPUs proceeds concurrently and only cross-shard steal/migration
+//         synchronizes internally (see sharded.h).
+//       - LockLifecycle() covers everything else: AddThread, RemoveThread,
+//         Block, Wakeup, SetWeight, SuggestPreemption, DetachEntity,
+//         AttachEntity and any introspection that races with dispatch.  It
+//         acquires every distinct dispatch mutex, so it is exclusive against
+//         every concurrent LockDispatch *and* other lifecycle calls, and a
+//         lifecycle holder may additionally perform dispatch-path operations
+//         (the Charge-then-Block sequence must be atomic or another
+//         dispatcher could pick the thread in between).  Deliberately not a
+//         reader-writer lock: with per-CPU dispatchers hammering the
+//         dispatch path, a reader-preferring rwlock (glibc's default) can
+//         starve wakeups for seconds.
+//   * Lock order: dispatch mutexes are only ever *waited on* in ascending
+//     CPU-id order (LockLifecycle and the sharded steal path both follow
+//     this; out-of-order acquisitions use try_lock), so no cycle of blocking
+//     waits can form.
 
 #ifndef SFS_SCHED_SCHEDULER_H_
 #define SFS_SCHED_SCHEDULER_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +79,19 @@ class Scheduler {
 
   const SchedConfig& config() const { return config_; }
   int num_cpus() const { return config_.num_cpus; }
+
+  // --- Concurrency (see the thread-safety contract above) ---------------------
+
+  using DispatchGuard = std::unique_lock<std::mutex>;
+  // All distinct dispatch mutexes, held in ascending CPU-id order.
+  using LifecycleGuard = std::vector<std::unique_lock<std::mutex>>;
+
+  // Acquires the lock covering PickNext/Charge/QuantumFor on `cpu`.
+  DispatchGuard LockDispatch(CpuId cpu);
+
+  // Acquires the exclusive lock covering every other entry point (and, while
+  // held, the dispatch path on any CPU as well).
+  LifecycleGuard LockLifecycle();
 
   // --- Thread lifecycle -------------------------------------------------------
 
@@ -166,6 +211,12 @@ class Scheduler {
   // a translated tag (>= v by construction) untouched while enqueueing.
   virtual void OnAttach(Entity& e) { OnWoken(e); }
 
+  // The mutex LockDispatch(cpu) takes after the shared state lock.  The base
+  // returns one scheduler-wide mutex (flat policies touch shared queues from
+  // every CPU's dispatch, so they must serialize); sched::Sharded returns the
+  // per-shard mutex so independent shards dispatch concurrently.
+  virtual std::mutex& DispatchMutex(CpuId cpu);
+
   // Lookup helpers; CHECK-fail on unknown tid.
   Entity& FindEntity(ThreadId tid);
   const Entity& FindEntity(ThreadId tid) const;
@@ -187,6 +238,9 @@ class Scheduler {
   std::unordered_map<ThreadId, std::unique_ptr<Entity>> threads_;
   std::vector<ThreadId> running_;
   int runnable_count_ = 0;
+
+  // Concurrency contract state; untouched unless a driver uses the Lock* API.
+  mutable std::mutex dispatch_mu_;
 };
 
 }  // namespace sfs::sched

@@ -25,13 +25,13 @@ ShardedScheduler::ShardedScheduler(const SchedConfig& config, ShardFactory make_
   shard_config.num_cpus = 1;
   shards_.reserve(static_cast<std::size_t>(num_cpus()));
   for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
-    Shard shard;
-    shard.scheduler = make_shard(shard_config);
-    SFS_CHECK(shard.scheduler != nullptr);
-    SFS_CHECK(shard.scheduler->num_cpus() == 1);
+    auto shard = std::make_unique<Shard>();
+    shard->scheduler = make_shard(shard_config);
+    SFS_CHECK(shard->scheduler != nullptr);
+    SFS_CHECK(shard->scheduler->num_cpus() == 1);
     shards_.push_back(std::move(shard));
   }
-  name_ = "sharded-" + std::string(shards_.front().scheduler->name());
+  name_ = "sharded-" + std::string(shards_.front()->scheduler->name());
 }
 
 ShardedScheduler::~ShardedScheduler() = default;
@@ -56,8 +56,8 @@ CpuId ShardedScheduler::ShardOf(ThreadId tid) const { return FindEntity(tid).par
 std::vector<double> ShardedScheduler::ShardRunnableWeights() const {
   std::vector<double> weights;
   weights.reserve(shards_.size());
-  for (const Shard& shard : shards_) {
-    weights.push_back(shard.runnable_weight);
+  for (const auto& shard : shards_) {
+    weights.push_back(shard->runnable_weight.load(std::memory_order_relaxed));
   }
   return weights;
 }
@@ -66,10 +66,20 @@ const Scheduler& ShardedScheduler::shard(CpuId cpu) const { return *ShardAt(cpu)
 
 Scheduler& ShardedScheduler::shard(CpuId cpu) { return *ShardAt(cpu).scheduler; }
 
+std::mutex& ShardedScheduler::DispatchMutex(CpuId cpu) { return ShardAt(cpu).mu; }
+
+std::unique_lock<std::mutex> ShardedScheduler::LockVictimShard(CpuId self, CpuId victim) {
+  SFS_DCHECK(victim != self);
+  if (victim > self) {
+    return std::unique_lock<std::mutex>(ShardAt(victim).mu);
+  }
+  return std::unique_lock<std::mutex>(ShardAt(victim).mu, std::try_to_lock);
+}
+
 CpuId ShardedScheduler::LightestShard() const {
   CpuId best = 0;
   for (CpuId cpu = 1; cpu < num_cpus(); ++cpu) {
-    if (ShardAt(cpu).runnable_weight < ShardAt(best).runnable_weight) {
+    if (RunnableWeightOf(cpu) < RunnableWeightOf(best)) {
       best = cpu;
     }
   }
@@ -81,21 +91,21 @@ void ShardedScheduler::OnAdmit(Entity& e) {
   e.partition = target;
   e.phi = e.weight;  // uniprocessor shards: every weight assignment is feasible
   Shard& shard = ShardAt(target);
-  shard.runnable_weight += e.weight;
+  AddRunnableWeight(shard, e.weight);
   shard.scheduler->AddThread(e.tid, e.weight);
 }
 
 void ShardedScheduler::OnRemove(Entity& e) {
   Shard& shard = ShardAt(e.partition);
   if (e.runnable) {
-    shard.runnable_weight -= e.weight;
+    AddRunnableWeight(shard, -e.weight);
   }
   shard.scheduler->RemoveThread(e.tid);
 }
 
 void ShardedScheduler::OnBlocked(Entity& e) {
   Shard& shard = ShardAt(e.partition);
-  shard.runnable_weight -= e.weight;
+  AddRunnableWeight(shard, -e.weight);
   shard.scheduler->Block(e.tid);
 }
 
@@ -103,13 +113,13 @@ void ShardedScheduler::OnWoken(Entity& e) {
   // Wakes rejoin their home shard (cache affinity); imbalance this creates is
   // repaired by stealing/rebalancing, not by re-placing the waker.
   Shard& shard = ShardAt(e.partition);
-  shard.runnable_weight += e.weight;
+  AddRunnableWeight(shard, e.weight);
   shard.scheduler->Wakeup(e.tid);
 }
 
 void ShardedScheduler::OnWeightChanged(Entity& e, Weight old_weight) {
   if (e.runnable) {
-    ShardAt(e.partition).runnable_weight += e.weight - old_weight;
+    AddRunnableWeight(ShardAt(e.partition), e.weight - old_weight);
   }
   e.phi = e.weight;
   ShardAt(e.partition).scheduler->SetWeight(e.tid, e.weight);
@@ -130,7 +140,8 @@ void ShardedScheduler::OnCharge(Entity& e, Tick ran_for) {
 
 void ShardedScheduler::MaybeRebalance(CpuId dispatching_cpu) {
   if (config().shard_rebalance_period <= 0 ||
-      ++decisions_since_rebalance_ < config().shard_rebalance_period) {
+      decisions_since_rebalance_.fetch_add(1, std::memory_order_relaxed) + 1 <
+          config().shard_rebalance_period) {
     return;
   }
   // Pull-based greedy repartitioning: the dispatching CPU's shard pulls the
@@ -143,18 +154,21 @@ void ShardedScheduler::MaybeRebalance(CpuId dispatching_cpu) {
   for (int iteration = 0; iteration < thread_count(); ++iteration) {
     CpuId heavy = 0;
     for (CpuId cpu = 1; cpu < num_cpus(); ++cpu) {
-      if (ShardAt(cpu).runnable_weight > ShardAt(heavy).runnable_weight) {
+      if (RunnableWeightOf(cpu) > RunnableWeightOf(heavy)) {
         heavy = cpu;
       }
     }
     if (heavy == dispatching_cpu) {
       break;
     }
-    const double gap =
-        ShardAt(heavy).runnable_weight - ShardAt(dispatching_cpu).runnable_weight;
+    const double gap = RunnableWeightOf(heavy) - RunnableWeightOf(dispatching_cpu);
     if (gap <= 0.0) {
       acted = true;  // balanced from this shard's point of view: pass complete
       break;
+    }
+    std::unique_lock<std::mutex> victim_lock = LockVictimShard(dispatching_cpu, heavy);
+    if (!victim_lock.owns_lock()) {
+      break;  // contended victim: retry at the next decision
     }
     Entity* candidate = ShardAt(heavy).scheduler->PickMigrationCandidate(/*max_weight=*/gap);
     if (candidate == nullptr) {
@@ -166,7 +180,8 @@ void ShardedScheduler::MaybeRebalance(CpuId dispatching_cpu) {
   // When this processor's shard could not act (it *is* the heaviest, or the
   // heavy shard had nothing movable), retry at the very next decision —
   // likely on another CPU — instead of waiting out a whole fresh period.
-  decisions_since_rebalance_ = acted ? 0 : config().shard_rebalance_period;
+  decisions_since_rebalance_.store(acted ? 0 : config().shard_rebalance_period,
+                                   std::memory_order_relaxed);
 }
 
 ThreadId ShardedScheduler::TrySteal(CpuId thief) {
@@ -174,15 +189,23 @@ ThreadId ShardedScheduler::TrySteal(CpuId thief) {
   // thread with the greatest phi-weighted lead over its shard's virtual time.
   // Each shard nominates its own best candidate; the thief prefers a
   // cache-warm nominee (last ran here) within affinity_tolerance of the best.
-  Entity* victim = nullptr;
+  // Each source shard is evaluated under its own dispatch mutex (nominations
+  // are recorded by tid, not entity pointer, since a peer may act on the
+  // shard once its lock is released); the winner is re-locked and re-validated
+  // before the migration.
+  ThreadId victim = kInvalidThread;
   CpuId victim_shard = kInvalidCpu;
   double victim_score = 0.0;
-  Entity* affine = nullptr;
+  ThreadId affine = kInvalidThread;
   CpuId affine_shard = kInvalidCpu;
   double affine_score = 0.0;
   for (CpuId source = 0; source < num_cpus(); ++source) {
     if (source == thief) {
       continue;
+    }
+    std::unique_lock<std::mutex> source_lock = LockVictimShard(thief, source);
+    if (!source_lock.owns_lock()) {
+      continue;  // contended source: its own dispatcher is serving it anyway
     }
     // Only steal from shards whose processor is busy: a queued thread on an
     // idle source processor will be served locally (cache-warm) as soon as
@@ -197,35 +220,52 @@ ThreadId ShardedScheduler::TrySteal(CpuId thief) {
     if (candidate == nullptr) {
       continue;
     }
-    if (victim == nullptr || score > victim_score ||
-        (score == victim_score && candidate->tid < victim->tid)) {
-      victim = candidate;
+    if (victim == kInvalidThread || score > victim_score ||
+        (score == victim_score && candidate->tid < victim)) {
+      victim = candidate->tid;
       victim_shard = source;
       victim_score = score;
     }
     // Cache warmth lives on the outer entity (inner shards only ever see
     // their single local processor 0).
     if (FindEntity(candidate->tid).last_cpu == thief &&
-        (affine == nullptr || score > affine_score ||
-         (score == affine_score && candidate->tid < affine->tid))) {
-      affine = candidate;
+        (affine == kInvalidThread || score > affine_score ||
+         (score == affine_score && candidate->tid < affine))) {
+      affine = candidate->tid;
       affine_shard = source;
       affine_score = score;
     }
   }
-  if (victim == nullptr) {
+  if (victim == kInvalidThread) {
     return kInvalidThread;
   }
-  if (affine != nullptr && affine != victim &&
+  if (affine != kInvalidThread && affine != victim &&
       affine_score + static_cast<double>(config().affinity_tolerance) >= victim_score) {
     victim = affine;
     victim_shard = affine_shard;
   }
-  Migrate(victim->tid, victim_shard, thief, /*steal=*/true);
+  std::unique_lock<std::mutex> victim_lock = LockVictimShard(thief, victim_shard);
+  if (!victim_lock.owns_lock()) {
+    return kInvalidThread;  // contended since nomination: give up this round
+  }
+  // Re-validate: the victim shard's dispatcher may have dispatched, blocked or
+  // migrated the nominee between the scan and this reacquisition.  (Always
+  // true single-threaded, where the nomination lock was never released.)
+  // Checked against the *inner* shard's state only: if the nominee migrated
+  // away, the outer entity's fields are now guarded by locks we do not hold,
+  // but inner membership — and, while a member, runnable/running — is guarded
+  // by the victim lock held here.
+  Scheduler& source = *ShardAt(victim_shard).scheduler;
+  if (!source.Contains(victim) || !source.IsRunnable(victim) || source.IsRunning(victim)) {
+    return kInvalidThread;
+  }
+  Migrate(victim, victim_shard, thief, /*steal=*/true);
   return ShardAt(thief).scheduler->PickNext(0);
 }
 
 void ShardedScheduler::Migrate(ThreadId tid, CpuId from, CpuId to, bool steal) {
+  // Caller holds both shard mutexes (or is single-threaded): the source and
+  // destination inner schedulers and the outer entity are all stable here.
   SFS_DCHECK(from != to);
   Scheduler& src = *ShardAt(from).scheduler;
   Scheduler& dst = *ShardAt(to).scheduler;
@@ -238,10 +278,10 @@ void ShardedScheduler::Migrate(ThreadId tid, CpuId from, CpuId to, bool steal) {
   TranslateMigratedTags(*inner, v_src, v_dst, config().shard_coupling);
   dst.AttachEntity(std::move(inner));
   Entity& outer = FindEntity(tid);
-  ShardAt(from).runnable_weight -= outer.weight;
-  ShardAt(to).runnable_weight += outer.weight;
+  AddRunnableWeight(ShardAt(from), -outer.weight);
+  AddRunnableWeight(ShardAt(to), outer.weight);
   outer.partition = to;
-  ++(steal ? steals_ : rebalance_migrations_);
+  (steal ? steals_ : rebalance_migrations_).fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace sfs::sched

@@ -30,13 +30,27 @@
 //
 // The paper's strawman (PartitionedSfq) is the same machinery with stealing
 // off and coupling 0 — strawman and production design differ only in knobs.
+//
+// Concurrency: this layer implements the per-shard half of the Scheduler
+// thread-safety contract.  DispatchMutex(cpu) is the shard's own mutex, so
+// dispatch on different CPUs proceeds in parallel; only the cross-shard paths
+// (steal, rebalance pull) touch a peer shard, and they synchronize by locking
+// the victim shard's mutex while already holding the dispatching shard's.
+// Lock order: shard mutexes may only be *waited on* in ascending CPU-id
+// order; a victim with a lower id than the dispatching shard is acquired by
+// try_lock and skipped on contention (the dispatcher simply retries at its
+// next decision), so no cycle of blocking waits can form.  Single-threaded
+// drivers never contend, every try_lock succeeds, and behaviour — including
+// every deterministic test fingerprint — is identical to the unlocked layer.
 
 #ifndef SFS_SCHED_SHARDED_H_
 #define SFS_SCHED_SHARDED_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,8 +85,10 @@ class ShardedScheduler : public Scheduler {
 
   // --- counters / introspection ------------------------------------------------
 
-  std::int64_t steals() const override { return steals_; }
-  std::int64_t shard_migrations() const override { return rebalance_migrations_; }
+  std::int64_t steals() const override { return steals_.load(std::memory_order_relaxed); }
+  std::int64_t shard_migrations() const override {
+    return rebalance_migrations_.load(std::memory_order_relaxed);
+  }
 
   // Home shard of a thread (== the CPU it is eligible to run on between
   // migrations).
@@ -94,14 +110,38 @@ class ShardedScheduler : public Scheduler {
   Entity* PickNextEntity(CpuId cpu) override;
   void OnCharge(Entity& e, Tick ran_for) override;
 
+  // Per-shard dispatch lock: dispatch on different CPUs does not serialize.
+  std::mutex& DispatchMutex(CpuId cpu) override;
+
  private:
   struct Shard {
     std::unique_ptr<Scheduler> scheduler;
-    double runnable_weight = 0.0;
+    // Relaxed atomic: mutated only under this shard's mutex or the lifecycle
+    // lock, but read lock-free by peer shards scanning for the lightest or
+    // heaviest shard (an approximate balance heuristic under concurrency,
+    // exact when single-threaded).
+    std::atomic<double> runnable_weight{0.0};
+    // The shard's dispatch mutex (see the lock-order comment above).
+    std::mutex mu;
   };
 
-  Shard& ShardAt(CpuId cpu) { return shards_[static_cast<std::size_t>(cpu)]; }
-  const Shard& ShardAt(CpuId cpu) const { return shards_[static_cast<std::size_t>(cpu)]; }
+  Shard& ShardAt(CpuId cpu) { return *shards_[static_cast<std::size_t>(cpu)]; }
+  const Shard& ShardAt(CpuId cpu) const { return *shards_[static_cast<std::size_t>(cpu)]; }
+
+  // Adds `delta` to a shard's runnable weight (writers are serialized by the
+  // contract, so a plain read-modify-write store suffices).
+  static void AddRunnableWeight(Shard& shard, double delta) {
+    shard.runnable_weight.store(shard.runnable_weight.load(std::memory_order_relaxed) + delta,
+                                std::memory_order_relaxed);
+  }
+  double RunnableWeightOf(CpuId cpu) const {
+    return ShardAt(cpu).runnable_weight.load(std::memory_order_relaxed);
+  }
+
+  // Acquires `victim`'s shard mutex from a dispatcher already holding
+  // `self`'s: blocking when victim > self (ascending lock order), try_lock
+  // when victim < self.  The returned lock may be unowned (contended skip).
+  std::unique_lock<std::mutex> LockVictimShard(CpuId self, CpuId victim);
 
   // Lightest shard by runnable weight; ties go to the lowest CPU id.
   CpuId LightestShard() const;
@@ -121,10 +161,10 @@ class ShardedScheduler : public Scheduler {
   void Migrate(ThreadId tid, CpuId from, CpuId to, bool steal);
 
   std::string name_;
-  std::vector<Shard> shards_;
-  int decisions_since_rebalance_ = 0;
-  std::int64_t steals_ = 0;
-  std::int64_t rebalance_migrations_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int> decisions_since_rebalance_{0};
+  std::atomic<std::int64_t> steals_{0};
+  std::atomic<std::int64_t> rebalance_migrations_{0};
 };
 
 // One uniprocessor `Policy` instance per CPU behind the sharding machinery.

@@ -1,0 +1,183 @@
+// Drives the Scheduler thread-safety contract (scheduler.h) with real threads
+// at the scheduler level, without the executor on top: one dispatcher per CPU
+// runs PickNext/Charge under LockDispatch — exercising cross-shard steals and
+// rebalance pulls between concurrently dispatching shards — while a lifecycle
+// thread mutates Block/Wakeup/SetWeight under LockLifecycle.  Invariants are
+// checked single-threaded afterwards; the test's main value is under TSan
+// (CI's tsan job), where any contract violation surfaces as a race.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/sched/sfs.h"
+#include "src/sched/sharded.h"
+
+namespace sfs::sched {
+namespace {
+
+TEST(ShardedConcurrencyTest, ConcurrentDispatchersKeepStateConsistent) {
+  SchedConfig config;
+  config.num_cpus = 4;
+  config.shard_steal = ShardStealPolicy::kMaxSurplus;
+  config.shard_rebalance_period = 16;  // exercise rebalance pulls too
+  config.shard_coupling = 1.0;
+  Sharded<Sfs> scheduler(config);
+
+  constexpr ThreadId kThreads = 16;
+  {
+    auto guard = scheduler.LockLifecycle();
+    for (ThreadId tid = 0; tid < kThreads; ++tid) {
+      scheduler.AddThread(tid, 1.0 + tid % 3);
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> charged{0};
+
+  std::vector<std::thread> dispatchers;
+  for (CpuId cpu = 0; cpu < config.num_cpus; ++cpu) {
+    dispatchers.emplace_back([&, cpu] {
+      while (!stop.load()) {
+        ThreadId tid;
+        {
+          auto guard = scheduler.LockDispatch(cpu);
+          tid = scheduler.PickNext(cpu);
+        }
+        if (tid == kInvalidThread) {
+          std::this_thread::yield();
+          continue;
+        }
+        // "Run" a tiny quantum without holding any lock.
+        const auto quantum_end = std::chrono::steady_clock::now() + std::chrono::microseconds(5);
+        while (std::chrono::steady_clock::now() < quantum_end) {
+        }
+        {
+          auto guard = scheduler.LockDispatch(cpu);
+          scheduler.Charge(tid, 100);
+        }
+        charged.fetch_add(100);
+      }
+    });
+  }
+
+  // Lifecycle churn: block/wake the upper half, change the lower half's
+  // weights.  Block requires runnable-and-not-running, checked under the same
+  // exclusive lock that performs it.
+  int blocked_now = 0;
+  std::thread lifecycle([&] {
+    bool blocked[kThreads] = {};
+    for (int round = 0; round < 400; ++round) {
+      const ThreadId tid = 8 + (round % 8);
+      {
+        auto guard = scheduler.LockLifecycle();
+        if (blocked[tid]) {
+          scheduler.Wakeup(tid);
+          blocked[tid] = false;
+        } else if (scheduler.IsRunnable(tid) && !scheduler.IsRunning(tid)) {
+          scheduler.Block(tid);
+          blocked[tid] = true;
+        }
+        scheduler.SetWeight(round % 8, 1.0 + round % 5);
+      }
+      std::this_thread::yield();
+    }
+    auto guard = scheduler.LockLifecycle();
+    for (ThreadId tid = 8; tid < kThreads; ++tid) {
+      if (blocked[tid]) {
+        ++blocked_now;  // left blocked; woken below before the invariant check
+      }
+    }
+  });
+
+  lifecycle.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (auto& d : dispatchers) {
+    d.join();
+  }
+
+  // Single-threaded from here on.  Wake every thread the churn left blocked.
+  for (ThreadId tid = 8; tid < kThreads; ++tid) {
+    if (scheduler.Contains(tid) && !scheduler.IsRunnable(tid)) {
+      scheduler.Wakeup(tid);
+      --blocked_now;
+    }
+  }
+  EXPECT_EQ(blocked_now, 0);
+  EXPECT_EQ(scheduler.thread_count(), kThreads);
+  EXPECT_EQ(scheduler.runnable_count(), kThreads);
+
+  // Accounting survived the concurrency: every charged tick landed on exactly
+  // one thread.
+  std::int64_t total_service = 0;
+  for (ThreadId tid = 0; tid < kThreads; ++tid) {
+    total_service += scheduler.TotalService(tid);
+  }
+  EXPECT_EQ(total_service, charged.load());
+
+  // Shard bookkeeping is consistent: per-shard runnable weight equals the sum
+  // of the weights homed there, and every thread has a valid home.
+  std::vector<double> expected(static_cast<std::size_t>(config.num_cpus), 0.0);
+  for (ThreadId tid = 0; tid < kThreads; ++tid) {
+    const CpuId home = scheduler.ShardOf(tid);
+    ASSERT_GE(home, 0);
+    ASSERT_LT(home, config.num_cpus);
+    expected[static_cast<std::size_t>(home)] += scheduler.GetWeight(tid);
+  }
+  const std::vector<double> weights = scheduler.ShardRunnableWeights();
+  for (std::size_t shard = 0; shard < weights.size(); ++shard) {
+    EXPECT_NEAR(weights[shard], expected[shard], 1e-6) << "shard " << shard;
+  }
+
+  // And the scheduler still dispatches correctly single-threaded.
+  const ThreadId tid = scheduler.PickNext(0);
+  ASSERT_NE(tid, kInvalidThread);
+  scheduler.Charge(tid, 10);
+}
+
+TEST(ShardedConcurrencyTest, FlatSchedulerSerializesDispatchUnderOneMutex) {
+  // The base-class half of the contract: flat policies hand every CPU the same
+  // dispatch mutex, so two dispatchers' critical sections never overlap.
+  SchedConfig config;
+  config.num_cpus = 2;
+  Sfs scheduler(config);
+  {
+    auto guard = scheduler.LockLifecycle();
+    for (ThreadId tid = 0; tid < 6; ++tid) {
+      scheduler.AddThread(tid, 1.0);
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> in_critical{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::thread> dispatchers;
+  for (CpuId cpu = 0; cpu < 2; ++cpu) {
+    dispatchers.emplace_back([&, cpu] {
+      while (!stop.load()) {
+        auto guard = scheduler.LockDispatch(cpu);
+        if (in_critical.fetch_add(1) != 0) {
+          overlapped.store(true);
+        }
+        const ThreadId tid = scheduler.PickNext(cpu);
+        if (tid != kInvalidThread) {
+          scheduler.Charge(tid, 50);
+        }
+        in_critical.fetch_sub(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (auto& d : dispatchers) {
+    d.join();
+  }
+  EXPECT_FALSE(overlapped.load());
+}
+
+}  // namespace
+}  // namespace sfs::sched
