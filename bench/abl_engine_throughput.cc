@@ -1,0 +1,133 @@
+// Ablation A12: engine event-loop throughput, timing wheel vs binary heap.
+//
+// Sweeps t mostly-blocked Interact sleepers (t in {100, 1k, 10k}) across
+// p in {2, 16, 64} processors under SFS, once per event-queue backend
+// (EngineConfig::event_queue).  Every blocked thread holds one pending wakeup,
+// so the event queue scales with t while the run queues stay small — the
+// regime where the O(1) timing wheel beats the O(log t) heap and its
+// cache-hostile percolations.  Per (t, p, backend) cell the experiment
+// records the event count, dispatch decisions and two FNV-1a trace
+// fingerprints — all pure functions of --seed and CHECK-asserted *identical*
+// across backends (the queue changes constants, never the schedule) — plus
+// events/sec and ns/event (wall clock; JSON only under --timing).
+//
+// This experiment is the repo's recorded engine-performance baseline:
+// BENCH_engine.json at the repo root is its `--timing --repeat 5` output.
+//
+// SFS_ENGINE_THROUGHPUT_MAX_THREADS caps the thread axis (CI smoke runs a
+// reduced matrix); unset runs the full sweep.
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/assert.h"
+#include "src/common/fingerprint.h"
+#include "src/common/table.h"
+#include "src/eval/scenarios.h"
+#include "src/harness/registry.h"
+#include "src/harness/runner.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+const char* QueueName(sfs::sim::EventQueueKind queue) {
+  return queue == sfs::sim::EventQueueKind::kTimingWheel ? "timing_wheel" : "priority_queue";
+}
+
+int MaxThreads() {
+  if (const char* env = std::getenv("SFS_ENGINE_THROUGHPUT_MAX_THREADS"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<int>(parsed);
+    }
+  }
+  return 10000;
+}
+
+}  // namespace
+
+SFS_EXPERIMENT(abl_engine_throughput,
+               .description =
+                   "Ablation A12: engine event throughput, timing wheel vs priority queue",
+               .schedulers = {"sfs"},
+               .repetitions = 1,
+               .warmup = 0) {
+  using sfs::common::Table;
+  using sfs::harness::JsonValue;
+  using sfs::sim::EventQueueKind;
+
+  reporter.out() << "=== Ablation A12: engine event-loop throughput ===\n"
+                 << "SFS, t mostly-blocked sleepers + 2 hogs, 30s horizon; schedules must be\n"
+                 << "identical across event-queue backends (same seed), only the cost per\n"
+                 << "event differs.\n\n";
+
+  const int max_threads = MaxThreads();
+  const int thread_sizes[] = {100, 1000, 10000};
+  const int cpu_sizes[] = {2, 16, 64};
+  const sfs::Tick horizon = sfs::Sec(30);
+
+  Table table({"threads", "cpus", "events", "decisions", "identical", "heap (ns/ev)",
+               "wheel (ns/ev)", "speedup"});
+  JsonValue rows = JsonValue::Array();
+  bool all_identical = true;
+  for (const int threads : thread_sizes) {
+    if (threads > max_threads) {
+      reporter.out() << "(threads=" << threads
+                     << " skipped: SFS_ENGINE_THROUGHPUT_MAX_THREADS=" << max_threads << ")\n";
+      continue;
+    }
+    for (const int cpus : cpu_sizes) {
+      const auto heap = sfs::eval::RunEngineThroughput(EventQueueKind::kPriorityQueue, threads,
+                                                       cpus, horizon, reporter.seed());
+      const auto wheel = sfs::eval::RunEngineThroughput(EventQueueKind::kTimingWheel, threads,
+                                                        cpus, horizon, reporter.seed());
+
+      const bool identical = heap.schedule_fingerprint == wheel.schedule_fingerprint &&
+                             heap.lifecycle_fingerprint == wheel.lifecycle_fingerprint &&
+                             heap.events == wheel.events && heap.decisions == wheel.decisions &&
+                             heap.preemptions == wheel.preemptions;
+      all_identical = all_identical && identical;
+
+      const double heap_ns = heap.events > 0 ? heap.wall_ns / static_cast<double>(heap.events)
+                                             : 0.0;
+      const double wheel_ns =
+          wheel.events > 0 ? wheel.wall_ns / static_cast<double>(wheel.events) : 0.0;
+      table.AddRow({Table::Cell(std::int64_t{threads}), Table::Cell(std::int64_t{cpus}),
+                    Table::Cell(wheel.events), Table::Cell(wheel.decisions),
+                    identical ? "yes" : "NO", Table::Cell(heap_ns, 0), Table::Cell(wheel_ns, 0),
+                    Table::Cell(wheel_ns > 0.0 ? heap_ns / wheel_ns : 0.0, 2)});
+
+      for (const auto* run : {&heap, &wheel}) {
+        const EventQueueKind queue = run == &heap ? EventQueueKind::kPriorityQueue
+                                                  : EventQueueKind::kTimingWheel;
+        JsonValue entry = JsonValue::Object();
+        entry.Set("threads", JsonValue(std::int64_t{threads}));
+        entry.Set("cpus", JsonValue(std::int64_t{cpus}));
+        entry.Set("event_queue", JsonValue(QueueName(queue)));
+        entry.Set("events", JsonValue(run->events));
+        entry.Set("decisions", JsonValue(run->decisions));
+        entry.Set("preemptions", JsonValue(run->preemptions));
+        entry.Set("schedule_fingerprint", JsonValue(sfs::common::FingerprintHex(run->schedule_fingerprint)));
+        entry.Set("lifecycle_fingerprint", JsonValue(sfs::common::FingerprintHex(run->lifecycle_fingerprint)));
+        rows.Push(std::move(entry));
+        const std::string cell = std::string(QueueName(queue)) + "/t" + std::to_string(threads) +
+                                 "_p" + std::to_string(cpus);
+        reporter.Throughput(cell, run->events, run->wall_ns);
+      }
+
+      // The backend contract: byte-identical schedule-derived results.
+      SFS_CHECK(identical);
+    }
+  }
+  table.Print(reporter.out());
+  reporter.out() << "\nExpected: identical schedules in every cell, and the wheel ahead of the\n"
+                 << "heap with the gap widening in t (heap percolation depth and cache\n"
+                 << "footprint grow with the pending-event count; the wheel stays O(1)).\n"
+                 << "Context for absolute numbers: the pre-rebuild engine (hash-map task\n"
+                 << "lookup, per-wakeup scratch allocation, same heap) measured ~1.4x slower\n"
+                 << "than the wheel rows at t=10k on this workload — see DESIGN.md.\n";
+  reporter.Set("rows", std::move(rows));
+  reporter.Metric("event_queues_identical", all_identical ? std::int64_t{1} : std::int64_t{0});
+}

@@ -11,11 +11,10 @@
 //     O(log t) skip list overtakes the O(t) list scans as t grows.
 
 #include <algorithm>
-#include <iomanip>
-#include <sstream>
 #include <string>
 
 #include "src/common/assert.h"
+#include "src/common/fingerprint.h"
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
 #include "src/harness/registry.h"
@@ -23,12 +22,6 @@
 #include "src/sched/factory.h"
 
 namespace {
-
-std::string Hex(std::uint64_t v) {
-  std::ostringstream out;
-  out << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
-  return out.str();
-}
 
 }  // namespace
 
@@ -81,7 +74,7 @@ SFS_EXPERIMENT(abl_scaling_backends,
       entry.Set("threads", JsonValue(std::int64_t{threads}));
       entry.Set("backend", JsonValue(backend_name));
       entry.Set("decisions", JsonValue(run->decisions));
-      entry.Set("schedule_fingerprint", JsonValue(Hex(run->schedule_fingerprint)));
+      entry.Set("schedule_fingerprint", JsonValue(sfs::common::FingerprintHex(run->schedule_fingerprint)));
       entry.Set("gms_deviation_ms", JsonValue(run->gms_deviation_ms));
       entry.Set("full_refreshes", JsonValue(run->full_refreshes));
       entry.Set("refresh_repositions", JsonValue(run->refresh_repositions));

@@ -16,11 +16,10 @@
 // fingerprints are identical (the layer is deterministic); decisions/sec is
 // wall clock and reaches the JSON only under --timing.
 
-#include <iomanip>
-#include <sstream>
 #include <string>
 
 #include "src/common/assert.h"
+#include "src/common/fingerprint.h"
 #include "src/common/table.h"
 #include "src/eval/scenarios.h"
 #include "src/harness/registry.h"
@@ -33,12 +32,6 @@ using sfs::Tick;
 using sfs::eval::RunShardedFairness;
 using sfs::eval::ShardedFairnessResult;
 using sfs::sched::SchedConfig;
-
-std::string Hex(std::uint64_t v) {
-  std::ostringstream out;
-  out << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
-  return out.str();
-}
 
 struct Contender {
   const char* label;
@@ -127,7 +120,7 @@ SFS_EXPERIMENT(abl_sharded,
       entry.Set("rebalance_migrations", JsonValue(run.shard_migrations));
       entry.Set("engine_migrations", JsonValue(run.engine_migrations));
       entry.Set("decisions", JsonValue(run.decisions));
-      entry.Set("schedule_fingerprint", JsonValue(Hex(run.schedule_fingerprint)));
+      entry.Set("schedule_fingerprint", JsonValue(sfs::common::FingerprintHex(run.schedule_fingerprint)));
       entry.Set("deterministic", JsonValue(std::int64_t{deterministic ? 1 : 0}));
       rows.Push(std::move(entry));
 

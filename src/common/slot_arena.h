@@ -1,0 +1,104 @@
+// Dense, reference-stable object arena addressed by small integer slot ids.
+//
+// The engine keeps every task it has ever been handed alive until it is
+// destroyed (exited tasks stay inspectable), so the container needs exactly
+// three operations: append, O(1) index, in-order iteration.  A hash map pays a
+// hash + bucket chase per lookup on the dispatch/charge hot path; the arena
+// makes lookup a chunked vector index.  Storage is chunked (not one contiguous
+// vector) so references returned earlier survive growth — an exit hook may add
+// new tasks while the engine still holds a reference to the exiting one.
+//
+// Elements are never erased; slot ids are dense, assigned in insertion order,
+// and valid for the arena's lifetime.
+
+#ifndef SFS_COMMON_SLOT_ARENA_H_
+#define SFS_COMMON_SLOT_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/common/assert.h"
+
+namespace sfs::common {
+
+template <typename T>
+class SlotArena {
+ public:
+  using SlotId = std::uint32_t;
+
+  SlotArena() = default;
+
+  SlotArena(const SlotArena&) = delete;
+  SlotArena& operator=(const SlotArena&) = delete;
+
+  ~SlotArena() {
+    for (std::size_t i = 0; i < size_; ++i) {
+      Ptr(i)->~T();
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Pre-allocates chunk storage for at least `n` elements.
+  void Reserve(std::size_t n) {
+    const std::size_t chunks = (n + kChunkSize - 1) / kChunkSize;
+    chunks_.reserve(chunks);
+    while (chunks_.size() < chunks) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+  }
+
+  // Constructs a new element and returns its slot id (== insertion index).
+  template <typename... Args>
+  SlotId Emplace(Args&&... args) {
+    if (size_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    T* p = Ptr(size_);
+    new (p) T(std::forward<Args>(args)...);
+    return static_cast<SlotId>(size_++);
+  }
+
+  T& operator[](SlotId slot) {
+    SFS_DCHECK(slot < size_);
+    return *Ptr(slot);
+  }
+
+  const T& operator[](SlotId slot) const {
+    SFS_DCHECK(slot < size_);
+    return *Ptr(slot);
+  }
+
+  // Visits every element in slot (insertion) order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(*Ptr(i));
+    }
+  }
+
+ private:
+  static constexpr std::size_t kChunkBits = 8;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  struct Chunk {
+    alignas(T) unsigned char bytes[sizeof(T) * kChunkSize];
+  };
+
+  T* Ptr(std::size_t i) const {
+    unsigned char* base = chunks_[i >> kChunkBits]->bytes;
+    return std::launder(reinterpret_cast<T*>(base + sizeof(T) * (i & kChunkMask)));
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sfs::common
+
+#endif  // SFS_COMMON_SLOT_ARENA_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/assert.h"
+#include "src/common/fingerprint.h"
 #include "src/common/rng.h"
 #include "src/metrics/fairness.h"
 #include "src/metrics/service_sampler.h"
@@ -316,6 +317,7 @@ RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, 
   config.queue_backend = backend;
   sched::Sfs sfs(config);
   sim::Engine engine(sfs);
+  engine.ReserveTasks(static_cast<std::size_t>(threads));
 
   common::Rng rng(seed);
   std::vector<double> weights(static_cast<std::size_t>(threads));
@@ -329,17 +331,13 @@ RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, 
 
   // FNV-1a over every completed run interval: any divergence in any dispatch
   // decision — order, processor, start time or length — changes the value.
-  std::uint64_t fingerprint = 1469598103934665603ULL;
-  const auto mix = [&fingerprint](std::uint64_t x) {
-    fingerprint ^= x;
-    fingerprint *= 1099511628211ULL;
-  };
+  common::Fnv1a fingerprint;
   engine.SetRunIntervalHook(
-      [&mix](Tick start, Tick len, sched::CpuId cpu, ThreadId tid) {
-        mix(static_cast<std::uint64_t>(start));
-        mix(static_cast<std::uint64_t>(len));
-        mix(static_cast<std::uint64_t>(cpu));
-        mix(static_cast<std::uint64_t>(tid));
+      [&fingerprint](Tick start, Tick len, sched::CpuId cpu, ThreadId tid) {
+        fingerprint.Mix(static_cast<std::uint64_t>(start));
+        fingerprint.Mix(static_cast<std::uint64_t>(len));
+        fingerprint.Mix(static_cast<std::uint64_t>(cpu));
+        fingerprint.Mix(static_cast<std::uint64_t>(tid));
       });
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -350,7 +348,7 @@ RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, 
 
   RunScalingResult result;
   result.decisions = engine.dispatches();
-  result.schedule_fingerprint = fingerprint;
+  result.schedule_fingerprint = fingerprint.value();
   result.full_refreshes = sfs.full_refreshes();
   result.refresh_repositions = sfs.refresh_repositions();
   result.wall_ns_per_decision =
@@ -391,6 +389,73 @@ RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, 
   return result;
 }
 
+EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int threads, int cpus,
+                                           Tick horizon, std::uint64_t seed) {
+  SFS_CHECK(threads >= 1);
+  SchedConfig config = BaseConfig(cpus, kDefaultQuantum, /*readjust=*/true);
+  // The repo-default run-queue backend, which is also the fastest here: the
+  // runnable set stays small (mostly-blocked sleepers), so sorted-list scans
+  // beat skip-list pointer chasing and the event queue's share of the per-
+  // event cost is maximized.
+  config.queue_backend = sched::QueueBackend::kSortedList;
+  sched::Sfs sfs(config);
+
+  sim::EngineConfig engine_config;
+  engine_config.event_queue = queue;
+  sim::Engine engine(sfs, engine_config);
+  engine.ReserveTasks(static_cast<std::size_t>(threads) + 4);
+
+  common::Fnv1a run_fp;
+  engine.SetRunIntervalHook(
+      [&run_fp](Tick start, Tick len, sched::CpuId cpu, ThreadId tid) {
+        run_fp.Mix(static_cast<std::uint64_t>(start));
+        run_fp.Mix(static_cast<std::uint64_t>(len));
+        run_fp.Mix(static_cast<std::uint64_t>(cpu));
+        run_fp.Mix(static_cast<std::uint64_t>(tid));
+      });
+  common::Fnv1a life_fp;
+  engine.SetSchedEventHook(
+      [&life_fp](sim::SchedEvent event, const sim::Task& task, Tick now) {
+        life_fp.Mix(static_cast<std::uint64_t>(event));
+        life_fp.Mix(static_cast<std::uint64_t>(task.tid()));
+        life_fp.Mix(static_cast<std::uint64_t>(now));
+      });
+
+  // A couple of background hogs keep every dispatch path exercised without
+  // turning each wakeup into an O(p) preemption scan (idle CPUs exist).
+  common::Rng rng(seed);
+  const int hogs = std::min({cpus, 2, threads});
+  ThreadId next_tid = 1;
+  for (int i = 0; i < hogs; ++i) {
+    engine.AddTaskAt(0, workload::MakeInf(next_tid++,
+                                          static_cast<double>(rng.UniformInt(1, 20)), "hog"));
+  }
+  for (int i = hogs; i < threads; ++i) {
+    workload::Interact::Params params;
+    params.mean_think = Sec(2) + Msec(rng.UniformInt(0, 6000));
+    params.burst = Usec(200 + 100 * rng.UniformInt(0, 6));
+    params.seed = seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(next_tid));
+    engine.AddTaskAt(Msec(rng.UniformInt(0, 2000)),
+                     workload::MakeInteract(next_tid++, static_cast<double>(rng.UniformInt(1, 5)),
+                                            params, nullptr, "sleeper"));
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  engine.RunUntil(horizon);
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+
+  EngineThroughputResult result;
+  result.events = engine.events_processed();
+  result.decisions = engine.dispatches();
+  result.preemptions = engine.preemptions();
+  result.schedule_fingerprint = run_fp.value();
+  result.lifecycle_fingerprint = life_fp.value();
+  result.wall_ns = static_cast<double>(wall);
+  return result;
+}
+
 ShardedFairnessResult RunShardedFairness(std::string_view policy,
                                          const sched::SchedConfig& config, int threads,
                                          Tick horizon, std::uint64_t seed) {
@@ -402,6 +467,7 @@ ShardedFairnessResult RunShardedFairness(std::string_view policy,
     SFS_CHECK(scheduler != nullptr);
   }
   sim::Engine engine(*scheduler);
+  engine.ReserveTasks(static_cast<std::size_t>(threads));
   sched::GmsReference gms(config.num_cpus);
 
   engine.SetSchedEventHook([&gms](sim::SchedEvent event, const sim::Task& task, Tick now) {
@@ -421,17 +487,13 @@ ShardedFairnessResult RunShardedFairness(std::string_view policy,
     }
   });
 
-  std::uint64_t fingerprint = 1469598103934665603ULL;
-  const auto mix = [&fingerprint](std::uint64_t x) {
-    fingerprint ^= x;
-    fingerprint *= 1099511628211ULL;
-  };
+  common::Fnv1a fingerprint;
   engine.SetRunIntervalHook(
-      [&mix](Tick start, Tick len, sched::CpuId cpu, ThreadId tid) {
-        mix(static_cast<std::uint64_t>(start));
-        mix(static_cast<std::uint64_t>(len));
-        mix(static_cast<std::uint64_t>(cpu));
-        mix(static_cast<std::uint64_t>(tid));
+      [&fingerprint](Tick start, Tick len, sched::CpuId cpu, ThreadId tid) {
+        fingerprint.Mix(static_cast<std::uint64_t>(start));
+        fingerprint.Mix(static_cast<std::uint64_t>(len));
+        fingerprint.Mix(static_cast<std::uint64_t>(cpu));
+        fingerprint.Mix(static_cast<std::uint64_t>(tid));
       });
 
   common::Rng rng(seed);
@@ -498,7 +560,7 @@ ShardedFairnessResult RunShardedFairness(std::string_view policy,
 
   ShardedFairnessResult result;
   result.decisions = engine.dispatches();
-  result.schedule_fingerprint = fingerprint;
+  result.schedule_fingerprint = fingerprint.value();
   result.steals = scheduler->steals();
   result.shard_migrations = scheduler->shard_migrations();
   result.engine_migrations = engine.migrations();

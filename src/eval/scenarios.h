@@ -4,7 +4,7 @@
 // it through the discrete-event simulator, and returns structured data.  The
 // bench binaries print these as tables/series; the integration tests assert the
 // paper's qualitative results (who wins, who starves, what's proportional).
-// See DESIGN.md section 6 for the experiment index.
+// See DESIGN.md section 7 for the experiment index.
 
 #ifndef SFS_EVAL_SCENARIOS_H_
 #define SFS_EVAL_SCENARIOS_H_
@@ -17,6 +17,10 @@
 #include "src/common/time.h"
 #include "src/metrics/response.h"
 #include "src/sched/factory.h"
+
+namespace sfs::sim {
+enum class EventQueueKind : std::uint8_t;  // src/sim/engine.h
+}  // namespace sfs::sim
 
 namespace sfs::eval {
 
@@ -147,6 +151,28 @@ struct RunScalingResult {
 };
 RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, Tick horizon,
                             std::uint64_t seed, Tick quantum = kDefaultQuantum);
+
+// ---------------------------------------------------------------------------
+// Engine event-loop throughput (ablation A12): `threads` tasks total on
+// `cpus` processors under SFS — min(cpus, 2, threads) background hogs, the
+// rest Interact-style sleepers with long seeded think times and
+// sub-millisecond bursts.  Mostly-blocked sleepers
+// are the event queue's worst case (every blocked thread holds a pending
+// wakeup, so the queue scales with t while the run queues stay small), which
+// is exactly the regime where the timing wheel's O(1) pops beat the binary
+// heap's O(log t).  Everything except `wall_ns` is a pure function of
+// (queue, threads, cpus, horizon, seed), and is asserted identical across the
+// two event-queue backends by bench/abl_engine_throughput.cc.
+struct EngineThroughputResult {
+  std::int64_t events = 0;                 // events popped over the horizon
+  std::int64_t decisions = 0;              // engine dispatches over the horizon
+  std::int64_t preemptions = 0;
+  std::uint64_t schedule_fingerprint = 0;  // FNV-1a over every run interval
+  std::uint64_t lifecycle_fingerprint = 0;  // FNV-1a over every sched event
+  double wall_ns = 0.0;                    // wall clock; Reporter::Timing only
+};
+EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int threads, int cpus,
+                                           Tick horizon, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Sharded scheduling pathology (Section 1.2, generalized): `threads` threads

@@ -37,6 +37,7 @@ void Reporter::Set(std::string_view key, JsonValue value) {
 
 void Reporter::Counters(std::string_view key, const sim::Engine& engine) {
   JsonValue counters = JsonValue::Object();
+  counters.Set("events", JsonValue(engine.events_processed()));
   counters.Set("dispatches", JsonValue(engine.dispatches()));
   counters.Set("context_switches", JsonValue(engine.context_switches()));
   counters.Set("preemptions", JsonValue(engine.preemptions()));
@@ -56,6 +57,16 @@ void Reporter::Timing(std::string_view key, double value) {
     timing = &result_.Set("timing", JsonValue::Object());
   }
   timing->Set(std::string(key), JsonValue(value));
+}
+
+void Reporter::Throughput(std::string_view key, std::int64_t events, double wall_ns) {
+  if (!timing_enabled_ || events <= 0) {
+    return;
+  }
+  const std::string prefix(key);
+  Timing(prefix + "/ns_per_event", wall_ns / static_cast<double>(events));
+  Timing(prefix + "/events_per_sec",
+         static_cast<double>(events) / (wall_ns * 1e-9));
 }
 
 JsonValue Reporter::TakeResult() {

@@ -64,6 +64,13 @@ class Reporter {
   // "timing"/`key` when timing is enabled and discarded otherwise.
   void Timing(std::string_view key, double value);
 
+  // Event-loop throughput: records `<key>/ns_per_event` and
+  // `<key>/events_per_sec` under "timing" from a count of processed events and
+  // the wall-clock nanoseconds the run took.  The count itself is
+  // deterministic and belongs in a Metric/Counters record; only the rates are
+  // wall-derived, hence timing-gated.
+  void Throughput(std::string_view key, std::int64_t events, double wall_ns);
+
   // The accumulated result object for this repetition.
   JsonValue TakeResult();
 

@@ -53,6 +53,9 @@ struct Entity {
   CpuId last_cpu = kInvalidCpu;   // processor that last ran it (affinity hint)
   CpuId partition = kInvalidCpu;  // home partition (partitioned baseline only)
   Tick total_service = 0;         // cumulative CPU time received
+  // Position in the owning scheduler's dense live-entity list (swap-and-pop
+  // erase); maintained by the Scheduler base, -1 while unowned.
+  std::int32_t live_index = -1;
 
   // Intrusive queue hooks (Section 3.1's three queues plus one generic run queue
   // used by the non-GPS baselines).

@@ -20,8 +20,10 @@
 // 1:1 (Figure 4(b), interval [0, 15s)).
 //
 // Two implementations are provided and cross-checked by property tests:
-//   * `ReadjustVector` — the recursive specification, verbatim from Figure 2, for
-//     reference and for the GMS fluid baseline;
+//   * `ReadjustVector` — the vector form used by the GMS fluid baseline: a
+//     single O(n) pass (one running suffix sum) equivalent to the Figure 2
+//     recursion, whose verbatim transcription lives on as the parity oracle in
+//     tests/sched/readjust_test.cc (Figure2Reference);
 //   * `ReadjustQueue` — the production form used by the schedulers: iterative,
 //     early-exiting, operating in place on the weight-sorted entity queue.
 
@@ -44,9 +46,12 @@ struct ByWeightDesc {
 };
 using WeightQueue = RunQueue<Entity, &Entity::by_weight, ByWeightDesc>;
 
-// Recursive reference implementation (Figure 2).  `weights` must be sorted in
-// descending order; returns the instantaneous weights in the same order.
-// `num_cpus` is p >= 1.
+// Single-pass O(n) equivalent of the Figure 2 recursion.  `weights` must be
+// sorted in descending order; returns the instantaneous weights in the same
+// order.  `num_cpus` is p >= 1.  Summation order differs from the literal
+// recursion (one running suffix vs per-index rescans), so results are
+// bit-identical for exactly-summing (e.g. integer-valued) weights and equal
+// to final-ulp rounding otherwise.
 std::vector<double> ReadjustVector(const std::vector<double>& weights, int num_cpus);
 
 // Persistent bookkeeping that makes each readjustment pass O(p): the set of

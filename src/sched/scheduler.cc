@@ -42,17 +42,41 @@ std::mutex& Scheduler::DispatchMutex(CpuId cpu) {
   return dispatch_mu_;
 }
 
+void Scheduler::StoreEntity(std::unique_ptr<Entity> entity) {
+  Entity& e = *entity;
+  SFS_CHECK(e.tid >= 0);
+  if (static_cast<std::size_t>(e.tid) >= by_tid_.size()) {
+    by_tid_.resize(static_cast<std::size_t>(e.tid) + 1);
+  }
+  SFS_CHECK(by_tid_[static_cast<std::size_t>(e.tid)] == nullptr);  // duplicate tid
+  e.live_index = static_cast<std::int32_t>(live_.size());
+  live_.push_back(&e);
+  by_tid_[static_cast<std::size_t>(e.tid)] = std::move(entity);
+}
+
+std::unique_ptr<Entity> Scheduler::ReleaseEntity(Entity& e) {
+  SFS_CHECK(e.live_index >= 0 &&
+            static_cast<std::size_t>(e.live_index) < live_.size() &&
+            live_[static_cast<std::size_t>(e.live_index)] == &e);
+  Entity* last = live_.back();
+  live_[static_cast<std::size_t>(e.live_index)] = last;
+  last->live_index = e.live_index;
+  live_.pop_back();
+  e.live_index = -1;
+  std::unique_ptr<Entity> entity = std::move(by_tid_[static_cast<std::size_t>(e.tid)]);
+  return entity;
+}
+
 void Scheduler::AddThread(ThreadId tid, Weight weight) {
   SFS_CHECK(tid != kInvalidThread);
   SFS_CHECK(weight > 0);
-  SFS_CHECK(threads_.find(tid) == threads_.end());
   auto entity = std::make_unique<Entity>();
   entity->tid = tid;
   entity->weight = weight;
   entity->phi = weight;
   entity->runnable = true;
   Entity& e = *entity;
-  threads_.emplace(tid, std::move(entity));
+  StoreEntity(std::move(entity));
   ++runnable_count_;
   OnAdmit(e);
 }
@@ -64,7 +88,7 @@ void Scheduler::RemoveThread(ThreadId tid) {
     --runnable_count_;
   }
   OnRemove(e);
-  threads_.erase(tid);
+  ReleaseEntity(e);  // drops the entity
 }
 
 void Scheduler::Block(ThreadId tid) {
@@ -131,17 +155,13 @@ CpuId Scheduler::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elap
 }
 
 std::unique_ptr<Entity> Scheduler::DetachEntity(ThreadId tid) {
-  auto it = threads_.find(tid);
-  SFS_CHECK(it != threads_.end());
-  Entity& e = *it->second;
+  Entity& e = FindEntity(tid);
   SFS_CHECK(!e.running);
   if (e.runnable) {
     --runnable_count_;
   }
   OnRemove(e);  // the policy dequeues it; all entity fields survive
-  std::unique_ptr<Entity> entity = std::move(it->second);
-  threads_.erase(it);
-  return entity;
+  return ReleaseEntity(e);
 }
 
 void Scheduler::AttachEntity(std::unique_ptr<Entity> entity) {
@@ -149,8 +169,7 @@ void Scheduler::AttachEntity(std::unique_ptr<Entity> entity) {
   Entity& e = *entity;
   SFS_CHECK(e.tid != kInvalidThread);
   SFS_CHECK(!e.running);
-  SFS_CHECK(threads_.find(e.tid) == threads_.end());
-  threads_.emplace(e.tid, std::move(entity));
+  StoreEntity(std::move(entity));
   if (e.runnable) {
     ++runnable_count_;
     OnAttach(e);
@@ -164,7 +183,7 @@ Entity* Scheduler::PickMigrationCandidate(double max_weight, double* score) {
   // Hoisted: LocalVirtualTime() can itself be a queue walk (WFQ/BVT), so
   // evaluating it per entity would make the scan quadratic.
   const double v = LocalVirtualTime();
-  for (auto& [tid, entity] : threads_) {
+  for (Entity* entity : live_) {
     Entity& e = *entity;
     if (!e.runnable || e.running) {
       continue;
@@ -173,7 +192,7 @@ Entity* Scheduler::PickMigrationCandidate(double max_weight, double* score) {
       continue;
     }
     const double entity_score = e.phi * (EntityTag(e) - v);
-    // Deterministic despite the unordered table: total order on (score, -tid).
+    // Deterministic despite the unordered live list: total order on (score, -tid).
     if (best == nullptr || entity_score > best_score ||
         (entity_score == best_score && e.tid < best->tid)) {
       best = &e;
@@ -186,7 +205,10 @@ Entity* Scheduler::PickMigrationCandidate(double max_weight, double* score) {
   return best;
 }
 
-bool Scheduler::Contains(ThreadId tid) const { return threads_.find(tid) != threads_.end(); }
+bool Scheduler::Contains(ThreadId tid) const {
+  return tid >= 0 && static_cast<std::size_t>(tid) < by_tid_.size() &&
+         by_tid_[static_cast<std::size_t>(tid)] != nullptr;
+}
 
 bool Scheduler::IsRunnable(ThreadId tid) const { return FindEntity(tid).runnable; }
 
@@ -204,20 +226,24 @@ ThreadId Scheduler::RunningOn(CpuId cpu) const {
 }
 
 Entity& Scheduler::FindEntity(ThreadId tid) {
-  auto it = threads_.find(tid);
-  SFS_CHECK(it != threads_.end());
-  return *it->second;
+  SFS_CHECK(tid >= 0 && static_cast<std::size_t>(tid) < by_tid_.size());
+  Entity* e = by_tid_[static_cast<std::size_t>(tid)].get();
+  SFS_CHECK(e != nullptr);
+  return *e;
 }
 
 const Entity& Scheduler::FindEntity(ThreadId tid) const {
-  auto it = threads_.find(tid);
-  SFS_CHECK(it != threads_.end());
-  return *it->second;
+  SFS_CHECK(tid >= 0 && static_cast<std::size_t>(tid) < by_tid_.size());
+  const Entity* e = by_tid_[static_cast<std::size_t>(tid)].get();
+  SFS_CHECK(e != nullptr);
+  return *e;
 }
 
 Entity* Scheduler::FindEntityOrNull(ThreadId tid) {
-  auto it = threads_.find(tid);
-  return it == threads_.end() ? nullptr : it->second.get();
+  if (tid < 0 || static_cast<std::size_t>(tid) >= by_tid_.size()) {
+    return nullptr;
+  }
+  return by_tid_[static_cast<std::size_t>(tid)].get();
 }
 
 }  // namespace sfs::sched

@@ -57,7 +57,6 @@
 #include <memory>
 #include <mutex>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/time.h"
@@ -186,7 +185,7 @@ class Scheduler {
   Tick TotalService(ThreadId tid) const;
   ThreadId RunningOn(CpuId cpu) const;
   int runnable_count() const { return runnable_count_; }
-  int thread_count() const { return static_cast<int>(threads_.size()); }
+  int thread_count() const { return static_cast<int>(live_.size()); }
 
   // Threads the scheduler itself moved between internal shards: idle-pull
   // steals and periodic rebalance migrations (sched::Sharded).  Flat policies
@@ -228,14 +227,24 @@ class Scheduler {
   // Iterates all known entities (any state); order unspecified.
   template <typename Fn>
   void ForEachEntity(Fn&& fn) {
-    for (auto& [tid, entity] : threads_) {
+    for (Entity* entity : live_) {
       fn(*entity);
     }
   }
 
  private:
+  // Files `entity` under its tid and into the live list.
+  void StoreEntity(std::unique_ptr<Entity> entity);
+  // Unfiles `e` (swap-and-pop on the live list) and returns its ownership.
+  std::unique_ptr<Entity> ReleaseEntity(Entity& e);
+
   SchedConfig config_;
-  std::unordered_map<ThreadId, std::unique_ptr<Entity>> threads_;
+  // ThreadId-indexed entity table (tids are dense small integers; a vector
+  // index beats the hash probe every Charge/Block/Wakeup paid before), plus
+  // the dense set of live entities for iteration.  Lookup of an absent tid is
+  // a bounds check + null test.
+  std::vector<std::unique_ptr<Entity>> by_tid_;
+  std::vector<Entity*> live_;
   std::vector<ThreadId> running_;
   int runnable_count_ = 0;
 

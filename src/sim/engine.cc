@@ -1,17 +1,21 @@
 #include "src/sim/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/assert.h"
 
 namespace sfs::sim {
 
 Engine::Engine(sched::Scheduler& scheduler, EngineConfig config)
-    : scheduler_(scheduler), config_(config) {
+    : scheduler_(scheduler),
+      config_(config),
+      use_wheel_(config.event_queue == EventQueueKind::kTimingWheel) {
   cpus_.resize(static_cast<std::size_t>(scheduler.num_cpus()));
   for (auto& cpu : cpus_) {
     cpu.idle_since = 0;
   }
+  preempt_elapsed_.reserve(cpus_.size());
 }
 
 Engine::~Engine() = default;
@@ -20,9 +24,30 @@ void Engine::AddTaskAt(Tick at, std::unique_ptr<Task> task) {
   SFS_CHECK(at >= now_);
   SFS_CHECK(task != nullptr);
   const sched::ThreadId tid = task->tid();
-  SFS_CHECK(tasks_.find(tid) == tasks_.end());
-  tasks_.emplace(tid, std::move(task));
-  Push(at, EventKind::kArrival, tid);
+  SFS_CHECK(tid >= 0);
+  if (static_cast<std::size_t>(tid) >= tid_to_slot_.size()) {
+    tid_to_slot_.resize(static_cast<std::size_t>(tid) + 1, -1);
+  }
+  SFS_CHECK(tid_to_slot_[static_cast<std::size_t>(tid)] < 0);  // duplicate tid
+  const TaskSlot slot = tasks_.Emplace(std::move(*task));
+  tasks_[slot].slot_ = slot;
+  tid_to_slot_[static_cast<std::size_t>(tid)] = static_cast<std::int32_t>(slot);
+  Push(at, EventKind::kArrival, static_cast<std::int32_t>(slot));
+}
+
+void Engine::ReserveTasks(std::size_t task_count) {
+  tasks_.Reserve(task_count);
+  tid_to_slot_.reserve(task_count + 1);
+  // Every blocked task holds one pending wakeup and every CPU one timer, plus
+  // slack for superseded timers awaiting their pop.
+  const std::size_t pending = task_count + 2 * cpus_.size() + 16;
+  if (use_wheel_) {
+    wheel_.Reserve(pending);
+  } else if (events_.empty()) {
+    std::vector<Event> storage;
+    storage.reserve(pending);
+    events_ = decltype(events_)(std::greater<>(), std::move(storage));
+  }
 }
 
 void Engine::AddPeriodicHook(Tick period, std::function<void(Engine&)> fn) {
@@ -45,27 +70,41 @@ void Engine::SetRunIntervalHook(
 
 void Engine::RunUntil(Tick until) {
   SFS_CHECK(until >= now_);
-  while (!events_.empty() && events_.top().time <= until) {
-    const Event ev = events_.top();
-    events_.pop();
-    SFS_DCHECK(ev.time >= now_);
-    now_ = ev.time;
-    switch (ev.kind) {
-      case EventKind::kArrival:
-        HandleArrival(ev.a);
-        break;
-      case EventKind::kWakeup:
-        HandleWakeup(ev.a);
-        break;
-      case EventKind::kCpuTimer:
-        HandleCpuTimer(ev.a, ev.stamp);
-        break;
-      case EventKind::kPeriodic:
-        HandlePeriodic(static_cast<std::size_t>(ev.a));
-        break;
+  if (use_wheel_) {
+    Tick t = 0;
+    while (wheel_.NextTime(until, &t)) {
+      SFS_DCHECK(t >= now_);
+      now_ = t;
+      DispatchEvent(wheel_.PopFront());
+    }
+  } else {
+    while (!events_.empty() && events_.top().time <= until) {
+      const Event ev = events_.top();
+      events_.pop();
+      SFS_DCHECK(ev.time >= now_);
+      now_ = ev.time;
+      DispatchEvent(ev);
     }
   }
   now_ = until;
+}
+
+void Engine::DispatchEvent(const Event& ev) {
+  ++events_processed_;
+  switch (ev.kind) {
+    case EventKind::kArrival:
+      HandleArrival(static_cast<TaskSlot>(ev.a));
+      break;
+    case EventKind::kWakeup:
+      HandleWakeup(static_cast<TaskSlot>(ev.a));
+      break;
+    case EventKind::kCpuTimer:
+      HandleCpuTimer(ev.a, ev.stamp);
+      break;
+    case EventKind::kPeriodic:
+      HandlePeriodic(static_cast<std::size_t>(ev.a));
+      break;
+  }
 }
 
 void Engine::KillTask(sched::ThreadId tid) {
@@ -94,16 +133,12 @@ void Engine::KillTask(sched::ThreadId tid) {
     // Wake-then-remove keeps the scheduler protocol simple; the pending wakeup
     // event becomes stale and is ignored via the exited state.
     scheduler_.Wakeup(tid);
-    if (sched_event_hook_) {
-      sched_event_hook_(SchedEvent::kWakeup, t, now_);
-    }
+    NotifySchedEvent(SchedEvent::kWakeup, t);
     t.state_ = Task::State::kRunnable;
   }
   if (t.state_ != Task::State::kExited) {
     scheduler_.RemoveThread(tid);
-    if (sched_event_hook_) {
-      sched_event_hook_(SchedEvent::kDeparture, t, now_);
-    }
+    NotifySchedEvent(SchedEvent::kDeparture, t);
     t.state_ = Task::State::kExited;
     if (exit_hook_) {
       exit_hook_(*this, t);
@@ -114,19 +149,21 @@ void Engine::KillTask(sched::ThreadId tid) {
   }
 }
 
-const Task& Engine::task(sched::ThreadId tid) const {
-  auto it = tasks_.find(tid);
-  SFS_CHECK(it != tasks_.end());
-  return *it->second;
+Engine::TaskSlot Engine::SlotFor(sched::ThreadId tid) const {
+  SFS_CHECK(tid >= 0 && static_cast<std::size_t>(tid) < tid_to_slot_.size());
+  const std::int32_t slot = tid_to_slot_[static_cast<std::size_t>(tid)];
+  SFS_CHECK(slot >= 0);
+  return static_cast<TaskSlot>(slot);
 }
 
-Task& Engine::task(sched::ThreadId tid) {
-  auto it = tasks_.find(tid);
-  SFS_CHECK(it != tasks_.end());
-  return *it->second;
-}
+const Task& Engine::task(sched::ThreadId tid) const { return tasks_[SlotFor(tid)]; }
 
-bool Engine::HasTask(sched::ThreadId tid) const { return tasks_.find(tid) != tasks_.end(); }
+Task& Engine::task(sched::ThreadId tid) { return tasks_[SlotFor(tid)]; }
+
+bool Engine::HasTask(sched::ThreadId tid) const {
+  return tid >= 0 && static_cast<std::size_t>(tid) < tid_to_slot_.size() &&
+         tid_to_slot_[static_cast<std::size_t>(tid)] >= 0;
+}
 
 Tick Engine::ServiceIncludingRunning(sched::ThreadId tid) const {
   const Task& t = task(tid);
@@ -165,15 +202,22 @@ Tick Engine::idle_time() const {
 
 void Engine::Push(Tick time, EventKind kind, std::int32_t a, std::uint64_t stamp) {
   SFS_DCHECK(time >= now_);
-  events_.push(Event{time, next_seq_++, kind, a, stamp});
+  if (use_wheel_) {
+    // The wheel's per-slot FIFO realizes the (time, seq) order by construction;
+    // seq is still stamped so the two backends stay field-identical.
+    wheel_.Push(time, Event{time, next_seq_++, kind, a, stamp});
+  } else {
+    events_.push(Event{time, next_seq_++, kind, a, stamp});
+  }
 }
 
-void Engine::HandleArrival(sched::ThreadId tid) {
-  Task& t = task(tid);
+void Engine::HandleArrival(TaskSlot slot) {
+  Task& t = tasks_[slot];
   if (t.state_ == Task::State::kExited) {
     return;  // killed before it arrived
   }
   SFS_CHECK(t.state_ == Task::State::kNew);
+  const sched::ThreadId tid = t.tid();
   const Action first = t.behavior().Next(now_);
   switch (first.kind) {
     case Action::Kind::kCompute: {
@@ -181,9 +225,7 @@ void Engine::HandleArrival(sched::ThreadId tid) {
       t.remaining_burst_ = first.duration;
       t.state_ = Task::State::kRunnable;
       scheduler_.AddThread(tid, t.weight());
-      if (sched_event_hook_) {
-        sched_event_hook_(SchedEvent::kArrival, t, now_);
-      }
+      NotifySchedEvent(SchedEvent::kArrival, t);
       PlaceRunnable(tid, config_.preempt_on_arrival);
       break;
     }
@@ -191,15 +233,11 @@ void Engine::HandleArrival(sched::ThreadId tid) {
       // Arrive asleep: register with the scheduler, then block immediately.
       SFS_CHECK(first.duration > 0);
       scheduler_.AddThread(tid, t.weight());
-      if (sched_event_hook_) {
-        sched_event_hook_(SchedEvent::kArrival, t, now_);
-      }
+      NotifySchedEvent(SchedEvent::kArrival, t);
       scheduler_.Block(tid);
-      if (sched_event_hook_) {
-        sched_event_hook_(SchedEvent::kBlock, t, now_);
-      }
+      NotifySchedEvent(SchedEvent::kBlock, t);
       t.state_ = Task::State::kBlocked;
-      Push(now_ + first.duration, EventKind::kWakeup, tid);
+      Push(now_ + first.duration, EventKind::kWakeup, static_cast<std::int32_t>(slot));
       break;
     }
     case Action::Kind::kExit:
@@ -211,17 +249,16 @@ void Engine::HandleArrival(sched::ThreadId tid) {
   }
 }
 
-void Engine::HandleWakeup(sched::ThreadId tid) {
-  Task& t = task(tid);
+void Engine::HandleWakeup(TaskSlot slot) {
+  Task& t = tasks_[slot];
   if (t.state_ == Task::State::kExited) {
     return;  // killed while blocked; stale wakeup
   }
   SFS_CHECK(t.state_ == Task::State::kBlocked);
+  const sched::ThreadId tid = t.tid();
   t.state_ = Task::State::kRunnable;
   scheduler_.Wakeup(tid);
-  if (sched_event_hook_) {
-    sched_event_hook_(SchedEvent::kWakeup, t, now_);
-  }
+  NotifySchedEvent(SchedEvent::kWakeup, t);
   t.behavior().OnWake(now_);
   // The wake decides what to do next (usually a compute burst to serve a request).
   if (t.remaining_burst_ <= 0) {
@@ -234,17 +271,13 @@ void Engine::HandleWakeup(sched::ThreadId tid) {
       case Action::Kind::kBlock:
         SFS_CHECK(next.duration > 0);
         scheduler_.Block(tid);
-        if (sched_event_hook_) {
-          sched_event_hook_(SchedEvent::kBlock, t, now_);
-        }
+        NotifySchedEvent(SchedEvent::kBlock, t);
         t.state_ = Task::State::kBlocked;
-        Push(now_ + next.duration, EventKind::kWakeup, tid);
+        Push(now_ + next.duration, EventKind::kWakeup, static_cast<std::int32_t>(slot));
         return;
       case Action::Kind::kExit:
         scheduler_.RemoveThread(tid);
-        if (sched_event_hook_) {
-          sched_event_hook_(SchedEvent::kDeparture, t, now_);
-        }
+        NotifySchedEvent(SchedEvent::kDeparture, t);
         t.state_ = Task::State::kExited;
         if (exit_hook_) {
           exit_hook_(*this, t);
@@ -288,13 +321,14 @@ void Engine::PlaceRunnable(sched::ThreadId tid, bool may_preempt) {
   }
   // All busy: ask the policy whether this wakeup warrants preemption, giving it
   // the tick handler's view of how long each runner has held its processor.
-  std::vector<Tick> elapsed(cpus_.size(), 0);
+  // (Scratch vector reused across calls: no steady-state allocation.)
+  preempt_elapsed_.assign(cpus_.size(), 0);
   for (std::size_t i = 0; i < cpus_.size(); ++i) {
     if (cpus_[i].running != sched::kInvalidThread) {
-      elapsed[i] = std::max<Tick>(0, now_ - cpus_[i].run_start);
+      preempt_elapsed_[i] = std::max<Tick>(0, now_ - cpus_[i].run_start);
     }
   }
-  const sched::CpuId victim = scheduler_.SuggestPreemption(tid, elapsed);
+  const sched::CpuId victim = scheduler_.SuggestPreemption(tid, preempt_elapsed_);
   if (victim == sched::kInvalidCpu) {
     return;
   }
@@ -308,7 +342,7 @@ void Engine::StopRunning(sched::CpuId cpu_id) {
   Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
   const sched::ThreadId tid = cpu.running;
   SFS_CHECK(tid != sched::kInvalidThread);
-  Task& t = task(tid);
+  Task& t = tasks_[cpu.running_slot];
   const Tick ran = std::max<Tick>(0, now_ - cpu.run_start);
   // Consume only the part of the switch window that actually elapsed (a
   // preemption can land inside it).
@@ -346,7 +380,8 @@ void Engine::Dispatch(sched::CpuId cpu_id) {
     // Stay idle; idle_since was set when the CPU was freed (or at start).
     return;
   }
-  Task& t = task(tid);
+  const TaskSlot slot = SlotFor(tid);
+  Task& t = tasks_[slot];
   SFS_CHECK(t.state_ == Task::State::kRunnable);
   SFS_CHECK(t.remaining_burst_ > 0);
 
@@ -377,6 +412,7 @@ void Engine::Dispatch(sched::CpuId cpu_id) {
 
   t.state_ = Task::State::kRunning;
   cpu.running = tid;
+  cpu.running_slot = slot;
   cpu.dispatch_time = now_;
   cpu.switch_cost = switch_cost;
   cpu.run_start = now_ + switch_cost;
@@ -397,17 +433,13 @@ bool Engine::ApplyNextAction(Task& t) {
     case Action::Kind::kBlock:
       SFS_CHECK(action.duration > 0);
       scheduler_.Block(t.tid());
-      if (sched_event_hook_) {
-        sched_event_hook_(SchedEvent::kBlock, t, now_);
-      }
+      NotifySchedEvent(SchedEvent::kBlock, t);
       t.state_ = Task::State::kBlocked;
-      Push(now_ + action.duration, EventKind::kWakeup, t.tid());
+      Push(now_ + action.duration, EventKind::kWakeup, static_cast<std::int32_t>(t.slot_));
       return false;
     case Action::Kind::kExit:
       scheduler_.RemoveThread(t.tid());
-      if (sched_event_hook_) {
-        sched_event_hook_(SchedEvent::kDeparture, t, now_);
-      }
+      NotifySchedEvent(SchedEvent::kDeparture, t);
       t.state_ = Task::State::kExited;
       if (exit_hook_) {
         exit_hook_(*this, t);

@@ -17,6 +17,14 @@
 //
 // The engine is single-threaded and deterministic: simultaneous events fire in
 // insertion order.
+//
+// Hot-path layout (DESIGN.md, "Engine internals"): the event queue is a
+// hierarchical timing wheel with pooled nodes, tasks live in a dense slot
+// arena indexed by the events themselves, and observer hooks are null-checked
+// once per notification — steady-state simulation performs no allocations in
+// the event loop.  A binary-heap event queue is retained behind
+// EngineConfig::event_queue for differential testing; both backends pop in
+// (time, insertion-seq) order, so traces are byte-identical across them.
 
 #ifndef SFS_SIM_ENGINE_H_
 #define SFS_SIM_ENGINE_H_
@@ -25,14 +33,24 @@
 #include <functional>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/slot_arena.h"
 #include "src/common/time.h"
+#include "src/common/timing_wheel.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/task.h"
 
 namespace sfs::sim {
+
+// Event-queue backend.  The timing wheel is the production default (O(1) per
+// event); the (time, seq) binary heap is the reference the wheel is
+// differentially tested against (tests/integration/event_queue_fuzz_test.cc,
+// abl_engine_throughput).
+enum class EventQueueKind : std::uint8_t {
+  kTimingWheel,
+  kPriorityQueue,
+};
 
 struct EngineConfig {
   // CPU time consumed by switching a processor to a *different* thread; modelled
@@ -52,6 +70,10 @@ struct EngineConfig {
   // wakeups, so the faithful default is true; experiments with rapid arrival
   // chains (Figure 5) are mildly sensitive to it, hence the explicit knob.
   bool preempt_on_arrival = true;
+
+  // Event-queue backend; schedules are identical across the two, only the
+  // constant factors differ.
+  EventQueueKind event_queue = EventQueueKind::kTimingWheel;
 };
 
 // Scheduler-visible lifecycle events, for mirroring into GmsReference etc.
@@ -70,6 +92,12 @@ class Engine {
   // Schedules `task` to arrive (become runnable) at absolute time `at` >= now.
   void AddTaskAt(Tick at, std::unique_ptr<Task> task);
 
+  // Pre-sizes the task arena, the tid index and the event-queue node pool for
+  // a workload of about `task_count` tasks.  Purely an allocation hint —
+  // growth past it is handled — meant to be called at workload-setup time so
+  // the measured region allocates nothing.
+  void ReserveTasks(std::size_t task_count);
+
   // Registers `fn` to run every `period` ticks of simulated time (first firing at
   // now + period).  Used for service sampling.
   void AddPeriodicHook(Tick period, std::function<void(Engine&)> fn);
@@ -79,6 +107,7 @@ class Engine {
   void SetExitHook(std::function<void(Engine&, Task&)> fn);
 
   // Observes every scheduler-visible lifecycle event (for the GMS mirror).
+  // The no-observer configuration pays a single branch per event.
   void SetSchedEventHook(std::function<void(SchedEvent, const Task&, Tick)> fn);
 
   // Observes every completed run interval: (start, length, cpu, tid).  Used by
@@ -112,17 +141,19 @@ class Engine {
   // samplers observe smooth progress rather than 200 ms staircases.
   Tick ServiceIncludingRunning(sched::ThreadId tid) const;
 
-  // Iterates all tasks ever added (any state); order unspecified.
+  // Iterates all tasks ever added (any state), in arrival-insertion order.
   template <typename Fn>
   void ForEachTask(Fn&& fn) const {
-    for (const auto& [tid, t] : tasks_) {
-      fn(*t);
-    }
+    tasks_.ForEach(fn);
   }
 
   std::int64_t context_switches() const { return context_switches_; }
   std::int64_t dispatches() const { return dispatches_; }
   std::int64_t preemptions() const { return preemptions_; }
+  // Events popped off the event queue so far (arrivals, wakeups, CPU timers —
+  // including superseded ones — and periodic-hook firings).  The denominator
+  // of the engine-throughput benchmarks.
+  std::int64_t events_processed() const { return events_processed_; }
   // Dispatches that moved a task to a different processor than it last ran on
   // (cache-cold starts; the affinity extension reduces these).
   std::int64_t migrations() const { return migrations_; }
@@ -136,13 +167,15 @@ class Engine {
   Tick idle_time() const;
 
  private:
+  using TaskSlot = common::SlotArena<Task>::SlotId;
+
   enum class EventKind : std::uint8_t { kArrival, kWakeup, kCpuTimer, kPeriodic };
 
   struct Event {
     Tick time = 0;
-    std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+    std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps (heap backend)
     EventKind kind = EventKind::kArrival;
-    std::int32_t a = 0;      // tid (arrival/wakeup), cpu (timer), hook idx (periodic)
+    std::int32_t a = 0;      // task slot (arrival/wakeup), cpu (timer), hook idx (periodic)
     std::uint64_t stamp = 0;  // timer generation (kCpuTimer)
 
     bool operator>(const Event& other) const {
@@ -155,6 +188,7 @@ class Engine {
 
   struct Cpu {
     sched::ThreadId running = sched::kInvalidThread;
+    TaskSlot running_slot = 0;  // arena slot of `running` (valid iff running)
     sched::ThreadId last_thread = sched::kInvalidThread;
     Tick dispatch_time = 0;  // when the dispatch began (switch window start)
     Tick switch_cost = 0;    // cost of the in-flight switch window
@@ -171,9 +205,13 @@ class Engine {
     std::function<void(Engine&)> fn;
   };
 
+  // tid -> arena slot; CHECK-fails on unknown tid.
+  TaskSlot SlotFor(sched::ThreadId tid) const;
+
   void Push(Tick time, EventKind kind, std::int32_t a, std::uint64_t stamp = 0);
-  void HandleArrival(sched::ThreadId tid);
-  void HandleWakeup(sched::ThreadId tid);
+  void DispatchEvent(const Event& ev);
+  void HandleArrival(TaskSlot slot);
+  void HandleWakeup(TaskSlot slot);
   void HandleCpuTimer(sched::CpuId cpu_id, std::uint64_t stamp);
   void HandlePeriodic(std::size_t idx);
 
@@ -192,15 +230,29 @@ class Engine {
   // arrived.  Returns true if the task is (still) runnable and has compute to do.
   bool ApplyNextAction(Task& task);
 
+  // Single-branch observer notifications (the common no-observer case pays
+  // one predictable test, no std::function invocation machinery).
+  void NotifySchedEvent(SchedEvent event, const Task& task) {
+    if (sched_event_hook_) {
+      sched_event_hook_(event, task, now_);
+    }
+  }
+
   sched::Scheduler& scheduler_;
   EngineConfig config_;
+  bool use_wheel_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
 
+  common::TimingWheel<Event> wheel_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  std::unordered_map<sched::ThreadId, std::unique_ptr<Task>> tasks_;
+  common::SlotArena<Task> tasks_;
+  // ThreadId -> arena slot (-1 = unknown tid).  ThreadIds are dense small
+  // integers in practice (sched/types.h), so a flat vector beats a hash map.
+  std::vector<std::int32_t> tid_to_slot_;
   std::vector<Cpu> cpus_;
   std::vector<PeriodicHook> periodic_hooks_;
+  std::vector<Tick> preempt_elapsed_;  // reused scratch for SuggestPreemption
 
   std::function<void(Engine&, Task&)> exit_hook_;
   std::function<void(SchedEvent, const Task&, Tick)> sched_event_hook_;
@@ -211,6 +263,7 @@ class Engine {
   std::int64_t preemptions_ = 0;
   std::int64_t migrations_ = 0;
   std::int64_t steals_ = 0;
+  std::int64_t events_processed_ = 0;
   Tick total_ctx_cost_ = 0;
 };
 

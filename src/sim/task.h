@@ -9,6 +9,7 @@
 #ifndef SFS_SIM_TASK_H_
 #define SFS_SIM_TASK_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -86,6 +87,9 @@ class Task {
   std::string label_;
 
   State state_ = State::kNew;
+  // Dense arena slot the engine filed this task under (set by AddTaskAt);
+  // events carry this id so hot-path lookup is a vector index, not a map probe.
+  std::uint32_t slot_ = 0;
   // CPU ticks left in the current compute action (kTickInfinity for Inf-style).
   Tick remaining_burst_ = 0;
   Tick service_ = 0;

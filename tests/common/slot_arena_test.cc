@@ -1,0 +1,85 @@
+#include "src/common/slot_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sfs::common {
+namespace {
+
+TEST(SlotArenaTest, EmplaceAssignsDenseIdsInOrder) {
+  SlotArena<int> arena;
+  EXPECT_TRUE(arena.empty());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(arena.Emplace(i * 7), static_cast<SlotArena<int>::SlotId>(i));
+  }
+  EXPECT_EQ(arena.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(arena[i], static_cast<int>(i) * 7);
+  }
+}
+
+TEST(SlotArenaTest, ReferencesSurviveGrowth) {
+  SlotArena<std::string> arena;
+  std::string& first = arena[arena.Emplace("zero")];
+  std::vector<const std::string*> ptrs = {&first};
+  // Push well past several chunk boundaries; earlier references must not move.
+  for (int i = 1; i < 5000; ++i) {
+    ptrs.push_back(&arena[arena.Emplace(std::to_string(i))]);
+  }
+  EXPECT_EQ(first, "zero");
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    EXPECT_EQ(&arena[static_cast<SlotArena<std::string>::SlotId>(i)], ptrs[i]);
+  }
+}
+
+TEST(SlotArenaTest, ForEachVisitsInsertionOrder) {
+  SlotArena<int> arena;
+  for (int i = 0; i < 300; ++i) {
+    arena.Emplace(i);
+  }
+  int expected = 0;
+  arena.ForEach([&expected](const int& v) { EXPECT_EQ(v, expected++); });
+  EXPECT_EQ(expected, 300);
+}
+
+TEST(SlotArenaTest, MoveOnlyElements) {
+  SlotArena<std::unique_ptr<int>> arena;
+  const auto slot = arena.Emplace(std::make_unique<int>(17));
+  EXPECT_EQ(*arena[slot], 17);
+  *arena[slot] = 18;
+  EXPECT_EQ(*arena[slot], 18);
+}
+
+TEST(SlotArenaTest, DestructorRunsForAllElements) {
+  struct Counted {
+    explicit Counted(int* live) : live(live) { ++*live; }
+    ~Counted() { --*live; }
+    int* live;
+  };
+  int live = 0;
+  {
+    SlotArena<Counted> arena;
+    for (int i = 0; i < 700; ++i) {
+      arena.Emplace(&live);
+    }
+    EXPECT_EQ(live, 700);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(SlotArenaTest, ReserveIsAnAllocationHintOnly) {
+  SlotArena<int> arena;
+  arena.Reserve(10'000);
+  EXPECT_TRUE(arena.empty());
+  for (int i = 0; i < 12'000; ++i) {  // growth past the reservation still works
+    arena.Emplace(i);
+  }
+  EXPECT_EQ(arena.size(), 12'000u);
+  EXPECT_EQ(arena[11'999], 11'999);
+}
+
+}  // namespace
+}  // namespace sfs::common

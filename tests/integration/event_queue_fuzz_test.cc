@@ -1,0 +1,194 @@
+// Differential fuzz: the timing-wheel and priority-queue engine backends must
+// produce byte-identical simulations for every scheduler kind, including the
+// sharded layer.  Each seed builds one randomized workload (hogs, interactive
+// sleepers, a churning short-job chain, mid-run weight surgery and a kill) and
+// runs it twice — once per EngineConfig::event_queue — comparing FNV-1a
+// fingerprints of the complete run-interval trace and the scheduler-visible
+// lifecycle event stream, plus per-task services and the accounting counters.
+// Any divergence in any event's firing order changes the fingerprints.
+//
+// SFS_FUZZ_SEEDS bounds the seeds tried per policy (default 6), as in
+// fuzz_test.cc; SFS_FUZZ_SHARDED pins the sharded dimension.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/fingerprint.h"
+#include "src/common/rng.h"
+#include "src/sched/factory.h"
+#include "src/sim/engine.h"
+#include "src/workload/workloads.h"
+
+namespace sfs::eval {
+namespace {
+
+using sched::SchedKind;
+using sched::ThreadId;
+
+struct TraceResult {
+  std::uint64_t run_fingerprint = 0;
+  std::uint64_t lifecycle_fingerprint = 0;
+  std::vector<Tick> services;
+  std::int64_t events = 0;
+  std::int64_t dispatches = 0;
+  std::int64_t preemptions = 0;
+  Tick idle = 0;
+  Tick ctx_cost = 0;
+
+  bool operator==(const TraceResult&) const = default;
+};
+
+// One randomized workload, driven to the horizon on the given event-queue
+// backend.  All randomness (workload shape and mid-run surgery draws) flows
+// through Rng(seed), so two runs with the same seed diverge only if the event
+// queues disagree on event order.
+TraceResult RunOnce(SchedKind kind, std::uint64_t seed, sim::EventQueueKind queue) {
+  common::Rng rng(seed);
+  sched::SchedConfig config;
+  config.num_cpus = static_cast<int>(rng.UniformInt(1, 4));
+  config.quantum = Msec(rng.UniformInt(5, 200));
+  config.queue_backend =
+      rng.Bernoulli(0.5) ? sched::QueueBackend::kSkipList : sched::QueueBackend::kSortedList;
+  SchedKind effective_kind = kind;
+  if (const auto sharded_kind = sched::ShardedKindFor(kind); sharded_kind.has_value()) {
+    bool use_sharded = rng.Bernoulli(0.5);
+    if (const char* env = std::getenv("SFS_FUZZ_SHARDED"); env != nullptr) {
+      use_sharded = env[0] == '1';
+    }
+    if (use_sharded) {
+      effective_kind = *sharded_kind;
+      config.shard_steal = rng.Bernoulli(0.75) ? sched::ShardStealPolicy::kMaxSurplus
+                                               : sched::ShardStealPolicy::kNone;
+      config.shard_rebalance_period =
+          rng.Bernoulli(0.5) ? static_cast<int>(rng.UniformInt(4, 256)) : 0;
+      config.shard_coupling = 0.5 * static_cast<double>(rng.UniformInt(0, 2));
+    }
+  }
+  auto scheduler = CreateScheduler(effective_kind, config);
+
+  sim::EngineConfig engine_config;
+  engine_config.context_switch_cost = Usec(rng.UniformInt(0, 500));
+  engine_config.event_queue = queue;
+  sim::Engine engine(*scheduler, engine_config);
+
+  TraceResult result;
+  common::Fnv1a run_fp;
+  common::Fnv1a life_fp;
+  engine.SetRunIntervalHook(
+      [&run_fp](Tick start, Tick len, sched::CpuId cpu, ThreadId tid) {
+        run_fp.Mix(static_cast<std::uint64_t>(start));
+        run_fp.Mix(static_cast<std::uint64_t>(len));
+        run_fp.Mix(static_cast<std::uint64_t>(cpu));
+        run_fp.Mix(static_cast<std::uint64_t>(tid));
+      });
+  engine.SetSchedEventHook(
+      [&life_fp](sim::SchedEvent event, const sim::Task& task, Tick now) {
+        life_fp.Mix(static_cast<std::uint64_t>(event));
+        life_fp.Mix(static_cast<std::uint64_t>(task.tid()));
+        life_fp.Mix(static_cast<std::uint64_t>(now));
+      });
+
+  ThreadId next_tid = 1;
+  std::vector<ThreadId> hogs;
+  const int n_hogs = static_cast<int>(rng.UniformInt(1, 6));
+  for (int i = 0; i < n_hogs; ++i) {
+    hogs.push_back(next_tid);
+    engine.AddTaskAt(Msec(rng.UniformInt(0, 2000)),
+                     workload::MakeInf(next_tid++, static_cast<double>(rng.UniformInt(1, 30)),
+                                       "hog"));
+  }
+  const int n_interact = static_cast<int>(rng.UniformInt(0, 3));
+  for (int i = 0; i < n_interact; ++i) {
+    workload::Interact::Params params;
+    params.mean_think = Msec(rng.UniformInt(20, 200));
+    params.burst = Msec(rng.UniformInt(1, 10));
+    params.seed = seed + static_cast<std::uint64_t>(i);
+    engine.AddTaskAt(Msec(rng.UniformInt(0, 1000)),
+                     workload::MakeInteract(next_tid++, 1.0, params, nullptr, "interact"));
+  }
+  // A churning chain of short jobs: exit-hook execution order feeds straight
+  // back into the event queue (same-tick arrivals), the FIFO contract's
+  // hardest case.
+  engine.SetExitHook([&next_tid, &rng](sim::Engine& e, sim::Task& task) {
+    if (task.label() == "short") {
+      e.AddTaskAt(e.now() + Msec(rng.UniformInt(0, 50)),
+                  workload::MakeFixedWork(next_tid++, static_cast<double>(rng.UniformInt(1, 10)),
+                                          Msec(rng.UniformInt(10, 400)), "short"));
+    }
+  });
+  engine.AddTaskAt(0, workload::MakeFixedWork(next_tid++, 2.0, Msec(100), "short"));
+
+  engine.AddPeriodicHook(Msec(777), [&](sim::Engine& e) {
+    if (!hogs.empty() && e.HasTask(hogs[0])) {
+      const auto state = e.task(hogs[0]).state();
+      if (state != sim::Task::State::kExited && state != sim::Task::State::kNew &&
+          rng.Bernoulli(0.5)) {
+        e.scheduler().SetWeight(hogs[0], static_cast<double>(rng.UniformInt(1, 50)));
+      }
+    }
+  });
+  const Tick kill_at = Msec(rng.UniformInt(2500, 5000));
+  engine.AddPeriodicHook(kill_at, [&, done = false](sim::Engine& e) mutable {
+    if (!done && hogs.size() > 1 && e.HasTask(hogs[1]) &&
+        e.task(hogs[1]).state() != sim::Task::State::kExited) {
+      e.KillTask(hogs[1]);
+      done = true;
+    }
+  });
+
+  engine.RunUntil(Sec(10));
+
+  engine.ForEachTask(
+      [&](const sim::Task& task) { result.services.push_back(engine.Service(task.tid())); });
+  result.run_fingerprint = run_fp.value();
+  result.lifecycle_fingerprint = life_fp.value();
+  result.events = engine.events_processed();
+  result.dispatches = engine.dispatches();
+  result.preemptions = engine.preemptions();
+  result.idle = engine.idle_time();
+  result.ctx_cost = engine.total_context_switch_cost();
+  return result;
+}
+
+std::uint64_t FuzzSeedCount() {
+  if (const char* env = std::getenv("SFS_FUZZ_SEEDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::uint64_t>(parsed);
+    }
+  }
+  return 6;
+}
+
+class EventQueueFuzzTest : public ::testing::TestWithParam<SchedKind> {};
+
+TEST_P(EventQueueFuzzTest, WheelAndHeapTracesAreByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= FuzzSeedCount(); ++seed) {
+    const TraceResult wheel = RunOnce(GetParam(), seed, sim::EventQueueKind::kTimingWheel);
+    const TraceResult heap = RunOnce(GetParam(), seed, sim::EventQueueKind::kPriorityQueue);
+    EXPECT_EQ(wheel.run_fingerprint, heap.run_fingerprint) << "seed " << seed;
+    EXPECT_EQ(wheel.lifecycle_fingerprint, heap.lifecycle_fingerprint) << "seed " << seed;
+    EXPECT_TRUE(wheel == heap) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EventQueueFuzzTest,
+                         ::testing::Values(SchedKind::kSfs, SchedKind::kHsfs, SchedKind::kSfq,
+                                           SchedKind::kStride, SchedKind::kWfq, SchedKind::kBvt,
+                                           SchedKind::kTimeshare, SchedKind::kRoundRobin,
+                                           SchedKind::kLottery),
+                         [](const ::testing::TestParamInfo<SchedKind>& param_info) {
+                           std::string name(sched::SchedKindName(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace sfs::eval

@@ -147,6 +147,126 @@ TEST_P(ReadjustPropertyTest, FeasibleWeightsNeverChangeAndCapsAreTight) {
 
 INSTANTIATE_TEST_SUITE_P(Cpus, ReadjustPropertyTest, ::testing::Values(2, 3, 4, 8, 16));
 
+// --- parity with the literal Figure 2 recursion ---------------------------------
+
+// Verbatim transcription of Figure 2 (the pre-optimization ReadjustVector body):
+// recomputes the suffix sum at every level, O(capped * n).  Kept here as the
+// parity oracle for the O(n) single-pass production form.
+void Figure2Recursive(std::vector<double>& weights, std::size_t i, int p) {
+  if (i >= weights.size() || p <= 1) {
+    return;
+  }
+  double suffix = 0.0;
+  for (std::size_t j = i; j < weights.size(); ++j) {
+    suffix += weights[j];
+  }
+  if (weights[i] * static_cast<double>(p) > suffix) {
+    Figure2Recursive(weights, i + 1, p - 1);
+    double sum_after = 0.0;
+    for (std::size_t j = i + 1; j < weights.size(); ++j) {
+      sum_after += weights[j];
+    }
+    weights[i] = sum_after / static_cast<double>(p - 1);
+  }
+}
+
+std::vector<double> Figure2Reference(const std::vector<double>& weights, int num_cpus) {
+  std::vector<double> result = weights;
+  if (result.size() <= static_cast<std::size_t>(num_cpus)) {
+    for (auto& w : result) {
+      w = 1.0;
+    }
+    return result;
+  }
+  Figure2Recursive(result, 0, num_cpus);
+  return result;
+}
+
+TEST(ReadjustVectorParityTest, MatchesFigure2RecursionAtLargeN) {
+  // Integer-valued weights sum exactly in double precision, so the two
+  // summation orders (per-level rescan vs one running suffix) must agree to
+  // the last bit on which threads get capped; the capped values themselves can
+  // differ only by accumulated rounding of the handful of non-integer caps.
+  for (const int cpus : {2, 8, 64, 256}) {
+    for (const int n : {300, 5000, 50000}) {
+      common::Rng rng(7000 + static_cast<std::uint64_t>(cpus * 31 + n));
+      std::vector<double> w;
+      w.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        // Heavy-tailed draw so several threads actually violate Equation 1.
+        const auto r = rng.UniformInt(1, 100);
+        w.push_back(static_cast<double>(r <= 3 ? rng.UniformInt(n, 40 * n) : r));
+      }
+      std::sort(w.begin(), w.end(), std::greater<>());
+      const auto fast = ReadjustVector(w, cpus);
+      const auto reference = Figure2Reference(w, cpus);
+      ASSERT_EQ(fast.size(), reference.size());
+      int capped = 0;
+      for (std::size_t i = 0; i < fast.size(); ++i) {
+        if (fast[i] != w[i]) {
+          ++capped;
+          EXPECT_NE(reference[i], w[i]) << "cap-set mismatch at " << i;
+          EXPECT_NEAR(fast[i], reference[i], 1e-9 * reference[i])
+              << "cpus=" << cpus << " n=" << n << " i=" << i;
+        } else {
+          EXPECT_EQ(reference[i], w[i]) << "cap-set mismatch at " << i;
+        }
+      }
+      EXPECT_LE(capped, cpus - 1);
+    }
+  }
+}
+
+TEST(ReadjustVectorParityTest, FractionalWeightsMatchToRounding) {
+  // Non-integer weights do not sum exactly, and the single-pass form uses a
+  // different summation order than the per-index rescans of the recursion, so
+  // parity here is to rounding, not to the bit: capped values within relative
+  // 1e-12 and the same number of caps (a cap-set flip requires a feasibility
+  // comparison to land within an ulp of its suffix sum, which random draws do
+  // not produce).
+  for (const int cpus : {2, 8, 64}) {
+    common::Rng rng(9100 + static_cast<std::uint64_t>(cpus));
+    for (int trial = 0; trial < 50; ++trial) {
+      const int n = static_cast<int>(rng.UniformInt(cpus + 1, 4000));
+      std::vector<double> w;
+      w.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const bool heavy = rng.UniformInt(1, 100) <= 3;
+        const double base = heavy ? static_cast<double>(rng.UniformInt(n, 20 * n))
+                                  : static_cast<double>(rng.UniformInt(1, 100));
+        w.push_back(base + static_cast<double>(rng.UniformInt(0, 999)) / 1000.0);
+      }
+      std::sort(w.begin(), w.end(), std::greater<>());
+      const auto fast = ReadjustVector(w, cpus);
+      const auto reference = Figure2Reference(w, cpus);
+      ASSERT_EQ(fast.size(), reference.size());
+      int fast_caps = 0;
+      int reference_caps = 0;
+      for (std::size_t i = 0; i < fast.size(); ++i) {
+        fast_caps += fast[i] != w[i] ? 1 : 0;
+        reference_caps += reference[i] != w[i] ? 1 : 0;
+        EXPECT_NEAR(fast[i], reference[i], 1e-12 * reference[i]) << "cpus=" << cpus << " i=" << i;
+      }
+      EXPECT_EQ(fast_caps, reference_caps) << "cpus=" << cpus;
+    }
+  }
+}
+
+TEST(ReadjustVectorParityTest, BitIdenticalOnIntegerWeightsWithOneCap) {
+  // With a single infeasible thread every term of the assignment sum is an
+  // original integer weight: both implementations compute the same exact
+  // suffix, so the results are bit-identical, not merely close.
+  for (const int cpus : {2, 4, 16}) {
+    std::vector<double> w(1000, 1.0);
+    w[0] = 100000.0;
+    const auto fast = ReadjustVector(w, cpus);
+    const auto reference = Figure2Reference(w, cpus);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_EQ(fast[i], reference[i]) << i;
+    }
+  }
+}
+
 // --- ReadjustQueue: production form matches the reference -----------------------
 
 class QueueFixture {
