@@ -28,6 +28,7 @@
 #include "src/eval/scenarios.h"
 #include "src/harness/registry.h"
 #include "src/harness/runner.h"
+#include "src/obs/metrics.h"
 #include "src/sim/engine.h"
 
 namespace {
@@ -81,8 +82,13 @@ SFS_EXPERIMENT(abl_engine_throughput,
     for (const int cpus : cpu_sizes) {
       const auto heap = sfs::eval::RunEngineThroughput(EventQueueKind::kPriorityQueue, threads,
                                                        cpus, horizon, reporter.seed());
+      // The wheel run (the production configuration) also collects the
+      // engine's sim-time histograms; they are pure functions of --seed, so
+      // they live in the deterministic section of the JSON.
+      sfs::obs::MetricsRegistry metrics(/*num_shards=*/1);
       const auto wheel = sfs::eval::RunEngineThroughput(EventQueueKind::kTimingWheel, threads,
-                                                        cpus, horizon, reporter.seed());
+                                                        cpus, horizon, reporter.seed(),
+                                                        {.metrics = &metrics});
 
       const bool identical = heap.schedule_fingerprint == wheel.schedule_fingerprint &&
                              heap.lifecycle_fingerprint == wheel.lifecycle_fingerprint &&
@@ -116,6 +122,12 @@ SFS_EXPERIMENT(abl_engine_throughput,
                                  "_p" + std::to_string(cpus);
         reporter.Throughput(cell, run->events, run->wall_ns);
       }
+      const std::string hist_prefix =
+          "hist/t" + std::to_string(threads) + "_p" + std::to_string(cpus) + "/";
+      reporter.Histogram(hist_prefix + "quantum_ticks",
+                         metrics.GetHistogram("sim/quantum_ticks").Snapshot());
+      reporter.Histogram(hist_prefix + "run_interval_ticks",
+                         metrics.GetHistogram("sim/run_interval_ticks").Snapshot());
 
       // The backend contract: byte-identical schedule-derived results.
       SFS_CHECK(identical);

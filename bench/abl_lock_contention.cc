@@ -39,16 +39,17 @@
 #include <thread>
 #include <vector>
 
-#include "src/common/stats.h"
 #include "src/common/table.h"
 #include "src/harness/registry.h"
 #include "src/harness/runner.h"
+#include "src/obs/metrics.h"
 #include "src/sched/factory.h"
 
 namespace {
 
-using sfs::common::SampleSet;
 using sfs::harness::Reporter;
+using sfs::obs::HistogramSnapshot;
+using sfs::obs::LogHistogram;
 using sfs::sched::CreateScheduler;
 using sfs::sched::SchedConfig;
 using sfs::sched::SchedKind;
@@ -61,11 +62,9 @@ struct ModeSpec {
 };
 
 struct ModeResult {
-  double median_us = 0.0;
-  double p99_us = 0.0;
-  double mean_wait_us = 0.0;  // time blocked acquiring the dispatch lock
+  HistogramSnapshot latency;  // one decision: lock acquisition + PickNext, ns
+  HistogramSnapshot wait;     // time blocked acquiring the dispatch locks, ns
   int max_overlap = 0;        // dispatchers observed inside dispatch at once
-  std::int64_t decisions = 0;
 };
 
 ModeResult RunMode(const ModeSpec& mode, int cpus) {
@@ -90,13 +89,13 @@ ModeResult RunMode(const ModeSpec& mode, int cpus) {
   // triggers: the OS preempts a dispatcher mid-decision and another enters.)
   std::atomic<int> in_dispatch{0};
   std::atomic<int> max_overlap{0};
-  struct PerCpu {
-    SampleSet latency;
-    SampleSet wait;
-  };
-  std::vector<PerCpu> per_cpu(static_cast<std::size_t>(cpus));
+  // Sharded exactly like the executor's histograms: each dispatcher records
+  // into its own shard, merge happens once at the end.  Sampling therefore
+  // never serializes the dispatchers it is measuring.
+  LogHistogram latency_hist(cpus);
+  LogHistogram wait_hist(cpus);
 
-  auto locked_section = [&](int cpu, auto&& body) {
+  auto locked_section = [&](int cpu, auto&& body) -> std::int64_t {
     const auto requested = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> big =
         mode.big_lock ? std::unique_lock<std::mutex>(big_mu) : std::unique_lock<std::mutex>();
@@ -109,37 +108,31 @@ ModeResult RunMode(const ModeSpec& mode, int cpus) {
     }
     body();
     in_dispatch.fetch_sub(1);
-    return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                   acquired - requested)
-                                   .count()) /
-           1000.0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(acquired - requested).count();
   };
 
   std::vector<std::thread> dispatchers;
   dispatchers.reserve(static_cast<std::size_t>(cpus));
   for (int cpu = 0; cpu < cpus; ++cpu) {
     dispatchers.emplace_back([&, cpu] {
-      PerCpu& samples = per_cpu[static_cast<std::size_t>(cpu)];
       // Back-to-back dispatch (quantum -> 0 limit): maximizes decision rate so
       // the lock path dominates, the same saturation regime lmbench's
       // context-switch rows probe.
       while (!stop.load(std::memory_order_relaxed)) {
         const auto pick_start = std::chrono::steady_clock::now();
         ThreadId tid = sfs::sched::kInvalidThread;
-        const double pick_wait =
+        const std::int64_t pick_wait =
             locked_section(cpu, [&] { tid = scheduler->PickNext(cpu); });
         if (tid == sfs::sched::kInvalidThread) {
           continue;  // never happens with 2 pinned tasks per shard, but don't trap on it
         }
         const auto picked = std::chrono::steady_clock::now();
-        samples.latency.Add(
-            static_cast<double>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(picked - pick_start)
-                    .count()) /
-            1000.0);
-        const double charge_wait =
+        latency_hist.Record(
+            cpu, std::chrono::duration_cast<std::chrono::nanoseconds>(picked - pick_start)
+                     .count());
+        const std::int64_t charge_wait =
             locked_section(cpu, [&] { scheduler->Charge(tid, kChargeTicks); });
-        samples.wait.Add(pick_wait + charge_wait);
+        wait_hist.Record(cpu, pick_wait + charge_wait);
       }
     });
   }
@@ -149,22 +142,10 @@ ModeResult RunMode(const ModeSpec& mode, int cpus) {
     d.join();
   }
 
-  SampleSet latency;
-  SampleSet wait;
-  for (const PerCpu& samples : per_cpu) {
-    for (const double s : samples.latency.samples()) {
-      latency.Add(s);
-    }
-    for (const double s : samples.wait.samples()) {
-      wait.Add(s);
-    }
-  }
   ModeResult result;
-  result.median_us = latency.Percentile(50);
-  result.p99_us = latency.Percentile(99);
-  result.mean_wait_us = wait.mean();
+  result.latency = latency_hist.Snapshot();
+  result.wait = wait_hist.Snapshot();
   result.max_overlap = max_overlap.load();
-  result.decisions = static_cast<std::int64_t>(latency.count());
   return result;
 }
 
@@ -188,19 +169,27 @@ SFS_EXPERIMENT(abl_lock_contention,
   for (const int cpus : cpu_counts) {
     for (const ModeSpec& mode : modes) {
       const ModeResult result = RunMode(mode, cpus);
+      const double median_us = result.latency.Percentile(50) / 1000.0;
+      const double p99_us = result.latency.Percentile(99) / 1000.0;
+      const double mean_wait_us = result.wait.mean() / 1000.0;
+      const auto decisions = static_cast<std::int64_t>(result.latency.count());
       table.AddRow({std::to_string(cpus), mode.label,
-                    sfs::common::Table::Cell(result.median_us, 2),
-                    sfs::common::Table::Cell(result.p99_us, 2),
-                    sfs::common::Table::Cell(result.mean_wait_us, 3),
+                    sfs::common::Table::Cell(median_us, 2),
+                    sfs::common::Table::Cell(p99_us, 2),
+                    sfs::common::Table::Cell(mean_wait_us, 3),
                     sfs::common::Table::Cell(static_cast<std::int64_t>(result.max_overlap)),
-                    sfs::common::Table::Cell(result.decisions)});
+                    sfs::common::Table::Cell(decisions)});
       const std::string prefix =
           "p" + std::to_string(cpus) + "/" + std::string(mode.label) + "/";
-      reporter.Timing(prefix + "median_us", result.median_us);
-      reporter.Timing(prefix + "p99_us", result.p99_us);
-      reporter.Timing(prefix + "mean_lock_wait_us", result.mean_wait_us);
+      reporter.Timing(prefix + "median_us", median_us);
+      reporter.Timing(prefix + "p99_us", p99_us);
+      reporter.Timing(prefix + "mean_lock_wait_us", mean_wait_us);
       reporter.Timing(prefix + "max_overlap", static_cast<double>(result.max_overlap));
-      reporter.Timing(prefix + "decisions", static_cast<double>(result.decisions));
+      reporter.Timing(prefix + "decisions", static_cast<double>(decisions));
+      // Full percentile columns (p50/p99/p999, nanoseconds) from the same
+      // sharded histograms the executor itself uses.
+      reporter.TimingHistogram(prefix + "dispatch_ns", result.latency);
+      reporter.TimingHistogram(prefix + "lock_wait_ns", result.wait);
     }
     reporter.Metric("tasks_at_p" + std::to_string(cpus),
                     static_cast<std::int64_t>(2 * cpus));

@@ -16,7 +16,9 @@
 // fingerprints are identical (the layer is deterministic); decisions/sec is
 // wall clock and reaches the JSON only under --timing.
 
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/common/assert.h"
 #include "src/common/fingerprint.h"
@@ -24,6 +26,9 @@
 #include "src/eval/scenarios.h"
 #include "src/harness/registry.h"
 #include "src/harness/runner.h"
+#include "src/obs/metrics.h"
+#include "src/obs/perfetto.h"
+#include "src/obs/trace.h"
 #include "src/sched/factory.h"
 
 namespace {
@@ -95,8 +100,20 @@ SFS_EXPERIMENT(abl_sharded,
 
       const ShardedFairnessResult run = RunShardedFairness(
           contender.policy, config, cell.threads, cell.horizon, reporter.seed());
+      // The rerun carries the observability sinks (skipped for the 64-CPU
+      // cell, where the rings alone would dwarf the scheduler state), so the
+      // determinism CHECK below doubles as the tracing-invariance proof:
+      // recording must not change a single scheduling decision.
+      std::unique_ptr<sfs::obs::Trace> trace;
+      std::unique_ptr<sfs::obs::MetricsRegistry> metrics;
+      sfs::eval::ObsSinks sinks;
+      if (cell.cpus <= 16) {
+        trace = std::make_unique<sfs::obs::Trace>(cell.cpus, /*capacity_per_ring=*/1 << 14);
+        metrics = std::make_unique<sfs::obs::MetricsRegistry>(/*num_shards=*/1);
+        sinks = {.trace = trace.get(), .metrics = metrics.get()};
+      }
       const ShardedFairnessResult rerun = RunShardedFairness(
-          contender.policy, config, cell.threads, cell.horizon, reporter.seed());
+          contender.policy, config, cell.threads, cell.horizon, reporter.seed(), sinks);
       const bool deterministic =
           run.schedule_fingerprint == rerun.schedule_fingerprint &&
           run.decisions == rerun.decisions && run.steals == rerun.steals &&
@@ -104,6 +121,19 @@ SFS_EXPERIMENT(abl_sharded,
           run.gms_deviation_ms == rerun.gms_deviation_ms;
       all_deterministic = all_deterministic && deterministic;
       SFS_CHECK(deterministic);
+
+      // --trace export: the low-occupancy sharded-SFS cell, where steals and
+      // rebalances are visible at a glance.  Repetition 0 only, so --repeat
+      // does not rewrite the file with identical contents.
+      if (trace != nullptr && !reporter.trace_path().empty() && reporter.repetition() == 0 &&
+          std::string_view(contender.label) == "sharded-sfs" && cell.cpus == 4) {
+        if (sfs::obs::PerfettoExporter::WriteFile(*trace, reporter.trace_path())) {
+          reporter.out() << "(wrote Perfetto trace of sharded-sfs p=4 to "
+                         << reporter.trace_path() << " — open in ui.perfetto.dev)\n";
+        } else {
+          reporter.out() << "(FAILED to write trace to " << reporter.trace_path() << ")\n";
+        }
+      }
 
       table.AddRow({Table::Cell(std::int64_t{cell.cpus}), Table::Cell(std::int64_t{cell.threads}),
                     contender.label, Table::Cell(run.gms_deviation_ms, 1),
@@ -127,6 +157,16 @@ SFS_EXPERIMENT(abl_sharded,
       reporter.Timing(std::string(contender.label) + "/p" + std::to_string(cell.cpus) + "_t" +
                           std::to_string(cell.threads),
                       run.wall_ns_per_decision);
+
+      if (metrics != nullptr) {
+        const std::string hist_prefix = "hist/" + std::string(contender.label) + "/p" +
+                                        std::to_string(cell.cpus) + "_t" +
+                                        std::to_string(cell.threads) + "/";
+        reporter.Histogram(hist_prefix + "quantum_ticks",
+                           metrics->GetHistogram("sim/quantum_ticks").Snapshot());
+        reporter.Histogram(hist_prefix + "run_interval_ticks",
+                           metrics->GetHistogram("sim/run_interval_ticks").Snapshot());
+      }
     }
   }
   table.Print(reporter.out());

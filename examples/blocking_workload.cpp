@@ -77,7 +77,8 @@ int main() {
             << ",  dispatches: " << executor.dispatches()
             << ",  wakeups: " << executor.wakeups()
             << ",  preemptions: " << executor.preemptions() << '\n'
-            << "median dispatch latency: " << executor.dispatch_latencies().Percentile(50)
+            << "median dispatch latency: "
+            << executor.dispatch_latencies().Percentile(50) / 1000.0
             << " us,  median preempt latency: "
             << executor.preempt_latencies().Percentile(50) << " us\n"
             << "\nThe interactive tasks spend most of their life blocked, so their CPU\n"

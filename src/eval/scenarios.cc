@@ -390,7 +390,8 @@ RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, 
 }
 
 EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int threads, int cpus,
-                                           Tick horizon, std::uint64_t seed) {
+                                           Tick horizon, std::uint64_t seed,
+                                           const ObsSinks& sinks) {
   SFS_CHECK(threads >= 1);
   SchedConfig config = BaseConfig(cpus, kDefaultQuantum, /*readjust=*/true);
   // The repo-default run-queue backend, which is also the fastest here: the
@@ -402,6 +403,8 @@ EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int thread
 
   sim::EngineConfig engine_config;
   engine_config.event_queue = queue;
+  engine_config.trace = sinks.trace;
+  engine_config.metrics = sinks.metrics;
   sim::Engine engine(sfs, engine_config);
   engine.ReserveTasks(static_cast<std::size_t>(threads) + 4);
 
@@ -458,7 +461,8 @@ EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int thread
 
 ShardedFairnessResult RunShardedFairness(std::string_view policy,
                                          const sched::SchedConfig& config, int threads,
-                                         Tick horizon, std::uint64_t seed) {
+                                         Tick horizon, std::uint64_t seed,
+                                         const ObsSinks& sinks) {
   SFS_CHECK(threads >= 1);
   std::string error;
   auto scheduler = sched::MakeScheduler(policy, config, &error);
@@ -466,7 +470,10 @@ ShardedFairnessResult RunShardedFairness(std::string_view policy,
     std::fprintf(stderr, "RunShardedFairness: %s\n", error.c_str());
     SFS_CHECK(scheduler != nullptr);
   }
-  sim::Engine engine(*scheduler);
+  sim::EngineConfig engine_config;
+  engine_config.trace = sinks.trace;
+  engine_config.metrics = sinks.metrics;
+  sim::Engine engine(*scheduler, engine_config);
   engine.ReserveTasks(static_cast<std::size_t>(threads));
   sched::GmsReference gms(config.num_cpus);
 

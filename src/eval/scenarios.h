@@ -22,7 +22,24 @@ namespace sfs::sim {
 enum class EventQueueKind : std::uint8_t;  // src/sim/engine.h
 }  // namespace sfs::sim
 
+namespace sfs::obs {
+class MetricsRegistry;  // src/obs/metrics.h
+class Trace;            // src/obs/trace.h
+}  // namespace sfs::obs
+
 namespace sfs::eval {
+
+// Optional observability sinks accepted by the throughput/fairness runners.
+// Both fields may stay null (the default) at zero cost.  `trace` must use the
+// sim-tick clock and have at least as many rings as the scenario has CPUs;
+// `metrics` receives the engine's sim-time histograms (sim/quantum_ticks,
+// sim/run_interval_ticks).  Recording never feeds back into scheduling, so a
+// runner's deterministic results are identical with sinks attached or not —
+// bench/abl_sharded CHECK-asserts exactly that.
+struct ObsSinks {
+  obs::Trace* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 // Cumulative service per label sampled over time.
 struct SeriesResult {
@@ -172,7 +189,8 @@ struct EngineThroughputResult {
   double wall_ns = 0.0;                    // wall clock; Reporter::Timing only
 };
 EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int threads, int cpus,
-                                           Tick horizon, std::uint64_t seed);
+                                           Tick horizon, std::uint64_t seed,
+                                           const ObsSinks& sinks = {});
 
 // ---------------------------------------------------------------------------
 // Sharded scheduling pathology (Section 1.2, generalized): `threads` threads
@@ -198,7 +216,8 @@ struct ShardedFairnessResult {
 };
 ShardedFairnessResult RunShardedFairness(std::string_view policy,
                                          const sched::SchedConfig& config, int threads,
-                                         Tick horizon, std::uint64_t seed);
+                                         Tick horizon, std::uint64_t seed,
+                                         const ObsSinks& sinks = {});
 
 }  // namespace sfs::eval
 

@@ -20,8 +20,23 @@ std::chrono::microseconds FromTicks(Tick t) { return std::chrono::microseconds(t
 }  // namespace
 
 Executor::Executor(sched::Scheduler& scheduler, const Config& config)
-    : scheduler_(scheduler), config_(config) {
+    : scheduler_(scheduler), config_(config), trace_(config.trace) {
   SFS_CHECK(config_.quantum > 0);
+  if (config_.metrics != nullptr) {
+    SFS_CHECK(config_.metrics->num_shards() >= scheduler.num_cpus());
+    metrics_ = config_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>(scheduler.num_cpus());
+    metrics_ = own_metrics_.get();
+  }
+  dispatch_hist_ = &metrics_->GetHistogram("exec/dispatch_latency_ns");
+  lock_wait_hist_ = &metrics_->GetHistogram("exec/lock_wait_ns");
+  run_hist_ = &metrics_->GetHistogram("exec/run_interval_ns");
+  if (trace_ != nullptr) {
+    SFS_CHECK(trace_->clock() == obs::Trace::Clock::kWallNanos);
+    SFS_CHECK(trace_->num_cpus() >= scheduler.num_cpus());
+    scheduler_.SetTrace(trace_);
+  }
 }
 
 Executor::~Executor() {
@@ -170,6 +185,11 @@ void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool pre
     preemptions_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  if (trace_) {
+    // Own ring: HandleReport always runs on cpu_idx's dispatcher thread.
+    trace_->Record(cpu_idx, obs::TraceEventKind::kCharge, WallNs(report.yielded_at),
+                   report.tid, report.ran * 1000);
+  }
   switch (report.kind) {
     case WorkResult::Kind::kContinue: {
       auto serial = MaybeSerialize();
@@ -185,6 +205,10 @@ void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool pre
         scheduler_.Charge(report.tid, report.ran);
         w->cpu_time += report.ran;
         scheduler_.RemoveThread(report.tid);
+        if (trace_) {
+          trace_->RecordLifecycle(obs::TraceEventKind::kDeparture,
+                                  WallNs(report.yielded_at), report.tid);
+        }
       }
       if (active_.fetch_sub(1) == 1) {
         StopAll();
@@ -201,6 +225,10 @@ void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool pre
         scheduler_.Charge(report.tid, report.ran);
         w->cpu_time += report.ran;
         scheduler_.Block(report.tid);
+        if (trace_) {
+          trace_->RecordLifecycle(obs::TraceEventKind::kBlock, WallNs(report.yielded_at),
+                                  report.tid, report.block_for * 1000);
+        }
       }
       {
         std::lock_guard<std::mutex> lk(timer_mu_);
@@ -225,15 +253,25 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
     sched::ThreadId tid = sched::kInvalidThread;
     Tick quantum = config_.quantum;
     const Clock::time_point pick_start = Clock::now();
+    Clock::time_point lock_acquired;
     {
       auto serial = MaybeSerialize();
       auto guard = scheduler_.LockDispatch(cpu_idx);
+      lock_acquired = Clock::now();
+      if (trace_) {
+        // Timestamp hint for the scheduler's own steal/rebalance records.
+        trace_->PublishNow(WallNs(lock_acquired));
+      }
       tid = scheduler_.PickNext(cpu_idx);
       if (tid != sched::kInvalidThread) {
         quantum = std::min(quantum, std::max<Tick>(1, scheduler_.QuantumFor(tid)));
       }
     }
     const Clock::time_point picked = Clock::now();
+    const std::int64_t lock_wait_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(lock_acquired - pick_start)
+            .count();
+    lock_wait_hist_->Record(cpu_idx, lock_wait_ns);
 
     if (tid == sched::kInvalidThread) {
       // Nothing runnable here: sleep until any scheduler-state change.  The
@@ -250,12 +288,18 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
       continue;
     }
 
-    cpu.dispatch_latencies.Add(static_cast<double>(
-                                   std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                       picked - pick_start)
-                                       .count()) /
-                               1000.0);
+    const std::int64_t dispatch_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(picked - pick_start).count();
+    dispatch_hist_->Record(cpu_idx, dispatch_ns);
     dispatches_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_) {
+      trace_->Record(cpu_idx, obs::TraceEventKind::kLockWait, WallNs(lock_acquired), tid,
+                     lock_wait_ns);
+      trace_->Record(cpu_idx, obs::TraceEventKind::kPick, WallNs(picked), tid,
+                     dispatch_ns - lock_wait_ns);
+      trace_->Record(cpu_idx, obs::TraceEventKind::kGrant, WallNs(picked), tid,
+                     quantum * 1000);  // granted quantum, ns
+    }
 
     Worker* w = worker_by_tid_.at(tid);
     {
@@ -299,6 +343,23 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
       preempt_sent_at = cpu.preempt_sent_at;
       cpu.preempt_sent = false;
       cpu.running_tid = sched::kInvalidThread;
+    }
+    const std::int64_t slice_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(report.yielded_at - picked)
+            .count();
+    run_hist_->Record(cpu_idx, slice_ns);
+    if (trace_) {
+      trace_->Record(cpu_idx, obs::TraceEventKind::kRun, WallNs(picked), tid, slice_ns);
+      if (preempt_sent && report.preempt_observed) {
+        // Recorded here (not where the flag was set) so the timer thread never
+        // writes another CPU's ring; arg = flag-set-to-yield latency, ns.
+        trace_->Record(cpu_idx, obs::TraceEventKind::kPreempt, WallNs(preempt_sent_at),
+                       tid,
+                       std::max<std::int64_t>(
+                           0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  report.yielded_at - preempt_sent_at)
+                                  .count()));
+      }
     }
     HandleReport(cpu_idx, report, preempt_sent, preempt_sent_at);
   }
@@ -349,6 +410,11 @@ void Executor::TimerLoop() {
         }
         scheduler_.Wakeup(tid);
         wakeups_.fetch_add(1, std::memory_order_relaxed);
+        if (trace_) {
+          const std::int64_t wake_ns = WallNs(Clock::now());
+          trace_->PublishNow(wake_ns);
+          trace_->RecordLifecycle(obs::TraceEventKind::kWakeup, wake_ns, tid);
+        }
         // reschedule_idle(): does the wakeup warrant preempting a running
         // thread?  elapsed[c] approximates each CPU's uncharged run time.
         const Tick now_ticks = ToTicks(Clock::now() - t0_);
@@ -408,11 +474,22 @@ Tick Executor::Run(Tick wall_limit) {
     stop_.store(true);
   }
 
+  if (trace_) {
+    trace_->set_epoch_ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t0_.time_since_epoch())
+            .count());
+    trace_->PublishNow(0);
+  }
+
   // Register and launch every worker (they start waiting for a grant).
   {
     auto guard = scheduler_.LockLifecycle();
     for (auto& w : workers_) {
       scheduler_.AddThread(w->tid, w->weight);
+      if (trace_) {
+        trace_->RecordLifecycle(obs::TraceEventKind::kArrival, WallNs(Clock::now()),
+                                w->tid);
+      }
     }
   }
   for (auto& w : workers_) {
@@ -434,9 +511,6 @@ Tick Executor::Run(Tick wall_limit) {
   timer.join();
 
   for (const auto& cpu : cpus_) {
-    for (const double sample : cpu->dispatch_latencies.samples()) {
-      dispatch_latencies_.Add(sample);
-    }
     for (const double sample : cpu->preempt_latencies.samples()) {
       preempt_latencies_.Add(sample);
     }

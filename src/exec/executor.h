@@ -51,6 +51,8 @@
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sched/scheduler.h"
 
 namespace sfs::exec {
@@ -67,6 +69,21 @@ class Executor {
     // pre-concurrent single-dispatcher executor's serialization (the
     // global-lock side of the abl_lock_contention comparison).
     bool serialize_dispatch = false;
+
+    // Observability sink (wall-nanosecond clock domain; Clock must be
+    // kWallNanos and the trace must have at least the scheduler's num_cpus
+    // rings).  Each dispatcher records pick/lock-wait spans, grants, run
+    // slices and preemptions into its own CPU ring; block/wakeup lifecycle
+    // events go to the lifecycle ring under the lifecycle lock.  nullptr
+    // (the default) costs one predicted branch per site and the executor's
+    // behaviour is unchanged.
+    obs::Trace* trace = nullptr;
+
+    // Metrics registry the latency histograms live in.  When null the
+    // executor creates a private registry; pass a shared one so experiments
+    // serialize the histograms through the Reporter.  Must be sharded at
+    // least num_cpus ways.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   // Outcome of one work unit: keep running, finish, or sleep on simulated I/O
@@ -113,10 +130,25 @@ class Executor {
   // ticks, so the samples carry no quantization bias).
   const common::SampleSet& preempt_latencies() const { return preempt_latencies_; }
 
-  // Latency of one scheduling decision: acquiring the dispatch lock (including
-  // any contention with other CPUs' dispatchers) plus PickNext.  Idle picks
-  // (nothing runnable) are not sampled.
-  const common::SampleSet& dispatch_latencies() const { return dispatch_latencies_; }
+  // Latency of one scheduling decision in NANOSECONDS: acquiring the dispatch
+  // lock (including any contention with other CPUs' dispatchers) plus
+  // PickNext.  Idle picks (nothing runnable) are not sampled.  Accumulated in
+  // a bounded per-CPU obs::LogHistogram rather than an unbounded sample
+  // vector, so arbitrarily long runs cost constant memory; the snapshot keeps
+  // the count/mean/min/max/Percentile shape of the SampleSet it replaced.
+  obs::HistogramSnapshot dispatch_latencies() const { return dispatch_hist_->Snapshot(); }
+
+  // Time spent waiting to acquire the dispatch lock alone (nanoseconds); the
+  // contention component of dispatch_latencies(), sampled on every acquisition
+  // including idle picks.
+  obs::HistogramSnapshot lock_wait_latencies() const { return lock_wait_hist_->Snapshot(); }
+
+  // Wall length of each completed run slice (nanoseconds, grant to yield).
+  obs::HistogramSnapshot run_interval_lengths() const { return run_hist_->Snapshot(); }
+
+  // The registry the executor's histograms live in (the Config::metrics one,
+  // or the private fallback).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   std::int64_t dispatches() const { return dispatches_.load(std::memory_order_relaxed); }
   std::int64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
@@ -162,9 +194,10 @@ class Executor {
     // Grant instant in ticks since run start, for the elapsed[] vector handed
     // to SuggestPreemption; advisory, hence lock-free.
     std::atomic<Tick> grant_at{0};
-    // This dispatcher's latency samples; written only by its own thread and
-    // merged after the run, so sampling never serializes dispatchers.
-    common::SampleSet dispatch_latencies;
+    // This dispatcher's preempt-latency samples; written only by its own
+    // thread and merged after the run, so sampling never serializes
+    // dispatchers.  (Dispatch latencies go straight to the sharded
+    // histograms, which are per-CPU by construction.)
     common::SampleSet preempt_latencies;
   };
 
@@ -188,8 +221,22 @@ class Executor {
   // Serialization point for Config::serialize_dispatch (no-op lock otherwise).
   std::unique_lock<std::mutex> MaybeSerialize();
 
+  // Wall nanoseconds since the run started (the trace epoch).
+  std::int64_t WallNs(Clock::time_point tp) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - t0_).count();
+  }
+
   sched::Scheduler& scheduler_;
   Config config_;
+
+  // Metrics plumbing: external registry or private fallback, plus resolved
+  // histogram handles (registration takes a lock; recording must not).
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LogHistogram* dispatch_hist_ = nullptr;
+  obs::LogHistogram* lock_wait_hist_ = nullptr;
+  obs::LogHistogram* run_hist_ = nullptr;
+  obs::Trace* trace_ = nullptr;  // == config_.trace
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unordered_map<sched::ThreadId, Worker*> worker_by_tid_;  // built in Run
@@ -219,7 +266,6 @@ class Executor {
 
   // Merged from the per-CPU sample sets after the dispatchers join.
   common::SampleSet preempt_latencies_;
-  common::SampleSet dispatch_latencies_;
   std::atomic<std::int64_t> dispatches_{0};
   std::atomic<std::int64_t> wakeups_{0};
   std::atomic<std::int64_t> preemptions_{0};

@@ -13,11 +13,12 @@
 namespace sfs::harness {
 
 Reporter::Reporter(std::ostream& human_out, std::uint64_t seed, int repetition,
-                   bool timing_enabled)
+                   bool timing_enabled, std::string trace_path)
     : human_out_(human_out),
       seed_(seed),
       repetition_(repetition),
-      timing_enabled_(timing_enabled) {}
+      timing_enabled_(timing_enabled),
+      trace_path_(std::move(trace_path)) {}
 
 void Reporter::Metric(std::string_view key, double value) {
   result_.Set(std::string(key), JsonValue(value));
@@ -46,6 +47,34 @@ void Reporter::Counters(std::string_view key, const sim::Engine& engine) {
   counters.Set("idle_ticks", JsonValue(engine.idle_time()));
   counters.Set("context_switch_cost_ticks", JsonValue(engine.total_context_switch_cost()));
   result_.Set(std::string(key), std::move(counters));
+}
+
+JsonValue Reporter::HistogramJson(const obs::HistogramSnapshot& snapshot) {
+  JsonValue h = JsonValue::Object();
+  h.Set("count", JsonValue(static_cast<std::int64_t>(snapshot.count())));
+  h.Set("mean", JsonValue(snapshot.mean()));
+  h.Set("min", JsonValue(snapshot.min()));
+  h.Set("max", JsonValue(snapshot.max()));
+  h.Set("p50", JsonValue(snapshot.Percentile(50)));
+  h.Set("p99", JsonValue(snapshot.Percentile(99)));
+  h.Set("p999", JsonValue(snapshot.Percentile(99.9)));
+  return h;
+}
+
+void Reporter::Histogram(std::string_view key, const obs::HistogramSnapshot& snapshot) {
+  result_.Set(std::string(key), HistogramJson(snapshot));
+}
+
+void Reporter::TimingHistogram(std::string_view key,
+                               const obs::HistogramSnapshot& snapshot) {
+  if (!timing_enabled_) {
+    return;
+  }
+  JsonValue* timing = result_.Find("timing");
+  if (timing == nullptr) {
+    timing = &result_.Set("timing", JsonValue::Object());
+  }
+  timing->Set(std::string(key), HistogramJson(snapshot));
 }
 
 void Reporter::Timing(std::string_view key, double value) {
@@ -96,6 +125,10 @@ constexpr std::string_view kUsage =
     "  --json PATH        write the schema-versioned JSON document to PATH\n"
     "  --timing           include wall-clock measurements in the JSON\n"
     "                     (non-deterministic; off by default)\n"
+    "  --trace PATH       write a Perfetto (chrome trace-event) JSON to PATH;\n"
+    "                     honored by tracing-capable experiments on their first\n"
+    "                     repetition — combine with --filter.  Never affects\n"
+    "                     the --json document\n"
     "  --help             show this message\n";
 
 }  // namespace
@@ -153,6 +186,11 @@ bool ParseRunOptions(int argc, char** argv, RunOptions& options, std::ostream& e
         return false;
       }
       options.json_path = value;
+    } else if (arg == "--trace") {
+      if (!take_value(arg)) {
+        return false;
+      }
+      options.trace_path = value;
     } else if (arg == "--repeat") {
       if (!take_value(arg)) {
         return false;
@@ -214,7 +252,7 @@ JsonValue RunExperimentsToJson(const RunOptions& options, std::ostream& human_ou
 
     JsonValue runs = JsonValue::Array();
     for (int rep = 0; rep < repetitions; ++rep) {
-      Reporter reporter(human_out, options.seed, rep, options.timing);
+      Reporter reporter(human_out, options.seed, rep, options.timing, options.trace_path);
       const auto start = std::chrono::steady_clock::now();
       experiment->fn(reporter);
       const auto elapsed = std::chrono::steady_clock::now() - start;

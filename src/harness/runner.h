@@ -19,6 +19,7 @@
 
 #include "src/harness/json_writer.h"
 #include "src/harness/registry.h"
+#include "src/obs/metrics.h"
 
 namespace sfs::sim {
 class Engine;
@@ -33,7 +34,8 @@ inline constexpr int kJsonSchemaVersion = 1;
 // to out() and machine-readable results through the recording methods.
 class Reporter {
  public:
-  Reporter(std::ostream& human_out, std::uint64_t seed, int repetition, bool timing_enabled);
+  Reporter(std::ostream& human_out, std::uint64_t seed, int repetition, bool timing_enabled,
+           std::string trace_path = {});
 
   // Human-readable stream (tables, banners).  Never parsed; may interleave
   // freely with other experiments' output.
@@ -48,6 +50,13 @@ class Reporter {
 
   bool timing_enabled() const { return timing_enabled_; }
 
+  // --trace destination, or empty when tracing is off.  Tracing-capable
+  // experiments export a Perfetto JSON here on repetition 0; intended to be
+  // combined with --filter so exactly one experiment owns the file.  The path
+  // never enters the JSON document, so a traced run's document is
+  // byte-identical to an untraced one.
+  const std::string& trace_path() const { return trace_path_; }
+
   // --- deterministic results (always in the JSON) -----------------------------
   void Metric(std::string_view key, double value);
   void Metric(std::string_view key, std::int64_t value);
@@ -58,6 +67,16 @@ class Reporter {
   // Records the engine's counters (dispatches, context switches, preemptions,
   // migrations, idle and switch-cost ticks) under `key`; all deterministic.
   void Counters(std::string_view key, const sim::Engine& engine);
+
+  // Serializes a histogram snapshot as {count, mean, min, max, p50, p99, p999}
+  // under `key`.  Use for SIM-TIME histograms only (quantum lengths,
+  // run-interval lengths): their contents are a pure function of --seed, so
+  // they belong in the deterministic section.
+  void Histogram(std::string_view key, const obs::HistogramSnapshot& snapshot);
+
+  // As Histogram, but under "timing" (dropped without --timing).  Use for
+  // wall-clock histograms: dispatch latency, lock wait, preempt latency.
+  void TimingHistogram(std::string_view key, const obs::HistogramSnapshot& snapshot);
 
   // --- wall-clock results (JSON only with --timing) ---------------------------
   // `nanos_per_op` (or any wall-derived number) is recorded under
@@ -75,10 +94,14 @@ class Reporter {
   JsonValue TakeResult();
 
  private:
+  // Shared {count, mean, min, max, p50, p99, p999} object builder.
+  static JsonValue HistogramJson(const obs::HistogramSnapshot& snapshot);
+
   std::ostream& human_out_;
   std::uint64_t seed_;
   int repetition_;
   bool timing_enabled_;
+  std::string trace_path_;
   JsonValue result_ = JsonValue::Object();
 };
 
@@ -89,11 +112,13 @@ struct RunOptions {
   std::uint64_t seed = 42;
   bool timing = false;         // include wall-clock numbers in the JSON
   std::string json_path;       // --json <path>: write the document here
+  std::string trace_path;      // --trace <path>: Perfetto trace destination
   bool help = false;
 };
 
 // Parses sfs_bench flags (--list, --filter, --repeat, --seed, --timing,
-// --json, --help).  Returns false (with a message on `err`) on bad usage.
+// --json, --trace, --help).  Returns false (with a message on `err`) on bad
+// usage.
 bool ParseRunOptions(int argc, char** argv, RunOptions& options, std::ostream& err);
 
 // Runs the selected experiments and (optionally) writes the JSON document.

@@ -1,0 +1,241 @@
+#include "src/obs/perfetto.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sfs::obs {
+namespace {
+
+// Minimal JSON string escaping; names are short ASCII labels we control, but
+// escape defensively anyway.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class Emitter {
+ public:
+  Emitter(const Trace& trace, std::ostream& out) : trace_(trace), out_(out) {
+    // ts/dur are microseconds in the trace-event format; sim ticks already
+    // are µs, wall timestamps are ns.
+    scale_ = trace.clock() == Trace::Clock::kWallNanos ? 1e-3 : 1.0;
+    for (const auto& [tid, name] : trace.thread_names()) {
+      names_.emplace(tid, Escape(name));
+    }
+  }
+
+  void Begin() { out_ << "{\"traceEvents\":[\n"; }
+  void End() { out_ << "\n],\"displayTimeUnit\":\"ms\"}\n"; }
+
+  void Meta(int track, const std::string& name) {
+    Sep();
+    out_ << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << Escape(name) << "\"}}";
+  }
+
+  void Slice(int track, double ts, double dur, const std::string& name,
+             std::int32_t tid) {
+    Sep();
+    out_ << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << track << ",\"ts\":" << ts
+         << ",\"dur\":" << dur << ",\"name\":\"" << name << "\",\"args\":{\"tid\":" << tid
+         << "}}";
+  }
+
+  void Instant(int track, double ts, const std::string& name, std::int32_t tid,
+               std::int64_t arg, const char* arg_key) {
+    Sep();
+    out_ << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << track << ",\"ts\":" << ts
+         << ",\"s\":\"t\",\"name\":\"" << name << "\",\"args\":{\"tid\":" << tid << ",\""
+         << arg_key << "\":" << arg << "}}";
+  }
+
+  void FlowStart(int track, double ts, std::uint64_t id) {
+    Sep();
+    out_ << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << track << ",\"ts\":" << ts
+         << ",\"name\":\"migrate\",\"cat\":\"migration\",\"id\":" << id << "}";
+  }
+
+  void FlowEnd(int track, double ts, std::uint64_t id) {
+    Sep();
+    out_ << "{\"ph\":\"f\",\"pid\":1,\"tid\":" << track << ",\"ts\":" << ts
+         << ",\"bp\":\"e\",\"name\":\"migrate\",\"cat\":\"migration\",\"id\":" << id << "}";
+  }
+
+  double Ts(std::int64_t raw) const { return static_cast<double>(raw) * scale_; }
+
+  // Escaped display label for a task.
+  const std::string& Label(std::int32_t tid) {
+    auto [it, inserted] = names_.try_emplace(tid);
+    if (inserted) {
+      it->second = "T" + std::to_string(tid);
+    }
+    return it->second;
+  }
+
+ private:
+  void Sep() {
+    if (!first_) {
+      out_ << ",\n";
+    }
+    first_ = false;
+  }
+
+  const Trace& trace_;
+  std::ostream& out_;
+  double scale_ = 1.0;
+  bool first_ = true;
+  std::unordered_map<std::int32_t, std::string> names_;
+};
+
+struct RunInterval {
+  std::int64_t start = 0;
+  std::int64_t len = 0;
+  std::int32_t tid = -1;
+  int cpu = 0;
+};
+
+}  // namespace
+
+void PerfettoExporter::Write(const Trace& trace, std::ostream& out,
+                             const Options& options) {
+  Emitter e(trace, out);
+  e.Begin();
+
+  for (int cpu = 0; cpu < trace.num_cpus(); ++cpu) {
+    e.Meta(cpu, "cpu" + std::to_string(cpu));
+  }
+  e.Meta(trace.num_cpus(), "lifecycle");
+
+  std::vector<RunInterval> runs;
+  for (int cpu = 0; cpu < trace.num_cpus(); ++cpu) {
+    trace.ring(cpu).ForEach([&](const TraceRecord& r) {
+      switch (r.kind) {
+        case TraceEventKind::kRun:
+          e.Slice(cpu, e.Ts(r.ts), e.Ts(r.arg), e.Label(r.tid), r.tid);
+          runs.push_back({r.ts, r.arg, r.tid, cpu});
+          break;
+        case TraceEventKind::kSteal:
+          e.Instant(cpu, e.Ts(r.ts), "steal " + e.Label(r.tid), r.tid, r.arg,
+                    "from_cpu");
+          break;
+        case TraceEventKind::kRebalance:
+          e.Instant(cpu, e.Ts(r.ts), "rebalance " + e.Label(r.tid), r.tid, r.arg,
+                    "from_cpu");
+          break;
+        case TraceEventKind::kPick:
+          e.Slice(cpu, e.Ts(r.ts - r.arg), e.Ts(r.arg), "pick", r.tid);
+          break;
+        case TraceEventKind::kLockWait:
+          e.Slice(cpu, e.Ts(r.ts - r.arg), e.Ts(r.arg), "lock_wait", r.tid);
+          break;
+        case TraceEventKind::kPreempt:
+          e.Instant(cpu, e.Ts(r.ts), "preempt " + e.Label(r.tid), r.tid, r.arg,
+                    "by_tid");
+          break;
+        case TraceEventKind::kGrant:
+        case TraceEventKind::kCharge:
+          // Grants/charges duplicate information already visible as run
+          // slices; skip them to keep the UI readable.
+          break;
+        default:
+          break;
+      }
+    });
+  }
+
+  const int lifecycle_track = trace.num_cpus();
+  trace.lifecycle_ring().ForEach([&](const TraceRecord& r) {
+    const char* name = nullptr;
+    switch (r.kind) {
+      case TraceEventKind::kArrival:
+        name = "arrival";
+        break;
+      case TraceEventKind::kDeparture:
+        name = "departure";
+        break;
+      case TraceEventKind::kBlock:
+        name = "block";
+        break;
+      case TraceEventKind::kWakeup:
+        name = "wakeup";
+        break;
+      case TraceEventKind::kReadjust:
+        name = "readjust";
+        break;
+      default:
+        break;
+    }
+    if (name != nullptr) {
+      e.Instant(lifecycle_track, e.Ts(r.ts), name + (" " + e.Label(r.tid)), r.tid,
+                r.arg, "arg");
+    }
+  });
+
+  if (options.flow_arrows) {
+    // A task's consecutive run intervals on different CPUs are a migration:
+    // draw an arrow from the end of the old interval to the start of the new.
+    std::stable_sort(runs.begin(), runs.end(), [](const RunInterval& a,
+                                                  const RunInterval& b) {
+      if (a.tid != b.tid) {
+        return a.tid < b.tid;
+      }
+      return a.start < b.start;
+    });
+    std::uint64_t flow_id = 1;
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      const RunInterval& prev = runs[i - 1];
+      const RunInterval& cur = runs[i];
+      if (prev.tid == cur.tid && prev.cpu != cur.cpu) {
+        e.FlowStart(prev.cpu, e.Ts(prev.start + prev.len), flow_id);
+        e.FlowEnd(cur.cpu, e.Ts(cur.start), flow_id);
+        ++flow_id;
+      }
+    }
+  }
+
+  e.End();
+}
+
+bool PerfettoExporter::WriteFile(const Trace& trace, const std::string& path,
+                                 const Options& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return false;
+  }
+  Write(trace, out, options);
+  return out.good();
+}
+
+}  // namespace sfs::obs

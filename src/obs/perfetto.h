@@ -1,0 +1,47 @@
+// obs::PerfettoExporter — offline decoder from obs::Trace rings to Chrome
+// trace-event JSON, loadable at https://ui.perfetto.dev (or
+// chrome://tracing).
+//
+// Track layout: one track per CPU/shard (named "cpu0".."cpuN-1") showing
+// which task ran when as complete ("X") slices; one "lifecycle" track of
+// instant events for arrivals/departures/blocks/wakeups/readjusts; instant
+// events on the CPU tracks for steals and rebalance migrations; and flow
+// arrows ("s"/"f") connecting consecutive run intervals of a task that
+// migrated between CPUs.  Wall-clock traces additionally render pick and
+// dispatch-lock-wait spans.
+//
+// Timestamps: trace-event `ts`/`dur` are microseconds.  Sim-tick traces map
+// 1:1 (a Tick is a µs); wall-clock traces divide nanoseconds by 1000.
+
+#ifndef SFS_OBS_PERFETTO_H_
+#define SFS_OBS_PERFETTO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace sfs::obs {
+
+struct PerfettoOptions {
+  // Connect a task's consecutive run intervals on different CPUs with flow
+  // arrows (renders migrations as arrows in the Perfetto UI).
+  bool flow_arrows = true;
+};
+
+class PerfettoExporter {
+ public:
+  using Options = PerfettoOptions;
+
+  // Serializes `trace` as trace-event JSON to `out`.
+  static void Write(const Trace& trace, std::ostream& out,
+                    const PerfettoOptions& options = {});
+
+  // As Write, to a file.  Returns false if the file could not be opened.
+  static bool WriteFile(const Trace& trace, const std::string& path,
+                        const PerfettoOptions& options = {});
+};
+
+}  // namespace sfs::obs
+
+#endif  // SFS_OBS_PERFETTO_H_

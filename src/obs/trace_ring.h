@@ -1,0 +1,130 @@
+// Fixed-capacity, allocation-free ring of packed trace records.
+//
+// The recording idiom follows the gemOS-style kernel trace buffer: a small
+// fixed-format ring written from the hot path with no allocation, no locking
+// and no formatting, decoded offline (obs::PerfettoExporter).  One ring
+// belongs to exactly one writer (a simulated CPU's event loop, a dispatcher
+// thread, or the lifecycle/timer context), so appends need no atomics; the
+// concurrency story lives in obs::Trace, which hands each writer its own ring.
+//
+// Capacity is fixed at construction.  When the ring is full, Append
+// overwrites the oldest record and counts the loss in dropped() — tracing
+// must never stall or grow the hot path, so the newest window of history
+// wins (the kernel ftrace ring-buffer policy).
+
+#ifndef SFS_OBS_TRACE_RING_H_
+#define SFS_OBS_TRACE_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/assert.h"
+
+// Recording entry points are outlined into the cold text section: with
+// tracing disabled the hot loops must carry only a null test + predicted
+// branch, not the inlined record-packing code (which costs I-cache even when
+// never taken).
+#ifndef SFS_OBS_OUTLINED
+#if defined(__GNUC__) || defined(__clang__)
+#define SFS_OBS_OUTLINED __attribute__((noinline, cold))
+#else
+#define SFS_OBS_OUTLINED
+#endif
+#endif
+
+namespace sfs::obs {
+
+// Event kinds recorded by the engine, the schedulers and the executor.  One
+// byte on the wire; names mirror the instrumentation points of DESIGN.md
+// "Observability".
+enum class TraceEventKind : std::uint8_t {
+  kArrival = 0,    // thread registered with the scheduler
+  kDeparture = 1,  // thread exited / was removed
+  kBlock = 2,      // runnable -> blocked
+  kWakeup = 3,     // blocked -> runnable
+  kPick = 4,       // scheduling decision made (arg = decision latency, wall ns)
+  kGrant = 5,      // thread starts running on the cpu (arg = granted quantum)
+  kPreempt = 6,    // running thread preempted (wakeup preemption or quantum expiry)
+  kCharge = 7,     // thread charged for a completed run (arg = ticks ran)
+  kRun = 8,        // completed run interval (ts = start, arg = length)
+  kSteal = 9,      // idle-pull migration (cpu = thief, arg = source shard)
+  kRebalance = 10, // periodic rebalance migration (cpu = dest, arg = source shard)
+  kReadjust = 11,  // weight-readjustment pass ran (arg = runnable threads)
+  kLockWait = 12,  // dispatch-lock acquisition (arg = wait, wall ns)
+};
+
+// One packed record: 24 bytes, fixed format, no pointers.  `ts` is simulated
+// ticks for engine-side events and wall nanoseconds since the trace epoch for
+// executor-side events (the Trace's clock domain says which; the two are
+// never mixed in one trace).
+struct TraceRecord {
+  std::int64_t ts = 0;
+  std::int64_t arg = 0;
+  std::int32_t tid = -1;
+  TraceEventKind kind = TraceEventKind::kArrival;
+  std::uint8_t cpu = 0;
+  std::uint16_t reserved = 0;
+};
+static_assert(sizeof(TraceRecord) == 24, "packed trace record format");
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : records_(capacity) {
+    SFS_CHECK(capacity > 0);
+  }
+
+  // Appends one record; O(1), allocation-free.  A full ring overwrites its
+  // oldest record and counts the overwrite in dropped().
+  void Append(const TraceRecord& record) {
+    records_[head_] = record;
+    head_ = head_ + 1 == records_.size() ? 0 : head_ + 1;
+    if (size_ < records_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  std::size_t capacity() const { return records_.size(); }
+  std::size_t size() const { return size_; }
+  // Records overwritten because the ring was full (oldest-first loss).
+  std::uint64_t dropped() const { return dropped_; }
+  // Total records ever appended (== size() + dropped()).
+  std::uint64_t appended() const { return dropped_ + size_; }
+
+  // The i-th surviving record in append order (0 = oldest retained).
+  const TraceRecord& at(std::size_t i) const {
+    SFS_DCHECK(i < size_);
+    const std::size_t start = size_ == records_.size() ? head_ : 0;
+    std::size_t idx = start + i;
+    if (idx >= records_.size()) {
+      idx -= records_.size();
+    }
+    return records_[idx];
+  }
+
+  // Iterates surviving records oldest-first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(at(i));
+    }
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t size_ = 0;   // retained records
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sfs::obs
+
+#endif  // SFS_OBS_TRACE_RING_H_

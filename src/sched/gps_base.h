@@ -84,6 +84,12 @@ class GpsSchedulerBase : public Scheduler {
         ReadjustQueue(weight_queue_, runnable_weight_sum_, num_cpus(), readjust_state_);
     if (changed) {
       ++readjust_changes_;
+      // Flat schedulers serialize every entry point under one mutex, so the
+      // lifecycle ring sees a single writer at a time.
+      if (trace_) [[unlikely]] {
+        trace_->RecordLifecycle(obs::TraceEventKind::kReadjust, trace_->now_hint(),
+                                sched::kInvalidThread, runnable_count());
+      }
     }
     return changed;
   }

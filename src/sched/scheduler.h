@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/obs/trace.h"
 #include "src/sched/entity.h"
 #include "src/sched/types.h"
 
@@ -193,6 +194,18 @@ class Scheduler {
   virtual std::int64_t steals() const { return 0; }
   virtual std::int64_t shard_migrations() const { return 0; }
 
+  // --- Observability -----------------------------------------------------------
+
+  // Attaches a trace the scheduler records its own events into: steal and
+  // rebalance migrations (sched::Sharded) and weight-readjustment passes (GPS
+  // policies).  Records are stamped with the trace's now-hint, which the
+  // driver publishes (sim ticks from the engine, wall nanoseconds from the
+  // executor).  nullptr (the default) disables recording at the cost of one
+  // predicted branch per site.  Not propagated to internal shard instances —
+  // the sharded host records the cross-shard events itself.
+  void SetTrace(obs::Trace* trace) { trace_ = trace; }
+  obs::Trace* trace() const { return trace_; }
+
  protected:
   // Policy hooks.  The base class has already updated the generic state
   // (runnable/running flags, accounting) when these are invoked.
@@ -223,6 +236,9 @@ class Scheduler {
 
   // Entities currently running, indexed by CPU (kInvalidThread slots are free CPUs).
   const std::vector<ThreadId>& running_threads() const { return running_; }
+
+  // Observability sink; nullptr when tracing is off (the common case).
+  obs::Trace* trace_ = nullptr;
 
   // Iterates all known entities (any state); order unspecified.
   template <typename Fn>

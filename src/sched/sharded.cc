@@ -282,6 +282,13 @@ void ShardedScheduler::Migrate(ThreadId tid, CpuId from, CpuId to, bool steal) {
   AddRunnableWeight(ShardAt(to), outer.weight);
   outer.partition = to;
   (steal ? steals_ : rebalance_migrations_).fetch_add(1, std::memory_order_relaxed);
+  // Both migration kinds execute on `to`'s dispatch path (the thief, or the
+  // rebalancing dispatcher pulling work), so recording into ring `to`
+  // preserves the one-writer-per-ring contract.
+  if (trace_) [[unlikely]] {
+    trace_->Record(to, steal ? obs::TraceEventKind::kSteal : obs::TraceEventKind::kRebalance,
+                   trace_->now_hint(), tid, from);
+  }
 }
 
 }  // namespace sfs::sched

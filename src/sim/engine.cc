@@ -7,15 +7,34 @@
 
 namespace sfs::sim {
 
+static_assert(static_cast<int>(SchedEvent::kArrival) ==
+                      static_cast<int>(obs::TraceEventKind::kArrival) &&
+                  static_cast<int>(SchedEvent::kDeparture) ==
+                      static_cast<int>(obs::TraceEventKind::kDeparture) &&
+                  static_cast<int>(SchedEvent::kBlock) ==
+                      static_cast<int>(obs::TraceEventKind::kBlock) &&
+                  static_cast<int>(SchedEvent::kWakeup) ==
+                      static_cast<int>(obs::TraceEventKind::kWakeup),
+              "NotifySchedEvent casts SchedEvent to TraceEventKind");
+
 Engine::Engine(sched::Scheduler& scheduler, EngineConfig config)
     : scheduler_(scheduler),
       config_(config),
+      trace_(config.trace),
       use_wheel_(config.event_queue == EventQueueKind::kTimingWheel) {
   cpus_.resize(static_cast<std::size_t>(scheduler.num_cpus()));
   for (auto& cpu : cpus_) {
     cpu.idle_since = 0;
   }
   preempt_elapsed_.reserve(cpus_.size());
+  if (trace_ != nullptr) {
+    SFS_CHECK(trace_->num_cpus() >= scheduler.num_cpus());
+    scheduler_.SetTrace(trace_);
+  }
+  if (config.metrics != nullptr) {
+    quantum_hist_ = &config.metrics->GetHistogram("sim/quantum_ticks");
+    run_hist_ = &config.metrics->GetHistogram("sim/run_interval_ticks");
+  }
 }
 
 Engine::~Engine() = default;
@@ -32,6 +51,9 @@ void Engine::AddTaskAt(Tick at, std::unique_ptr<Task> task) {
   const TaskSlot slot = tasks_.Emplace(std::move(*task));
   tasks_[slot].slot_ = slot;
   tid_to_slot_[static_cast<std::size_t>(tid)] = static_cast<std::int32_t>(slot);
+  if (trace_ && !tasks_[slot].label().empty()) {
+    trace_->SetThreadName(tid, tasks_[slot].label() + " T" + std::to_string(tid));
+  }
   Push(at, EventKind::kArrival, static_cast<std::int32_t>(slot));
 }
 
@@ -91,6 +113,11 @@ void Engine::RunUntil(Tick until) {
 
 void Engine::DispatchEvent(const Event& ev) {
   ++events_processed_;
+  if (trace_) [[unlikely]] {
+    // Clockless scheduler contexts (steal/rebalance/readjust) stamp their
+    // records with this hint; exact in the single-threaded engine.
+    trace_->PublishNow(now_);
+  }
   switch (ev.kind) {
     case EventKind::kArrival:
       HandleArrival(static_cast<TaskSlot>(ev.a));
@@ -334,6 +361,11 @@ void Engine::PlaceRunnable(sched::ThreadId tid, bool may_preempt) {
   }
   SFS_CHECK(cpus_[static_cast<std::size_t>(victim)].running != sched::kInvalidThread);
   ++preemptions_;
+  if (trace_) [[unlikely]] {
+    // Victim thread, preempting thread in arg; recorded on the victim's ring.
+    trace_->Record(victim, obs::TraceEventKind::kPreempt, now_,
+                   cpus_[static_cast<std::size_t>(victim)].running, tid);
+  }
   StopRunning(victim);
   Dispatch(victim);
 }
@@ -354,6 +386,15 @@ void Engine::StopRunning(sched::CpuId cpu_id) {
   t.state_ = Task::State::kRunnable;
   if (run_interval_hook_ && ran > 0) {
     run_interval_hook_(cpu.run_start, ran, cpu_id, tid);
+  }
+  if (trace_) [[unlikely]] {
+    trace_->Record(cpu_id, obs::TraceEventKind::kCharge, now_, tid, ran);
+    if (ran > 0) {
+      trace_->Record(cpu_id, obs::TraceEventKind::kRun, cpu.run_start, tid, ran);
+    }
+  }
+  if (run_hist_ && ran > 0) [[unlikely]] {
+    run_hist_->Record(0, ran);  // single-threaded engine: shard 0
   }
   cpu.last_thread = tid;
   cpu.running = sched::kInvalidThread;
@@ -420,6 +461,12 @@ void Engine::Dispatch(sched::CpuId cpu_id) {
   cpu.burst_end = cpu.run_start + std::min(t.remaining_burst_, kTickInfinity);
   ++cpu.timer_stamp;
   Push(std::min(cpu.quantum_end, cpu.burst_end), EventKind::kCpuTimer, cpu_id, cpu.timer_stamp);
+  if (trace_) [[unlikely]] {
+    trace_->Record(cpu_id, obs::TraceEventKind::kGrant, now_, tid, quantum);
+  }
+  if (quantum_hist_) [[unlikely]] {
+    quantum_hist_->Record(0, quantum);  // single-threaded engine: shard 0
+  }
   t.behavior().OnDispatch(now_);
 }
 

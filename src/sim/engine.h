@@ -38,6 +38,8 @@
 #include "src/common/slot_arena.h"
 #include "src/common/time.h"
 #include "src/common/timing_wheel.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/task.h"
 
@@ -74,6 +76,23 @@ struct EngineConfig {
   // Event-queue backend; schedules are identical across the two, only the
   // constant factors differ.
   EventQueueKind event_queue = EventQueueKind::kTimingWheel;
+
+  // Observability sink (sim-tick clock domain).  When set, the engine records
+  // grants, preemptions, run intervals, charges and lifecycle events into the
+  // trace's rings and also hands the trace to the scheduler (steal/rebalance/
+  // readjust records).  Recording never feeds back into scheduling decisions,
+  // so schedules and fingerprints are byte-identical with tracing on or off;
+  // the nullptr path costs one predicted branch per instrumentation point
+  // (the NotifySchedEvent contract).
+  obs::Trace* trace = nullptr;
+
+  // Sim-time histogram sink.  When set, the engine records every granted
+  // quantum into "sim/quantum_ticks" and every completed run interval into
+  // "sim/run_interval_ticks" (both in ticks).  These are pure functions of
+  // the workload and seed — unlike the executor's wall-clock histograms they
+  // belong in the Reporter's deterministic section.  Same cost contract as
+  // `trace`: one predicted branch per site when null.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Scheduler-visible lifecycle events, for mirroring into GmsReference etc.
@@ -231,15 +250,25 @@ class Engine {
   bool ApplyNextAction(Task& task);
 
   // Single-branch observer notifications (the common no-observer case pays
-  // one predictable test, no std::function invocation machinery).
+  // one predictable test, no std::function invocation machinery).  SchedEvent
+  // and TraceEventKind share their first four enumerators, so the lifecycle
+  // trace record is a straight cast.
   void NotifySchedEvent(SchedEvent event, const Task& task) {
     if (sched_event_hook_) {
       sched_event_hook_(event, task, now_);
+    }
+    if (trace_) [[unlikely]] {
+      trace_->RecordLifecycle(static_cast<obs::TraceEventKind>(event), now_, task.tid());
     }
   }
 
   sched::Scheduler& scheduler_;
   EngineConfig config_;
+  obs::Trace* trace_;  // == config_.trace; nullptr when tracing is off
+  // Resolved from config_.metrics at construction (registry lookups lock;
+  // the event loop must not).  Null when metrics are off.
+  obs::LogHistogram* quantum_hist_ = nullptr;
+  obs::LogHistogram* run_hist_ = nullptr;
   bool use_wheel_;
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;

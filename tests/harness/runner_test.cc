@@ -7,6 +7,7 @@
 
 #include "src/common/rng.h"
 #include "src/harness/registry.h"
+#include "src/obs/metrics.h"
 
 namespace sfs::harness {
 namespace {
@@ -35,6 +36,23 @@ SFS_EXPERIMENT(run_timed, .description = "wall-clock experiment",
                                    std::chrono::microseconds(50));
   reporter.Timing("ns_per_op", ns);
   reporter.Metric("ops", std::int64_t{1});
+}
+
+// Exercises the histogram reporting surface: a deterministic sim-time
+// histogram plus a wall-clock one that must stay timing-gated.
+SFS_EXPERIMENT(run_hist, .description = "histogram reporting experiment",
+               .schedulers = {"sfs"}) {
+  obs::LogHistogram hist(1);
+  for (std::int64_t v = 1; v <= 100; ++v) {
+    hist.Record(0, v);
+  }
+  reporter.Histogram("quantum_ticks", hist.Snapshot());
+  reporter.TimingHistogram("dispatch_ns", hist.Snapshot());
+  // Tracing-capable experiments write a sidecar file here; the path must
+  // never reach the JSON document (asserted by TracePathNeverEntersTheJson).
+  if (!reporter.trace_path().empty() && reporter.repetition() == 0) {
+    reporter.out() << "(would write " << reporter.trace_path() << ")\n";
+  }
 }
 
 std::string RunToString(const RunOptions& options) {
@@ -73,7 +91,7 @@ TEST(RunnerTest, FilterSelectsMatchingExperimentsOnly) {
   JsonValue doc = RunExperimentsToJson(options, human);
   const JsonValue* experiments = doc.Find("experiments");
   ASSERT_NE(experiments, nullptr);
-  EXPECT_EQ(experiments->size(), 2u);
+  EXPECT_EQ(experiments->size(), 3u);
 
   options.filter = "run_det";
   JsonValue one = RunExperimentsToJson(options, human);
@@ -116,19 +134,53 @@ TEST(RunnerTest, RepeatOverrideControlsRunCount) {
   EXPECT_EQ(count, 3u);
 }
 
+TEST(RunnerTest, HistogramColumnsAreDeterministicTimingHistogramIsGated) {
+  RunOptions options;
+  options.filter = "run_hist";
+  const std::string without = RunToString(options);
+  // Deterministic histogram: present without --timing, full percentile shape.
+  EXPECT_NE(without.find("\"quantum_ticks\""), std::string::npos);
+  // Values 1..100: the linear region keeps 1..15 exact, above that the
+  // log2 buckets quantize to their lower bound (50 -> 48, 99/100 -> 96).
+  for (const char* key : {"\"count\": 100", "\"p50\": 48", "\"p99\": 96", "\"p999\": 96",
+                          "\"mean\": 50.5", "\"min\": 1", "\"max\": 100"}) {
+    EXPECT_NE(without.find(key), std::string::npos) << key;
+  }
+  // Wall-clock histogram: only under --timing.
+  EXPECT_EQ(without.find("dispatch_ns"), std::string::npos);
+  options.timing = true;
+  const std::string with = RunToString(options);
+  EXPECT_NE(with.find("dispatch_ns"), std::string::npos);
+  // Same seed, same document — histograms respect the determinism contract.
+  // (Only the untimed document is byte-stable: --timing adds wall_ms.)
+  options.timing = false;
+  EXPECT_EQ(without, RunToString(options));
+}
+
+TEST(RunnerTest, TracePathNeverEntersTheJson) {
+  RunOptions options;
+  options.filter = "run_hist";
+  const std::string untraced = RunToString(options);
+  options.trace_path = "/tmp/some_trace_file.json";
+  const std::string traced = RunToString(options);
+  EXPECT_EQ(untraced, traced);
+  EXPECT_EQ(traced.find("some_trace_file"), std::string::npos);
+}
+
 TEST(RunnerTest, ParseRunOptionsAcceptsBothFlagStyles) {
   RunOptions options;
   std::ostringstream err;
   const char* argv[] = {"sfs_bench", "--filter", "fig6", "--seed=7",
                         "--repeat", "2",        "--json", "out.json",
-                        "--timing", "--list"};
-  ASSERT_TRUE(ParseRunOptions(10, const_cast<char**>(argv), options, err));
+                        "--timing", "--list",   "--trace=tr.json"};
+  ASSERT_TRUE(ParseRunOptions(11, const_cast<char**>(argv), options, err));
   EXPECT_EQ(options.filter, "fig6");
   EXPECT_EQ(options.seed, 7u);
   EXPECT_EQ(options.repeat, 2);
   EXPECT_EQ(options.json_path, "out.json");
   EXPECT_TRUE(options.timing);
   EXPECT_TRUE(options.list);
+  EXPECT_EQ(options.trace_path, "tr.json");
 }
 
 TEST(RunnerTest, ParseRunOptionsRejectsBadInput) {

@@ -1,0 +1,127 @@
+#include "src/obs/perfetto.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace sfs::obs {
+namespace {
+
+std::size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Fills a two-CPU trace with one migration (T1 runs on cpu0 then cpu1), a
+// steal, a preemption and lifecycle events.  Trace is pinned in memory
+// (single-writer rings), so the caller owns the storage.
+void FillTrace(Trace& trace) {
+  trace.SetThreadName(1, "hog T1");
+  trace.RecordLifecycle(TraceEventKind::kArrival, 0, 1);
+  trace.RecordLifecycle(TraceEventKind::kArrival, 0, 2);
+  trace.Record(0, TraceEventKind::kRun, 100, 1, 50);
+  trace.Record(0, TraceEventKind::kPreempt, 150, 1, 2);
+  trace.Record(1, TraceEventKind::kSteal, 180, 1, 0);
+  trace.Record(1, TraceEventKind::kRun, 200, 1, 40);
+  trace.Record(1, TraceEventKind::kRun, 240, 2, 10);
+  trace.RecordLifecycle(TraceEventKind::kBlock, 250, 2, 3000);
+  trace.RecordLifecycle(TraceEventKind::kWakeup, 260, 2);
+  trace.RecordLifecycle(TraceEventKind::kDeparture, 300, 1);
+}
+
+std::string Export(const Trace& trace, const PerfettoOptions& options = {}) {
+  std::ostringstream out;
+  PerfettoExporter::Write(trace, out, options);
+  return out.str();
+}
+
+std::string ExportFilled(const PerfettoOptions& options = {}) {
+  Trace trace(/*num_cpus=*/2, /*capacity_per_ring=*/64);
+  FillTrace(trace);
+  return Export(trace, options);
+}
+
+TEST(PerfettoTest, DocumentShape) {
+  const std::string json = ExportFilled();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);  // starts the array
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Braces balance (cheap structural sanity; CI runs a real json.load).
+  EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
+  EXPECT_EQ(CountOccurrences(json, "["), CountOccurrences(json, "]"));
+}
+
+TEST(PerfettoTest, EmitsOneTrackPerCpuPlusLifecycle) {
+  const std::string json = ExportFilled();
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"args\":{\"name\":\"cpu0\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"args\":{\"name\":\"cpu1\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"args\":{\"name\":\"lifecycle\"}"),
+            std::string::npos);
+}
+
+TEST(PerfettoTest, RunIntervalsBecomeCompleteSlicesWithThreadNames) {
+  const std::string json = ExportFilled();
+  // T1 carries its registered label, T2 the fallback label.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":100,\"dur\":50,"
+                      "\"name\":\"hog T1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"T2\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 3u);
+}
+
+TEST(PerfettoTest, StealsAndPreemptionsAreInstantEvents) {
+  const std::string json = ExportFilled();
+  EXPECT_NE(json.find("\"name\":\"steal hog T1\""), std::string::npos);
+  EXPECT_NE(json.find("\"from_cpu\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"preempt hog T1\""), std::string::npos);
+  EXPECT_NE(json.find("\"by_tid\":2"), std::string::npos);
+}
+
+TEST(PerfettoTest, LifecycleEventsLandOnTheLifecycleTrack) {
+  const std::string json = ExportFilled();
+  EXPECT_NE(json.find("\"tid\":2,\"ts\":0,\"s\":\"t\",\"name\":\"arrival hog T1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"block T2\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wakeup T2\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"departure hog T1\""), std::string::npos);
+}
+
+TEST(PerfettoTest, MigrationsGetFlowArrows) {
+  const std::string json = ExportFilled();
+  // T1 ran cpu0 [100,150] then cpu1 [200,240]: arrow from 150@cpu0 to 200@cpu1.
+  EXPECT_NE(json.find("\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":150"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"pid\":1,\"tid\":1,\"ts\":200,\"bp\":\"e\""),
+            std::string::npos);
+
+  PerfettoOptions no_flows;
+  no_flows.flow_arrows = false;
+  const std::string plain = ExportFilled(no_flows);
+  EXPECT_EQ(plain.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(plain.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(PerfettoTest, WallClockTimestampsScaleToMicroseconds) {
+  Trace trace(1, 16, Trace::Clock::kWallNanos);
+  trace.Record(0, TraceEventKind::kRun, 2'000'000, 1, 1'000'000);  // 2 ms, 1 ms
+  const std::string json = Export(trace);
+  EXPECT_NE(json.find("\"ts\":2000,\"dur\":1000"), std::string::npos);
+}
+
+TEST(PerfettoTest, EscapesControlAndQuoteCharactersInNames) {
+  Trace trace(1, 16);
+  trace.SetThreadName(1, "odd \"name\"\n");
+  trace.Record(0, TraceEventKind::kRun, 10, 1, 5);
+  const std::string json = Export(trace);
+  EXPECT_NE(json.find("odd \\\"name\\\"\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfs::obs
