@@ -9,7 +9,10 @@
 // records the event count, dispatch decisions and two FNV-1a trace
 // fingerprints — all pure functions of --seed and CHECK-asserted *identical*
 // across backends (the queue changes constants, never the schedule) — plus
-// events/sec and ns/event (wall clock; JSON only under --timing).
+// events/sec and ns/event (wall clock; JSON only under --timing).  The wheel
+// runs twice: batched (EngineConfig::batch_drain, the production default,
+// draining each tick's slot FIFO in one pass) and unbatched (one
+// NextTime()/PopFront() round trip per event), asserted schedule-identical.
 //
 // This experiment is the repo's recorded engine-performance baseline:
 // BENCH_engine.json at the repo root is its `--timing --repeat 5` output.
@@ -32,10 +35,6 @@
 #include "src/sim/engine.h"
 
 namespace {
-
-const char* QueueName(sfs::sim::EventQueueKind queue) {
-  return queue == sfs::sim::EventQueueKind::kTimingWheel ? "timing_wheel" : "priority_queue";
-}
 
 int MaxThreads() {
   if (const char* env = std::getenv("SFS_ENGINE_THROUGHPUT_MAX_THREADS"); env != nullptr) {
@@ -70,7 +69,7 @@ SFS_EXPERIMENT(abl_engine_throughput,
   const sfs::Tick horizon = sfs::Sec(30);
 
   Table table({"threads", "cpus", "events", "decisions", "identical", "heap (ns/ev)",
-               "wheel (ns/ev)", "speedup"});
+               "unbatched (ns/ev)", "wheel (ns/ev)", "speedup"});
   JsonValue rows = JsonValue::Array();
   bool all_identical = true;
   for (const int threads : thread_sizes) {
@@ -89,36 +88,52 @@ SFS_EXPERIMENT(abl_engine_throughput,
       const auto wheel = sfs::eval::RunEngineThroughput(EventQueueKind::kTimingWheel, threads,
                                                         cpus, horizon, reporter.seed(),
                                                         {.metrics = &metrics});
+      // Same wheel, one NextTime()/PopFront() round trip per event instead of
+      // the batched per-tick drain: isolates what the batch path buys and
+      // proves EngineConfig::batch_drain never alters the schedule.
+      const auto unbatched = sfs::eval::RunEngineThroughput(
+          EventQueueKind::kTimingWheel, threads, cpus, horizon, reporter.seed(), {},
+          /*batch_drain=*/false);
 
       const bool identical = heap.schedule_fingerprint == wheel.schedule_fingerprint &&
                              heap.lifecycle_fingerprint == wheel.lifecycle_fingerprint &&
                              heap.events == wheel.events && heap.decisions == wheel.decisions &&
-                             heap.preemptions == wheel.preemptions;
+                             heap.preemptions == wheel.preemptions &&
+                             unbatched.schedule_fingerprint == wheel.schedule_fingerprint &&
+                             unbatched.lifecycle_fingerprint == wheel.lifecycle_fingerprint &&
+                             unbatched.events == wheel.events &&
+                             unbatched.decisions == wheel.decisions &&
+                             unbatched.preemptions == wheel.preemptions;
       all_identical = all_identical && identical;
 
       const double heap_ns = heap.events > 0 ? heap.wall_ns / static_cast<double>(heap.events)
                                              : 0.0;
       const double wheel_ns =
           wheel.events > 0 ? wheel.wall_ns / static_cast<double>(wheel.events) : 0.0;
+      const double unbatched_ns =
+          unbatched.events > 0 ? unbatched.wall_ns / static_cast<double>(unbatched.events)
+                               : 0.0;
       table.AddRow({Table::Cell(std::int64_t{threads}), Table::Cell(std::int64_t{cpus}),
                     Table::Cell(wheel.events), Table::Cell(wheel.decisions),
-                    identical ? "yes" : "NO", Table::Cell(heap_ns, 0), Table::Cell(wheel_ns, 0),
+                    identical ? "yes" : "NO", Table::Cell(heap_ns, 0),
+                    Table::Cell(unbatched_ns, 0), Table::Cell(wheel_ns, 0),
                     Table::Cell(wheel_ns > 0.0 ? heap_ns / wheel_ns : 0.0, 2)});
 
-      for (const auto* run : {&heap, &wheel}) {
-        const EventQueueKind queue = run == &heap ? EventQueueKind::kPriorityQueue
-                                                  : EventQueueKind::kTimingWheel;
+      for (const auto* run : {&heap, &wheel, &unbatched}) {
+        const char* queue_name = run == &heap        ? "priority_queue"
+                                 : run == &wheel     ? "timing_wheel"
+                                                     : "timing_wheel_unbatched";
         JsonValue entry = JsonValue::Object();
         entry.Set("threads", JsonValue(std::int64_t{threads}));
         entry.Set("cpus", JsonValue(std::int64_t{cpus}));
-        entry.Set("event_queue", JsonValue(QueueName(queue)));
+        entry.Set("event_queue", JsonValue(queue_name));
         entry.Set("events", JsonValue(run->events));
         entry.Set("decisions", JsonValue(run->decisions));
         entry.Set("preemptions", JsonValue(run->preemptions));
         entry.Set("schedule_fingerprint", JsonValue(sfs::common::FingerprintHex(run->schedule_fingerprint)));
         entry.Set("lifecycle_fingerprint", JsonValue(sfs::common::FingerprintHex(run->lifecycle_fingerprint)));
         rows.Push(std::move(entry));
-        const std::string cell = std::string(QueueName(queue)) + "/t" + std::to_string(threads) +
+        const std::string cell = std::string(queue_name) + "/t" + std::to_string(threads) +
                                  "_p" + std::to_string(cpus);
         reporter.Throughput(cell, run->events, run->wall_ns);
       }

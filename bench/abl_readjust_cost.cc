@@ -31,9 +31,9 @@ struct Fixture {
       auto e = std::make_unique<Entity>();
       e->tid = static_cast<ThreadId>(i);
       // `heavy` infeasible candidates at the front of the queue.
-      e->weight = i < heavy ? 100000.0 + i : 1.0 + (i % 5);
-      e->phi = e->weight;
-      total += e->weight;
+      e->weight() = i < heavy ? 100000.0 + i : 1.0 + (i % 5);
+      e->phi() = e->weight();
+      total += e->weight();
       queue.Insert(e.get());
       entities.push_back(std::move(e));
     }

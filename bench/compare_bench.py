@@ -12,7 +12,9 @@ discards scheduler-noise outliers the same way the recorded baselines do.
 
 Exit codes: 0 ok, 1 regression past tolerance, 2 structural mismatch (missing
 file, missing cells, no timing data — e.g. the candidate was run without
---timing).
+--timing).  The full per-cell table is printed in every case, including cells
+present only in the candidate (new configs: reported as "new", gated once the
+recorded baseline contains them) and cells missing from the candidate.
 
 Optionally appends the candidate's per-cell numbers to the perf trajectory
 (BENCH_trajectory.json, a JSON array; one entry per perf-relevant PR):
@@ -68,21 +70,37 @@ def main():
               "(was it run with --timing?)")
         return 2
     missing = sorted(set(baseline) - set(candidate))
-    if missing:
-        print(f"compare_bench: candidate is missing {len(missing)} baseline "
-              f"cell(s): {', '.join(missing)}")
-        return 2
+    new_cells = sorted(set(candidate) - set(baseline))
 
+    # Always print the full per-cell table — every cell of either document —
+    # so a failing CI log carries the whole picture, not just the first
+    # mismatch.  Cells only in the candidate (e.g. a config added this PR) are
+    # reported as "new" and gated once they land in the recorded baseline;
+    # cells only in the baseline are a structural failure.
     regressions = []
-    width = max(len(c) for c in baseline)
+    all_cells = sorted(set(baseline) | set(candidate))
+    width = max(len(c) for c in all_cells)
     print(f"{'cell':<{width}}  {'baseline':>10}  {'candidate':>10}  {'delta':>8}")
-    for cell in sorted(baseline):
+    for cell in all_cells:
+        if cell in missing:
+            print(f"{cell:<{width}}  {baseline[cell]:>10.1f}  {'-':>10}  "
+                  f"{'':>8}  MISSING FROM CANDIDATE")
+            continue
+        if cell in new_cells:
+            print(f"{cell:<{width}}  {'-':>10}  {candidate[cell]:>10.1f}  "
+                  f"{'':>8}  new (not gated)")
+            continue
         base, cand = baseline[cell], candidate[cell]
         delta = (cand - base) / base
         flag = "  REGRESSION" if delta > args.tolerance else ""
         print(f"{cell:<{width}}  {base:>10.1f}  {cand:>10.1f}  {delta:>+7.1%}{flag}")
         if delta > args.tolerance:
             regressions.append(cell)
+
+    if missing:
+        print(f"\ncompare_bench: candidate is missing {len(missing)} baseline "
+              f"cell(s): {', '.join(missing)}")
+        return 2
 
     if args.append_trajectory:
         if not args.label:
@@ -106,8 +124,9 @@ def main():
         print(f"\nFAIL: {len(regressions)} cell(s) regressed more than "
               f"{args.tolerance:.0%}: {', '.join(regressions)}")
         return 1
+    extra = f" ({len(new_cells)} new cell(s) not yet gated)" if new_cells else ""
     print(f"\nOK: all {len(baseline)} cells within {args.tolerance:.0%} "
-          "of baseline")
+          f"of baseline{extra}")
     return 0
 
 

@@ -6,8 +6,10 @@
 // that: the link nodes live inside the scheduling entity, insertion and removal
 // never allocate, and one entity can carry several hooks (one per queue).
 //
-// Hooks record their owning element at link time, which keeps element recovery
-// fully portable (no offsetof arithmetic on non-standard-layout types).
+// Element recovery is hook-address arithmetic: the hook's offset inside T is a
+// compile-time constant of the `Hook` member pointer, so a hook is two pointers
+// — 16 bytes, not 24.  An Entity carries four hooks, so the saved owner
+// pointers are what keep it at three cache lines (see entity.h).
 
 #ifndef SFS_COMMON_INTRUSIVE_LIST_H_
 #define SFS_COMMON_INTRUSIVE_LIST_H_
@@ -37,7 +39,6 @@ class ListHook {
 
   ListHook* prev_ = nullptr;
   ListHook* next_ = nullptr;
-  void* owner_ = nullptr;
 };
 
 // Intrusive doubly-linked list of T, linked through the member hook `Hook`.
@@ -79,12 +80,11 @@ class IntrusiveList {
   // Unlinks `elem` from the list.  O(1).
   void erase(T* elem) {
     ListHook* h = HookOf(elem);
-    SFS_DCHECK(h->linked() && h->owner_ == elem);
+    SFS_DCHECK(h->linked());
     h->prev_->next_ = h->next_;
     h->next_->prev_ = h->prev_;
     h->prev_ = nullptr;
     h->next_ = nullptr;
-    h->owner_ = nullptr;
     --size_;
   }
 
@@ -102,10 +102,10 @@ class IntrusiveList {
     }
   }
 
-  bool contains(const T* elem) const {
-    const ListHook& h = elem->*Hook;
-    return h.linked() && h.owner_ == elem;
-  }
+  // Note: true whenever the element is linked through this hook member —
+  // which list instance linked it is not recorded (same contract as before;
+  // the owner pointer was always the element itself when linked).
+  bool contains(const T* elem) const { return (elem->*Hook).linked(); }
 
   // Successor / predecessor of a linked element; nullptr at the ends.
   T* next(T* elem) {
@@ -134,7 +134,7 @@ class IntrusiveList {
 
     explicit iterator(ListHook* at) : at_(at) {}
 
-    T* operator*() const { return static_cast<T*>(at_->owner_); }
+    T* operator*() const { return Owner(at_); }
     iterator& operator++() {
       at_ = at_->next_;
       return *this;
@@ -161,7 +161,7 @@ class IntrusiveList {
 
     explicit const_iterator(const ListHook* at) : at_(at) {}
 
-    const T* operator*() const { return static_cast<const T*>(at_->owner_); }
+    const T* operator*() const { return Owner(at_); }
     const_iterator& operator++() {
       at_ = at_->next_;
       return *this;
@@ -183,12 +183,26 @@ class IntrusiveList {
  private:
   static ListHook* HookOf(T* elem) { return &(elem->*Hook); }
 
-  static T* Owner(ListHook* h) { return static_cast<T*>(h->owner_); }
-  static const T* Owner(const ListHook* h) { return static_cast<const T*>(h->owner_); }
+  // Byte offset of the hook member inside T.  Applying the member pointer to a
+  // probe address is plain offset arithmetic for a non-virtual data member, and
+  // the subtraction folds to a compile-time constant.
+  static std::ptrdiff_t HookOffset() {
+    alignas(T) static char probe_storage[sizeof(T)];
+    const T* probe = reinterpret_cast<const T*>(probe_storage);
+    return reinterpret_cast<const char*>(&(probe->*Hook)) -
+           reinterpret_cast<const char*>(probe);
+  }
+
+  static T* Owner(ListHook* h) {
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(h) - HookOffset());
+  }
+  static const T* Owner(const ListHook* h) {
+    return reinterpret_cast<const T*>(reinterpret_cast<const char*>(h) - HookOffset());
+  }
 
   void LinkAfter(ListHook* pos, ListHook* h, T* elem) {
     SFS_DCHECK(!h->linked());
-    h->owner_ = elem;
+    (void)elem;
     h->prev_ = pos;
     h->next_ = pos->next_;
     pos->next_->prev_ = h;

@@ -391,7 +391,7 @@ RunScalingResult RunScaling(sched::QueueBackend backend, int threads, int cpus, 
 
 EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int threads, int cpus,
                                            Tick horizon, std::uint64_t seed,
-                                           const ObsSinks& sinks) {
+                                           const ObsSinks& sinks, bool batch_drain) {
   SFS_CHECK(threads >= 1);
   SchedConfig config = BaseConfig(cpus, kDefaultQuantum, /*readjust=*/true);
   // The repo-default run-queue backend, which is also the fastest here: the
@@ -403,6 +403,7 @@ EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int thread
 
   sim::EngineConfig engine_config;
   engine_config.event_queue = queue;
+  engine_config.batch_drain = batch_drain;
   engine_config.trace = sinks.trace;
   engine_config.metrics = sinks.metrics;
   sim::Engine engine(sfs, engine_config);

@@ -190,7 +190,8 @@ struct EngineThroughputResult {
 };
 EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int threads, int cpus,
                                            Tick horizon, std::uint64_t seed,
-                                           const ObsSinks& sinks = {});
+                                           const ObsSinks& sinks = {},
+                                           bool batch_drain = true);
 
 // ---------------------------------------------------------------------------
 // Sharded scheduling pathology (Section 1.2, generalized): `threads` threads

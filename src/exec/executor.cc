@@ -192,6 +192,16 @@ void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool pre
   }
   switch (report.kind) {
     case WorkResult::Kind::kContinue: {
+      if (config_.batch_dispatch) {
+        // Park the charge; the dispatcher applies it under its next
+        // LockDispatch hold, just before PickNext.  The thread stays "running"
+        // in scheduler state until then, so no kick is needed either — nothing
+        // another dispatcher could newly pick has appeared.
+        Cpu& cpu = *cpus_[static_cast<std::size_t>(cpu_idx)];
+        cpu.pending_charge_tid = report.tid;
+        cpu.pending_charge_ran = report.ran;
+        return;
+      }
       auto serial = MaybeSerialize();
       auto guard = scheduler_.LockDispatch(cpu_idx);
       scheduler_.Charge(report.tid, report.ran);
@@ -261,6 +271,13 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
       if (trace_) {
         // Timestamp hint for the scheduler's own steal/rebalance records.
         trace_->PublishNow(WallNs(lock_acquired));
+      }
+      if (cpu.pending_charge_tid != sched::kInvalidThread) {
+        // Config::batch_dispatch: the previous slice's deferred charge shares
+        // this lock hold with the pick.
+        scheduler_.Charge(cpu.pending_charge_tid, cpu.pending_charge_ran);
+        worker_by_tid_.at(cpu.pending_charge_tid)->cpu_time += cpu.pending_charge_ran;
+        cpu.pending_charge_tid = sched::kInvalidThread;
       }
       tid = scheduler_.PickNext(cpu_idx);
       if (tid != sched::kInvalidThread) {
@@ -366,7 +383,20 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
   // No slice is ever in flight here: an iteration that grants always waits
   // out the report (preempting at deadline = min(quantum end, wall_end_), so
   // the wall limit itself winds the last slice down) and charges it before
-  // the loop re-checks stop_/wall_end_.
+  // the loop re-checks stop_/wall_end_ — except a batch_dispatch charge parked
+  // by the final slice, flushed here so the thread is not left "running" in
+  // scheduler state (Run()'s RemoveThread pass depends on that) and its CPU
+  // time is fully accounted.
+  if (cpu.pending_charge_tid != sched::kInvalidThread) {
+    {
+      auto serial = MaybeSerialize();
+      auto guard = scheduler_.LockDispatch(cpu_idx);
+      scheduler_.Charge(cpu.pending_charge_tid, cpu.pending_charge_ran);
+      worker_by_tid_.at(cpu.pending_charge_tid)->cpu_time += cpu.pending_charge_ran;
+      cpu.pending_charge_tid = sched::kInvalidThread;
+    }
+    KickIdleCpus();
+  }
   {
     std::lock_guard<std::mutex> lk(cpu.mu);
     SFS_CHECK(cpu.running_tid == sched::kInvalidThread);

@@ -70,6 +70,15 @@ class Executor {
     // global-lock side of the abl_lock_contention comparison).
     bool serialize_dispatch = false;
 
+    // Defer each voluntary-continue charge into this CPU's next dispatch-lock
+    // hold instead of acquiring the lock twice per slice (once to charge, once
+    // to pick).  Safe because the yielded thread stays "running" in scheduler
+    // state until the charge lands, so no other dispatcher can pick or steal
+    // it in the window: the deferral halves lock traffic on the continue path
+    // without changing the scheduling contract.  Block/Done charges are
+    // lifecycle transitions and are never deferred.
+    bool batch_dispatch = false;
+
     // Observability sink (wall-nanosecond clock domain; Clock must be
     // kWallNanos and the trace must have at least the scheduler's num_cpus
     // rings).  Each dispatcher records pick/lock-wait spans, grants, run
@@ -199,6 +208,11 @@ class Executor {
     // dispatchers.  (Dispatch latencies go straight to the sharded
     // histograms, which are per-CPU by construction.)
     common::SampleSet preempt_latencies;
+    // Config::batch_dispatch: the previous slice's continue charge, parked
+    // here between HandleReport and this dispatcher's next LockDispatch hold.
+    // Only this CPU's own dispatcher thread reads or writes these.
+    sched::ThreadId pending_charge_tid = sched::kInvalidThread;
+    Tick pending_charge_ran = 0;
   };
 
   struct PendingWakeup {

@@ -38,6 +38,22 @@ class JsonValue {
   Kind kind() const { return kind_; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+  // Numeric kinds only (is_number()); integers convert losslessly up to 2^53.
+  double AsDouble() const {
+    return kind_ == Kind::kDouble ? double_
+           : kind_ == Kind::kInt  ? static_cast<double>(int_)
+                                  : static_cast<double>(uint_);
+  }
+
+  // Read-only views for cross-run aggregation (the harness's timing summary);
+  // order is insertion order, matching serialization.
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const {
+    return object_;
+  }
 
   // --- array ------------------------------------------------------------------
   JsonValue& Push(JsonValue v);

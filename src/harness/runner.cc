@@ -1,11 +1,13 @@
 #include "src/harness/runner.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "src/common/assert.h"
 #include "src/sim/engine.h"
@@ -262,6 +264,50 @@ JsonValue RunExperimentsToJson(const RunOptions& options, std::ostream& human_ou
                    JsonValue(std::chrono::duration<double, std::milli>(elapsed).count()));
       }
       runs.Push(std::move(result));
+    }
+    // Best-of-reps digest: with --timing and several repetitions, fold every
+    // scalar timing key across the runs into {best, mean} so consumers get
+    // the noise-robust minimum (what bench/compare_bench.py gates on)
+    // alongside the mean without re-deriving either from the per-run arrays.
+    if (options.timing && repetitions > 1) {
+      struct Agg {
+        std::string key;
+        double best;
+        double sum;
+        int count;
+      };
+      std::vector<Agg> aggs;
+      for (const JsonValue& run : runs.array_items()) {
+        const JsonValue* timing = run.Find("timing");
+        if (timing == nullptr || !timing->is_object()) {
+          continue;
+        }
+        for (const auto& [key, value] : timing->object_items()) {
+          if (!value.is_number()) {
+            continue;  // histograms already carry their own summary
+          }
+          const double v = value.AsDouble();
+          const auto it = std::find_if(aggs.begin(), aggs.end(),
+                                       [&](const Agg& a) { return a.key == key; });
+          if (it == aggs.end()) {
+            aggs.push_back({key, v, v, 1});
+          } else {
+            it->best = std::min(it->best, v);
+            it->sum += v;
+            ++it->count;
+          }
+        }
+      }
+      if (!aggs.empty()) {
+        JsonValue summary = JsonValue::Object();
+        for (const Agg& a : aggs) {
+          JsonValue cell = JsonValue::Object();
+          cell.Set("best", JsonValue(a.best));
+          cell.Set("mean", JsonValue(a.sum / a.count));
+          summary.Set(a.key, std::move(cell));
+        }
+        entry.Set("timing_summary", std::move(summary));
+      }
     }
     entry.Set("runs", std::move(runs));
     experiments.Push(std::move(entry));

@@ -23,8 +23,7 @@ double Bvt::SchedulerVirtualTime() const {
 
 void Bvt::SetWarp(ThreadId tid, double warp) {
   Entity& e = FindEntity(tid);
-  e.warp = warp;
-  e.warp_enabled = warp != 0.0;
+  e.SetWarpState(warp);
   if (queue_.contains(&e)) {
     queue_.Reposition(&e);
   }
@@ -76,7 +75,7 @@ Entity* Bvt::PickNextEntity(CpuId cpu) {
 }
 
 void Bvt::OnCharge(Entity& e, Tick ran_for) {
-  e.pass += arith().WeightedService(ran_for, e.phi);
+  e.pass += arith().WeightedService(ran_for, e.phi());
   queue_.Remove(&e);
   queue_.InsertFromBack(&e);
   if (queue_.size() == 1) {
@@ -89,9 +88,7 @@ CpuId Bvt::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
   if (!w.runnable || w.running) {
     return kInvalidCpu;
   }
-  const auto effective_vt = [](const Entity& e) {
-    return e.warp_enabled ? e.pass - e.warp : e.pass;
-  };
+  const auto effective_vt = [](const Entity& e) { return e.pass - e.warp_eff(); };
   const double woken_evt = effective_vt(w);
   CpuId victim = kInvalidCpu;
   double worst = woken_evt;
@@ -102,7 +99,7 @@ CpuId Bvt::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
     }
     const Entity& r = FindEntity(running);
     const double evt = effective_vt(r) +
-                       arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi);
+                       arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi());
     if (evt > worst) {
       worst = evt;
       victim = cpu;

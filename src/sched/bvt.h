@@ -19,7 +19,8 @@ namespace sfs::sched {
 
 struct ByEffectiveVtAsc {
   static std::pair<double, ThreadId> Key(const Entity& e) {
-    return {e.warp_enabled ? e.pass - e.warp : e.pass, e.tid};
+    // warp_eff is warp while enabled, else 0, so pass - warp_eff is E_i either way.
+    return {e.pass - e.warp_eff(), e.tid};
   }
 };
 using EffectiveVtQueue = RunQueue<Entity, &Entity::by_rq, ByEffectiveVtAsc>;

@@ -40,14 +40,14 @@ class GpsSchedulerBase : public Scheduler {
   // Returns true iff any instantaneous weight changed.
   bool AdmitWeight(Entity& e) {
     weight_queue_.Insert(&e);
-    runnable_weight_sum_ += e.weight;
+    runnable_weight_sum_ += e.weight();
     return MaybeReadjust();
   }
 
   // Removes a (no longer runnable) entity from the weight queue and readjusts.
   bool RetireWeight(Entity& e) {
     weight_queue_.Remove(&e);
-    runnable_weight_sum_ -= e.weight;
+    runnable_weight_sum_ -= e.weight();
     readjust_state_.Forget(e);
     return MaybeReadjust();
   }
@@ -55,21 +55,21 @@ class GpsSchedulerBase : public Scheduler {
   // Re-sorts after a weight change (entity may be runnable or blocked).
   bool UpdateWeight(Entity& e, Weight old_weight) {
     if (weight_queue_.contains(&e)) {
-      runnable_weight_sum_ += e.weight - old_weight;
+      runnable_weight_sum_ += e.weight() - old_weight;
       weight_queue_.Reposition(&e);
       // An uncapped thread's instantaneous weight must track the new request
       // (ReadjustQueue only rewrites the phis of threads entering or leaving
       // the cap set); a capped thread's phi is recomputed by the pass below.
       bool phi_changed = false;
-      if (!e.capped && e.phi != e.weight) {
-        e.phi = e.weight;
+      if (!e.capped && e.phi() != e.weight()) {
+        e.phi() = e.weight();
         phi_changed = true;
       }
       const bool readjusted = MaybeReadjust();
       return readjusted || phi_changed;
     }
     // Blocked: phi will be recomputed on wakeup; track the request now.
-    e.phi = e.weight;
+    e.phi() = e.weight();
     return false;
   }
 

@@ -137,12 +137,12 @@ double HierarchicalSfs::LevelVirtualTime(const Node& n, const Node* exclude) con
   if (n.policy == IntraClassPolicy::kSurplus) {
     // The member queue is sorted by start tag: the minimum is the front.
     if (const Entity* front = n.members.front(); front != nullptr) {
-      v = any ? std::min(v, front->start_tag) : front->start_tag;
+      v = any ? std::min(v, front->start_tag()) : front->start_tag();
       any = true;
     }
   } else {
     for (const Entity* e : n.rr_members) {
-      v = any ? std::min(v, e->start_tag) : e->start_tag;
+      v = any ? std::min(v, e->start_tag()) : e->start_tag();
       any = true;
     }
   }
@@ -181,7 +181,7 @@ void HierarchicalSfs::RecomputeShares() {
     }
     const auto add_member = [&](Entity* e) {
       thread_members.push_back(e);
-      weights.push_back(e->weight);
+      weights.push_back(e->weight());
       caps.push_back(bandwidth_cpus > 0.0 ? std::min(1.0, 1.0 / bandwidth_cpus) : 0.0);
     };
     if (n->policy == IntraClassPolicy::kSurplus) {
@@ -203,7 +203,7 @@ void HierarchicalSfs::RecomputeShares() {
       // Entity::phi holds the thread's share fraction *within its class level*;
       // tags advance by q/phi, so only intra-level ratios matter.
       const double phi = shares[class_children.size() + i];
-      thread_members[i]->phi = phi > 0.0 ? phi : thread_members[i]->weight;
+      thread_members[i]->phi() = phi > 0.0 ? phi : thread_members[i]->weight();
     }
   }
 }
@@ -245,8 +245,8 @@ void HierarchicalSfs::OnAdmit(Entity& e) {
   }
   Node& cls = FindNode(cls_id);
   thread_class_[e.tid] = cls_id;
-  e.start_tag = std::max(e.finish_tag, LevelVirtualTime(cls));
-  e.finish_tag = e.start_tag;
+  e.start_tag() = std::max(e.finish_tag(), LevelVirtualTime(cls));
+  e.finish_tag() = e.start_tag();
   if (cls.policy == IntraClassPolicy::kSurplus) {
     cls.members.Insert(&e);
   } else {
@@ -279,7 +279,7 @@ void HierarchicalSfs::OnBlocked(Entity& e) {
   } else {
     cls.rr_members.erase(&e);
   }
-  cls.idle_vt = std::max(cls.idle_vt, e.finish_tag);
+  cls.idle_vt = std::max(cls.idle_vt, e.finish_tag());
   PropagateRunnable(cls, -1);
   PropagateEligible(cls, -1);
   RecomputeShares();
@@ -287,7 +287,7 @@ void HierarchicalSfs::OnBlocked(Entity& e) {
 
 void HierarchicalSfs::OnWoken(Entity& e) {
   Node& cls = NodeOf(e);
-  e.start_tag = std::max(e.finish_tag, LevelVirtualTime(cls));
+  e.start_tag() = std::max(e.finish_tag(), LevelVirtualTime(cls));
   if (cls.policy == IntraClassPolicy::kSurplus) {
     cls.members.Insert(&e);
   } else {
@@ -350,7 +350,7 @@ Entity* HierarchicalSfs::PickNextEntity(CpuId cpu) {
         if (e->running) {
           continue;
         }
-        const double surplus = e->phi * (e->start_tag - v);
+        const double surplus = e->phi() * (e->start_tag() - v);
         if (better(surplus)) {
           best_surplus = surplus;
           best_class = nullptr;
@@ -372,8 +372,8 @@ Entity* HierarchicalSfs::PickNextEntity(CpuId cpu) {
 void HierarchicalSfs::OnCharge(Entity& e, Tick ran_for) {
   Node& cls = NodeOf(e);
   // Thread tags within its class.
-  e.finish_tag = e.start_tag + arith_.WeightedService(ran_for, std::max(e.phi, 1e-12));
-  e.start_tag = e.finish_tag;
+  e.finish_tag() = e.start_tag() + arith_.WeightedService(ran_for, std::max(e.phi(), 1e-12));
+  e.start_tag() = e.finish_tag();
   if (cls.policy == IntraClassPolicy::kRoundRobin) {
     // Rotate to the back of the member FIFO.
     cls.rr_members.erase(&e);

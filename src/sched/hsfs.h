@@ -63,7 +63,7 @@ enum class IntraClassPolicy {
 // library-wide thread-id tie-break, so the class-level virtual time is the
 // front element and iteration order is a deterministic total order.
 struct HsfsByStartAsc {
-  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag, e.tid}; }
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag(), e.tid}; }
 };
 
 class HierarchicalSfs : public Scheduler {

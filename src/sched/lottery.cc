@@ -21,7 +21,7 @@ void Lottery::OnWoken(Entity& e) { runnable_.push_back(&e); }
 
 void Lottery::OnWeightChanged(Entity& e, Weight old_weight) {
   (void)e;
-  (void)old_weight;  // ticket counts are read from e.weight at draw time
+  (void)old_weight;  // ticket counts are read from e.weight() at draw time
 }
 
 Entity* Lottery::PickNextEntity(CpuId cpu) {
@@ -30,7 +30,7 @@ Entity* Lottery::PickNextEntity(CpuId cpu) {
   double total = 0.0;
   for (Entity* e : runnable_) {
     if (!e->running) {
-      total += e->weight;
+      total += e->weight();
     }
   }
   if (total <= 0.0) {
@@ -43,7 +43,7 @@ Entity* Lottery::PickNextEntity(CpuId cpu) {
     if (e->running) {
       continue;
     }
-    acc += e->weight;
+    acc += e->weight();
     last = e;
     if (draw < acc) {
       return e;

@@ -73,8 +73,8 @@ bool ReadjustQueue(WeightQueue& queue, double total_weight, int num_cpus,
   bool changed = false;
 
   auto set_phi = [&changed](Entity* e, double phi) {
-    if (e->phi != phi) {
-      e->phi = phi;
+    if (e->phi() != phi) {
+      e->phi() = phi;
       changed = true;
     }
   };
@@ -103,8 +103,8 @@ bool ReadjustQueue(WeightQueue& queue, double total_weight, int num_cpus,
       if (rem_cpus <= 1.0) {
         break;
       }
-      if (cursor->weight * rem_cpus > rem_sum) {
-        rem_sum -= cursor->weight;
+      if (cursor->weight() * rem_cpus > rem_sum) {
+        rem_sum -= cursor->weight();
         ++new_capped;
         cursor = queue.next(cursor);
       } else {
@@ -136,7 +136,7 @@ bool ReadjustQueue(WeightQueue& queue, double total_weight, int num_cpus,
   // feasibility constraint never change").
   for (Entity* e : state.scratch) {
     if (!e->capped) {
-      set_phi(e, e->weight);
+      set_phi(e, e->weight());
     }
   }
   state.scratch.clear();
@@ -149,7 +149,7 @@ bool IsFeasible(const WeightQueue& queue, double total_weight, int num_cpus) {
     return true;
   }
   // Equation 1 for the largest weight; all smaller weights request smaller shares.
-  return heaviest->weight * static_cast<double>(num_cpus) <= total_weight;
+  return heaviest->weight() * static_cast<double>(num_cpus) <= total_weight;
 }
 
 }  // namespace sfs::sched

@@ -42,7 +42,7 @@ namespace sfs::sched {
 // tie-break makes every queue ordering in the library a deterministic total order
 // (the paper's "ties are broken arbitrarily" made reproducible).
 struct ByWeightDesc {
-  static std::pair<double, ThreadId> Key(const Entity& e) { return {-e.weight, e.tid}; }
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {-e.weight(), e.tid}; }
 };
 using WeightQueue = RunQueue<Entity, &Entity::by_weight, ByWeightDesc>;
 

@@ -58,8 +58,11 @@ std::unique_ptr<Entity> Scheduler::ReleaseEntity(Entity& e) {
   SFS_CHECK(e.live_index >= 0 &&
             static_cast<std::size_t>(e.live_index) < live_.size() &&
             live_[static_cast<std::size_t>(e.live_index)] == &e);
+  const auto row = static_cast<std::size_t>(e.live_index);
+  // The hot row travels inside the entity; only the live list needs the
+  // swap-and-pop.
   Entity* last = live_.back();
-  live_[static_cast<std::size_t>(e.live_index)] = last;
+  live_[row] = last;
   last->live_index = e.live_index;
   live_.pop_back();
   e.live_index = -1;
@@ -72,8 +75,8 @@ void Scheduler::AddThread(ThreadId tid, Weight weight) {
   SFS_CHECK(weight > 0);
   auto entity = std::make_unique<Entity>();
   entity->tid = tid;
-  entity->weight = weight;
-  entity->phi = weight;
+  entity->weight() = weight;
+  entity->phi() = weight;
   entity->runnable = true;
   Entity& e = *entity;
   StoreEntity(std::move(entity));
@@ -111,8 +114,8 @@ void Scheduler::Wakeup(ThreadId tid) {
 void Scheduler::SetWeight(ThreadId tid, Weight weight) {
   SFS_CHECK(weight > 0);
   Entity& e = FindEntity(tid);
-  const Weight old_weight = e.weight;
-  e.weight = weight;
+  const Weight old_weight = e.weight();
+  e.weight() = weight;
   OnWeightChanged(e, old_weight);
 }
 
@@ -188,10 +191,10 @@ Entity* Scheduler::PickMigrationCandidate(double max_weight, double* score) {
     if (!e.runnable || e.running) {
       continue;
     }
-    if (max_weight > 0.0 && e.weight >= max_weight) {
+    if (max_weight > 0.0 && e.weight() >= max_weight) {
       continue;
     }
-    const double entity_score = e.phi * (EntityTag(e) - v);
+    const double entity_score = e.phi() * (EntityTag(e) - v);
     // Deterministic despite the unordered live list: total order on (score, -tid).
     if (best == nullptr || entity_score > best_score ||
         (entity_score == best_score && e.tid < best->tid)) {
@@ -214,9 +217,9 @@ bool Scheduler::IsRunnable(ThreadId tid) const { return FindEntity(tid).runnable
 
 bool Scheduler::IsRunning(ThreadId tid) const { return FindEntity(tid).running; }
 
-Weight Scheduler::GetWeight(ThreadId tid) const { return FindEntity(tid).weight; }
+Weight Scheduler::GetWeight(ThreadId tid) const { return FindEntity(tid).weight(); }
 
-Weight Scheduler::GetPhi(ThreadId tid) const { return FindEntity(tid).phi; }
+Weight Scheduler::GetPhi(ThreadId tid) const { return FindEntity(tid).phi(); }
 
 Tick Scheduler::TotalService(ThreadId tid) const { return FindEntity(tid).total_service; }
 

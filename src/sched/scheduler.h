@@ -156,13 +156,13 @@ class Scheduler {
 
   // The entity's position on that timeline (its primary tag): start tag for
   // SFS/SFQ/WFQ, pass for stride/BVT.
-  virtual double EntityTag(const Entity& e) const { return e.start_tag; }
+  virtual double EntityTag(const Entity& e) const { return e.start_tag(); }
 
   // Phi-weighted lead of `e` over the local virtual time — the SFS surplus
   // alpha_i = phi_i * (S_i - v) generalized to any tagged policy.  The sharded
   // layer steals the thread with the greatest score.
   double MigrationScore(const Entity& e) const {
-    return e.phi * (EntityTag(e) - LocalVirtualTime());
+    return e.phi() * (EntityTag(e) - LocalVirtualTime());
   }
 
   // Best thread to migrate away: the runnable, not-running entity with the

@@ -12,14 +12,14 @@ Sfq::~Sfq() { queue_.Clear(); }
 
 double Sfq::VirtualTime() const {
   const Entity* head = queue_.front();
-  return head == nullptr ? idle_virtual_time_ : head->start_tag;
+  return head == nullptr ? idle_virtual_time_ : head->start_tag();
 }
 
 void Sfq::OnAdmit(Entity& e) {
   // "Newly arriving threads are assigned the minimum value of S_i over all
   // runnable threads" (Example 1).
-  e.start_tag = VirtualTime();
-  e.finish_tag = e.start_tag;
+  e.start_tag() = VirtualTime();
+  e.finish_tag() = e.start_tag();
   AdmitWeight(e);
   queue_.Insert(&e);
 }
@@ -35,12 +35,12 @@ void Sfq::OnBlocked(Entity& e) {
   queue_.Remove(&e);
   RetireWeight(e);
   if (queue_.empty()) {
-    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag);
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag());
   }
 }
 
 void Sfq::OnWoken(Entity& e) {
-  e.start_tag = std::max(e.finish_tag, VirtualTime());
+  e.start_tag() = std::max(e.finish_tag(), VirtualTime());
   AdmitWeight(e);
   queue_.Insert(&e);
 }
@@ -64,12 +64,12 @@ Entity* Sfq::PickNextEntity(CpuId cpu) {
 }
 
 void Sfq::OnCharge(Entity& e, Tick ran_for) {
-  e.finish_tag = e.start_tag + arith().WeightedService(ran_for, e.phi);
-  e.start_tag = e.finish_tag;
+  e.finish_tag() = e.start_tag() + arith().WeightedService(ran_for, e.phi());
+  e.start_tag() = e.finish_tag();
   queue_.Remove(&e);
   queue_.InsertFromBack(&e);
   if (queue_.size() == 1) {
-    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag);
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag());
   }
 }
 
@@ -79,7 +79,7 @@ CpuId Sfq::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
     return kInvalidCpu;
   }
   CpuId victim = kInvalidCpu;
-  double worst = w.start_tag;
+  double worst = w.start_tag();
   for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
     const ThreadId running = RunningOn(cpu);
     if (running == kInvalidThread) {
@@ -88,7 +88,7 @@ CpuId Sfq::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
     const Entity& r = FindEntity(running);
     // Start tag the runner would have if charged now.
     const double tag =
-        r.start_tag + arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi);
+        r.start_tag() + arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi());
     if (tag > worst) {
       worst = tag;
       victim = cpu;

@@ -21,7 +21,7 @@
 namespace sfs::sched {
 
 struct SfqByStartAsc {
-  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag, e.tid}; }
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag(), e.tid}; }
 };
 using SfqQueue = RunQueue<Entity, &Entity::by_start, SfqByStartAsc>;
 
@@ -38,7 +38,7 @@ class Sfq : public GpsSchedulerBase {
 
   // System virtual time: minimum start tag over runnable threads.
   double VirtualTime() const;
-  double StartTag(ThreadId tid) const { return FindEntity(tid).start_tag; }
+  double StartTag(ThreadId tid) const { return FindEntity(tid).start_tag(); }
 
   // Migration timeline (sched::Sharded): tags live on the start-tag axis.
   double LocalVirtualTime() const override { return VirtualTime(); }

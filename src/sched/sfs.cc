@@ -20,7 +20,7 @@ Sfs::~Sfs() {
 
 double Sfs::VirtualTime() const {
   const Entity* head = start_queue_.front();
-  return head == nullptr ? idle_virtual_time_ : head->start_tag;
+  return head == nullptr ? idle_virtual_time_ : head->start_tag();
 }
 
 double Sfs::Surplus(ThreadId tid) const {
@@ -31,18 +31,17 @@ double Sfs::Surplus(ThreadId tid) const {
 
 void Sfs::SetWarp(ThreadId tid, double warp) {
   Entity& e = FindEntity(tid);
-  e.warp = warp;
-  e.warp_enabled = warp != 0.0;
+  e.SetWarpState(warp);
   if (e.runnable) {
-    e.surplus = FreshSurplus(e, VirtualTime());
+    e.surplus() = FreshSurplus(e, VirtualTime());
     surplus_queue_.Reposition(&e);
   }
 }
 
 void Sfs::OnAdmit(Entity& e) {
   // New threads start at the virtual time: S_i = v (Section 2.3).
-  e.start_tag = VirtualTime();
-  e.finish_tag = e.start_tag;
+  e.start_tag() = VirtualTime();
+  e.finish_tag() = e.start_tag();
   if (AdmitWeight(e)) {
     need_refresh_ = true;
   }
@@ -66,13 +65,13 @@ void Sfs::OnBlocked(Entity& e) {
   if (start_queue_.empty()) {
     // All processors idle: freeze the virtual time at the finish tag of the
     // thread that ran last (Section 2.3).
-    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag);
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag());
   }
 }
 
 void Sfs::OnWoken(Entity& e) {
   // S_i = max(F_i, v): no credit accumulates while sleeping (Equation 6).
-  e.start_tag = std::max(e.finish_tag, VirtualTime());
+  e.start_tag() = std::max(e.finish_tag(), VirtualTime());
   if (AdmitWeight(e)) {
     need_refresh_ = true;
   }
@@ -121,17 +120,17 @@ Entity* Sfs::PickNextEntity(CpuId cpu) {
 void Sfs::OnCharge(Entity& e, Tick ran_for) {
   // F_i = S_i + q / phi_i with q the *actual* time run (Equation 5); a thread that
   // stays runnable continues from its finish tag (Equation 6).
-  e.finish_tag = e.start_tag + arith().WeightedService(ran_for, e.phi);
-  e.start_tag = e.finish_tag;
+  e.finish_tag() = e.start_tag() + arith().WeightedService(ran_for, e.phi());
+  e.start_tag() = e.finish_tag();
   // Reposition in both queues; the key grew, so scan from the back.
   start_queue_.Remove(&e);
   start_queue_.InsertFromBack(&e);
-  e.surplus = FreshSurplus(e, VirtualTime());
+  e.surplus() = FreshSurplus(e, VirtualTime());
   surplus_queue_.Remove(&e);
   surplus_queue_.InsertFromBack(&e);
   if (start_queue_.size() == 1) {
     // Only this thread runnable: remember its finish tag for the idle rule.
-    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag);
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.finish_tag());
   }
 }
 
@@ -165,7 +164,7 @@ CpuId Sfs::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
 }
 
 void Sfs::EnqueueRunnable(Entity& e) {
-  e.surplus = FreshSurplus(e, VirtualTime());
+  e.surplus() = FreshSurplus(e, VirtualTime());
   start_queue_.Insert(&e);
   surplus_queue_.Insert(&e);
 }
@@ -183,8 +182,17 @@ void Sfs::RefreshSurpluses(double v) {
   // near-linear on both backends and O(log t) per misplaced entity on the
   // skip list, and yields the same total (surplus, tid) order a full sort
   // would, so dispatch decisions are unchanged.
+  //
+  // The recompute walks the surplus queue — O(runnable), each entity's whole
+  // row one cache line — and FreshSurplus is branch-free per entity: warp_eff
+  // precomputes the old `warp_enabled ? warp : 0` test at SetWarpState time.
+  // (A unit-stride pass over an external dense row array was measured and
+  // rejected: it is the pretty loop, but on mostly-blocked 10k-thread
+  // workloads it made every pick O(total threads), and even gated by runnable
+  // density the external rows cost every *random* entity touch an extra
+  // independent cache line — see the layout note in entity.h.)
   for (Entity* e = surplus_queue_.front(); e != nullptr; e = surplus_queue_.next(e)) {
-    e->surplus = FreshSurplus(*e, v);
+    e->surplus() = FreshSurplus(*e, v);
   }
   refresh_repositions_ += static_cast<std::int64_t>(surplus_queue_.Resort());
   last_refresh_v_ = v;
@@ -210,10 +218,10 @@ void Sfs::MaybeRebase(double v) {
   //     every subsequent decision pays a spurious full refresh.
   const double delta = v;
   ForEachEntity([delta](Entity& e) {
-    e.start_tag -= delta;
-    e.finish_tag -= delta;
-    if (!e.runnable && e.finish_tag < 0.0) {
-      e.finish_tag = 0.0;
+    e.start_tag() -= delta;
+    e.finish_tag() -= delta;
+    if (!e.runnable && e.finish_tag() < 0.0) {
+      e.finish_tag() = 0.0;
     }
   });
   idle_virtual_time_ = std::max(0.0, idle_virtual_time_ - delta);
@@ -235,11 +243,11 @@ Entity* Sfs::ExactPick(CpuId cpu) {
     return head;
   }
   // Affinity extension: accept a slightly-larger surplus to stay cache-warm.
-  const double window = head->surplus + static_cast<double>(config().affinity_tolerance);
+  const double window = head->surplus() + static_cast<double>(config().affinity_tolerance);
   if (head->last_cpu == cpu) {
     return head;
   }
-  for (Entity* e = surplus_queue_.next(head); e != nullptr && e->surplus <= window;
+  for (Entity* e = surplus_queue_.next(head); e != nullptr && e->surplus() <= window;
        e = surplus_queue_.next(e)) {
     if (!e->running && e->last_cpu == cpu) {
       return e;

@@ -48,10 +48,10 @@
 namespace sfs::sched {
 
 struct ByStartTagAsc {
-  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag, e.tid}; }
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.start_tag(), e.tid}; }
 };
 struct BySurplusAsc {
-  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.surplus, e.tid}; }
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.surplus(), e.tid}; }
 };
 
 using StartTagQueue = RunQueue<Entity, &Entity::by_start, ByStartTagAsc>;
@@ -86,8 +86,8 @@ class Sfs : public GpsSchedulerBase {
   // Fresh surplus of a runnable thread at the current virtual time.
   double Surplus(ThreadId tid) const;
 
-  double StartTag(ThreadId tid) const { return FindEntity(tid).start_tag; }
-  double FinishTag(ThreadId tid) const { return FindEntity(tid).finish_tag; }
+  double StartTag(ThreadId tid) const { return FindEntity(tid).start_tag(); }
+  double FinishTag(ThreadId tid) const { return FindEntity(tid).finish_tag(); }
 
   // Result of comparing the Section 3.2 heuristic against the exact algorithm for
   // the next dispatch decision on `cpu`, without mutating scheduler state.  Used
@@ -124,9 +124,12 @@ class Sfs : public GpsSchedulerBase {
   void EnqueueRunnable(Entity& e);
   void DequeueRunnable(Entity& e);
 
-  // Recomputes every runnable surplus against `v` and incrementally restores
-  // surplus-queue order: only entities whose new key breaks the ascending run
-  // are pulled out and re-inserted (O(log t) each on the skip-list backend).
+  // Recomputes every surplus against `v` in one branchless pass over the dense
+  // hot-store arrays, then incrementally restores surplus-queue order: only
+  // entities whose new key breaks the ascending run are pulled out and
+  // re-inserted (O(log t) each on the skip-list backend).  Blocked entities'
+  // rows are overwritten too — harmless, since they sit on no queue and
+  // EnqueueRunnable recomputes the surplus at wakeup.
   void RefreshSurpluses(double v);
 
   // Applies Section 3.2's wrap-around handling when v crosses the rebase
@@ -135,10 +138,9 @@ class Sfs : public GpsSchedulerBase {
   void MaybeRebase(double v);
 
   // Effective surplus used for dispatch: the paper's alpha_i = phi_i*(S_i - v),
-  // minus the optional latency warp.
+  // minus the optional latency warp (warp_eff is warp while enabled, else 0).
   double FreshSurplus(const Entity& e, double v) const {
-    const double warp = e.warp_enabled ? e.warp : 0.0;
-    return e.phi * (e.start_tag - v - warp);
+    return e.phi() * (e.start_tag() - v - e.warp_eff());
   }
 
   Entity* ExactPick(CpuId cpu);

@@ -11,10 +11,10 @@ void TranslateMigratedTags(Entity& e, double v_src, double v_dst, double couplin
   const double origin = v_dst + coupling * (v_src - v_dst);
   // Both tag axes are translated with the same rule; each policy reads only
   // its own (start/finish for SFS/SFQ/WFQ, pass for stride/BVT).
-  e.start_tag = origin + std::max(0.0, e.start_tag - v_src);
-  e.finish_tag = e.start_tag;
+  e.start_tag() = origin + std::max(0.0, e.start_tag() - v_src);
+  e.finish_tag() = e.start_tag();
   e.pass = origin + std::max(0.0, e.pass - v_src);
-  e.surplus = 0.0;
+  e.surplus() = 0.0;
 }
 
 ShardedScheduler::ShardedScheduler(const SchedConfig& config, ShardFactory make_shard)
@@ -89,23 +89,23 @@ CpuId ShardedScheduler::LightestShard() const {
 void ShardedScheduler::OnAdmit(Entity& e) {
   const CpuId target = LightestShard();
   e.partition = target;
-  e.phi = e.weight;  // uniprocessor shards: every weight assignment is feasible
+  e.phi() = e.weight();  // uniprocessor shards: every weight assignment is feasible
   Shard& shard = ShardAt(target);
-  AddRunnableWeight(shard, e.weight);
-  shard.scheduler->AddThread(e.tid, e.weight);
+  AddRunnableWeight(shard, e.weight());
+  shard.scheduler->AddThread(e.tid, e.weight());
 }
 
 void ShardedScheduler::OnRemove(Entity& e) {
   Shard& shard = ShardAt(e.partition);
   if (e.runnable) {
-    AddRunnableWeight(shard, -e.weight);
+    AddRunnableWeight(shard, -e.weight());
   }
   shard.scheduler->RemoveThread(e.tid);
 }
 
 void ShardedScheduler::OnBlocked(Entity& e) {
   Shard& shard = ShardAt(e.partition);
-  AddRunnableWeight(shard, -e.weight);
+  AddRunnableWeight(shard, -e.weight());
   shard.scheduler->Block(e.tid);
 }
 
@@ -113,16 +113,16 @@ void ShardedScheduler::OnWoken(Entity& e) {
   // Wakes rejoin their home shard (cache affinity); imbalance this creates is
   // repaired by stealing/rebalancing, not by re-placing the waker.
   Shard& shard = ShardAt(e.partition);
-  AddRunnableWeight(shard, e.weight);
+  AddRunnableWeight(shard, e.weight());
   shard.scheduler->Wakeup(e.tid);
 }
 
 void ShardedScheduler::OnWeightChanged(Entity& e, Weight old_weight) {
   if (e.runnable) {
-    AddRunnableWeight(ShardAt(e.partition), e.weight - old_weight);
+    AddRunnableWeight(ShardAt(e.partition), e.weight() - old_weight);
   }
-  e.phi = e.weight;
-  ShardAt(e.partition).scheduler->SetWeight(e.tid, e.weight);
+  e.phi() = e.weight();
+  ShardAt(e.partition).scheduler->SetWeight(e.tid, e.weight());
 }
 
 Entity* ShardedScheduler::PickNextEntity(CpuId cpu) {
@@ -278,8 +278,8 @@ void ShardedScheduler::Migrate(ThreadId tid, CpuId from, CpuId to, bool steal) {
   TranslateMigratedTags(*inner, v_src, v_dst, config().shard_coupling);
   dst.AttachEntity(std::move(inner));
   Entity& outer = FindEntity(tid);
-  AddRunnableWeight(ShardAt(from), -outer.weight);
-  AddRunnableWeight(ShardAt(to), outer.weight);
+  AddRunnableWeight(ShardAt(from), -outer.weight());
+  AddRunnableWeight(ShardAt(to), outer.weight());
   outer.partition = to;
   (steal ? steals_ : rebalance_migrations_).fetch_add(1, std::memory_order_relaxed);
   // Both migration kinds execute on `to`'s dispatch path (the thief, or the

@@ -64,7 +64,7 @@ Entity* Stride::PickNextEntity(CpuId cpu) {
 void Stride::OnCharge(Entity& e, Tick ran_for) {
   // pass += stride * service; with stride1 folded into the tag unit this is the
   // same weighted-service advance the other GPS schedulers use.
-  e.pass += arith().WeightedService(ran_for, e.phi);
+  e.pass += arith().WeightedService(ran_for, e.phi());
   queue_.Remove(&e);
   queue_.InsertFromBack(&e);
   if (queue_.size() == 1) {
@@ -86,7 +86,7 @@ CpuId Stride::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed
     }
     const Entity& r = FindEntity(running);
     const double pass =
-        r.pass + arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi);
+        r.pass + arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi());
     if (pass > worst) {
       worst = pass;
       victim = cpu;

@@ -15,27 +15,27 @@ double Wfq::VirtualTime() const {
   // so scan (runnable sets are the same threads; start order ~ finish order).
   const Entity* best = nullptr;
   for (const Entity* e = queue_.front(); e != nullptr; e = queue_.next(e)) {
-    if (best == nullptr || e->start_tag < best->start_tag) {
+    if (best == nullptr || e->start_tag() < best->start_tag()) {
       best = e;
     }
   }
-  return best == nullptr ? idle_virtual_time_ : best->start_tag;
+  return best == nullptr ? idle_virtual_time_ : best->start_tag();
 }
 
 double Wfq::PredictFinish(const Entity& e) const {
-  return e.start_tag + arith().WeightedService(config().quantum, e.phi);
+  return e.start_tag() + arith().WeightedService(config().quantum, e.phi());
 }
 
 void Wfq::OnAdmit(Entity& e) {
-  e.start_tag = VirtualTime();
+  e.start_tag() = VirtualTime();
   if (AdmitWeight(e)) {
     // phi changed for some threads: re-predict all finish tags.
     for (Entity* it = queue_.front(); it != nullptr; it = queue_.next(it)) {
-      it->finish_tag = PredictFinish(*it);
+      it->finish_tag() = PredictFinish(*it);
     }
     queue_.Resort();
   }
-  e.finish_tag = PredictFinish(e);
+  e.finish_tag() = PredictFinish(e);
   queue_.Insert(&e);
 }
 
@@ -50,21 +50,21 @@ void Wfq::OnBlocked(Entity& e) {
   queue_.Remove(&e);
   RetireWeight(e);
   if (queue_.empty()) {
-    idle_virtual_time_ = std::max(idle_virtual_time_, e.start_tag);
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.start_tag());
   }
 }
 
 void Wfq::OnWoken(Entity& e) {
-  e.start_tag = std::max(e.start_tag, VirtualTime());
+  e.start_tag() = std::max(e.start_tag(), VirtualTime());
   AdmitWeight(e);
-  e.finish_tag = PredictFinish(e);
+  e.finish_tag() = PredictFinish(e);
   queue_.Insert(&e);
 }
 
 void Wfq::OnWeightChanged(Entity& e, Weight old_weight) {
   if (UpdateWeight(e, old_weight) && e.runnable) {
     for (Entity* it = queue_.front(); it != nullptr; it = queue_.next(it)) {
-      it->finish_tag = PredictFinish(*it);
+      it->finish_tag() = PredictFinish(*it);
     }
     queue_.Resort();
   }
@@ -77,11 +77,11 @@ void Wfq::OnAttach(Entity& e) {
     // phi changed for some threads (possible when attached to a multi-CPU
     // instance with readjustment): re-predict all finish tags, as OnAdmit does.
     for (Entity* it = queue_.front(); it != nullptr; it = queue_.next(it)) {
-      it->finish_tag = PredictFinish(*it);
+      it->finish_tag() = PredictFinish(*it);
     }
     queue_.Resort();
   }
-  e.finish_tag = PredictFinish(e);
+  e.finish_tag() = PredictFinish(e);
   queue_.Insert(&e);
 }
 
@@ -98,12 +98,12 @@ Entity* Wfq::PickNextEntity(CpuId cpu) {
 void Wfq::OnCharge(Entity& e, Tick ran_for) {
   // Correct the prediction with the actual service used, then re-predict for the
   // next dispatch.
-  e.start_tag += arith().WeightedService(ran_for, e.phi);
-  e.finish_tag = PredictFinish(e);
+  e.start_tag() += arith().WeightedService(ran_for, e.phi());
+  e.finish_tag() = PredictFinish(e);
   queue_.Remove(&e);
   queue_.InsertFromBack(&e);
   if (queue_.size() == 1) {
-    idle_virtual_time_ = std::max(idle_virtual_time_, e.start_tag);
+    idle_virtual_time_ = std::max(idle_virtual_time_, e.start_tag());
   }
 }
 
@@ -113,7 +113,7 @@ CpuId Wfq::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
     return kInvalidCpu;
   }
   CpuId victim = kInvalidCpu;
-  double worst = w.finish_tag;
+  double worst = w.finish_tag();
   for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
     const ThreadId running = RunningOn(cpu);
     if (running == kInvalidThread) {
@@ -121,7 +121,7 @@ CpuId Wfq::SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) {
     }
     const Entity& r = FindEntity(running);
     const double tag =
-        r.finish_tag + arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi);
+        r.finish_tag() + arith().WeightedService(elapsed[static_cast<std::size_t>(cpu)], r.phi());
     if (tag > worst) {
       worst = tag;
       victim = cpu;

@@ -21,7 +21,7 @@
 namespace sfs::sched {
 
 struct ByFinishAsc {
-  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.finish_tag, e.tid}; }
+  static std::pair<double, ThreadId> Key(const Entity& e) { return {e.finish_tag(), e.tid}; }
 };
 using FinishQueue = RunQueue<Entity, &Entity::by_rq, ByFinishAsc>;
 
@@ -37,7 +37,7 @@ class Wfq : public GpsSchedulerBase {
   CpuId SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed) override;
 
   double VirtualTime() const;
-  double FinishTag(ThreadId tid) const { return FindEntity(tid).finish_tag; }
+  double FinishTag(ThreadId tid) const { return FindEntity(tid).finish_tag(); }
 
   // Migration timeline (sched::Sharded): start tags anchor the translation;
   // finish tags are re-predicted on attach.

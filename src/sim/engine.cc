@@ -94,10 +94,20 @@ void Engine::RunUntil(Tick until) {
   SFS_CHECK(until >= now_);
   if (use_wheel_) {
     Tick t = 0;
-    while (wheel_.NextTime(until, &t)) {
-      SFS_DCHECK(t >= now_);
-      now_ = t;
-      DispatchEvent(wheel_.PopFront());
+    if (config_.batch_drain) {
+      // Same-tick batch: one NextTime() per distinct tick, then drain the whole
+      // slot FIFO (including handler re-pushes at this tick) in one pass.
+      while (wheel_.NextTime(until, &t)) {
+        SFS_DCHECK(t >= now_);
+        now_ = t;
+        wheel_.DrainCurrent([this](const Event& ev) { DispatchEvent(ev); });
+      }
+    } else {
+      while (wheel_.NextTime(until, &t)) {
+        SFS_DCHECK(t >= now_);
+        now_ = t;
+        DispatchEvent(wheel_.PopFront());
+      }
     }
   } else {
     while (!events_.empty() && events_.top().time <= until) {

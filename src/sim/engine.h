@@ -77,6 +77,14 @@ struct EngineConfig {
   // constant factors differ.
   EventQueueKind event_queue = EventQueueKind::kTimingWheel;
 
+  // Wheel backend only: drain each tick's slot FIFO as a detached batch
+  // (TimingWheel::DrainCurrent) instead of one NextTime()/PopFront() round trip
+  // per event.  Dispatch order is identical either way — the batch IS the
+  // per-tick FIFO — so schedules and fingerprints do not depend on this knob;
+  // it exists for differential testing (abl_engine_throughput's
+  // timing_wheel_unbatched config) and as an escape hatch.
+  bool batch_drain = true;
+
   // Observability sink (sim-tick clock domain).  When set, the engine records
   // grants, preemptions, run intervals, charges and lifecycle events into the
   // trace's rings and also hands the trace to the scheduler (steal/rebalance/

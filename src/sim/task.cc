@@ -8,6 +8,14 @@ Behavior::~Behavior() = default;
 
 Task::Task(sched::ThreadId tid, sched::Weight weight, std::unique_ptr<Behavior> behavior,
            std::string label)
-    : tid_(tid), weight_(weight), behavior_(std::move(behavior)), label_(std::move(label)) {}
+    : tid_(tid),
+      weight_(weight),
+      behavior_(std::move(behavior)),
+      label_(label.empty() ? nullptr : std::make_unique<std::string>(std::move(label))) {}
+
+const std::string& Task::label() const {
+  static const std::string kEmpty;
+  return label_ == nullptr ? kEmpty : *label_;
+}
 
 }  // namespace sfs::sim

@@ -59,7 +59,7 @@ class Task {
 
   sched::ThreadId tid() const { return tid_; }
   sched::Weight weight() const { return weight_; }
-  const std::string& label() const { return label_; }
+  const std::string& label() const;
   Behavior& behavior() { return *behavior_; }
 
   // Cumulative CPU service received (kept here so it survives task exit).
@@ -81,21 +81,30 @@ class Task {
  private:
   friend class Engine;
 
-  sched::ThreadId tid_;
-  sched::Weight weight_;
-  std::unique_ptr<Behavior> behavior_;
-  std::string label_;
-
+  // Hot fields first: the engine's per-event path (StopRunning / Dispatch /
+  // the Handle* switch) touches these and nothing below behavior_, so they
+  // share the task's first cache line in the slot arena.
   State state_ = State::kNew;
   // Dense arena slot the engine filed this task under (set by AddTaskAt);
   // events carry this id so hot-path lookup is a vector index, not a map probe.
   std::uint32_t slot_ = 0;
+  sched::ThreadId tid_;
+  sched::CpuId last_cpu_ = sched::kInvalidCpu;
   // CPU ticks left in the current compute action (kTickInfinity for Inf-style).
   Tick remaining_burst_ = 0;
   Tick service_ = 0;
-  sched::CpuId last_cpu_ = sched::kInvalidCpu;
+  sched::Weight weight_;
   int working_set_kb_ = 0;
+  std::unique_ptr<Behavior> behavior_;
+  // Cold: read once at registration (trace thread name) and by reporting
+  // paths; boxed so an unlabelled task pays a pointer, not an inline
+  // std::string, and the whole Task fits one cache line.  null <=> empty.
+  std::unique_ptr<std::string> label_;
 };
+
+// The arena-resident task is the densest engine structure after the event
+// nodes; keep it within a single 64-byte cache line.
+static_assert(sizeof(Task) <= 64, "Task outgrew one cache line");
 
 }  // namespace sfs::sim
 

@@ -276,8 +276,8 @@ class QueueFixture {
     for (std::size_t i = 0; i < weights.size(); ++i) {
       entities_[i] = std::make_unique<Entity>();
       entities_[i]->tid = static_cast<ThreadId>(i);
-      entities_[i]->weight = weights[i];
-      entities_[i]->phi = weights[i];
+      entities_[i]->weight() = weights[i];
+      entities_[i]->phi() = weights[i];
       queue_.Insert(entities_[i].get());
       total_ += weights[i];
     }
@@ -294,7 +294,7 @@ class QueueFixture {
   std::vector<double> PhisInQueueOrder() {
     std::vector<double> phis;
     for (Entity* e = queue_.front(); e != nullptr; e = queue_.next(e)) {
-      phis.push_back(e->phi);
+      phis.push_back(e->phi());
     }
     return phis;
   }
@@ -338,14 +338,14 @@ TEST(ReadjustQueueTest, CapsTrackedAndRestored) {
   ASSERT_EQ(fx.state().capped.size(), 1u);
   Entity* heavy = fx.state().capped[0];
   EXPECT_TRUE(heavy->capped);
-  EXPECT_LT(heavy->phi, 10.0);
+  EXPECT_LT(heavy->phi(), 10.0);
   // Simulate the world changing so the weight becomes feasible: 10/30 <= 1/2.
   // (Add weight by editing total; the queue itself still holds three entities,
   // so emulate with a direct second pass at a higher total.)
   const bool changed = ReadjustQueue(fx.queue(), 30.0, 2, fx.state());
   EXPECT_TRUE(changed);
   EXPECT_FALSE(heavy->capped);
-  EXPECT_DOUBLE_EQ(heavy->phi, 10.0);
+  EXPECT_DOUBLE_EQ(heavy->phi(), 10.0);
   EXPECT_TRUE(fx.state().capped.empty());
 }
 
