@@ -16,6 +16,16 @@ file, missing cells, no timing data — e.g. the candidate was run without
 present only in the candidate (new configs: reported as "new", gated once the
 recorded baseline contains them) and cells missing from the candidate.
 
+`--filter REGEX` restricts the comparison to cells whose name matches REGEX
+(re.search, so unanchored), applied to BOTH documents symmetrically: a
+baseline cell excluded by the filter is not reported missing, and a filtered
+candidate cell is neither gated nor appended to the trajectory.  Use it when
+the candidate was produced under a reduced matrix (CI smoke runs with
+SFS_ENGINE_THROUGHPUT_MAX_THREADS set skip the big parallel cells):
+
+    bench/compare_bench.py --baseline BENCH_engine.json --candidate smoke.json \
+        --filter '^(priority_queue|timing_wheel)'
+
 Optionally appends the candidate's per-cell numbers to the perf trajectory
 (BENCH_trajectory.json, a JSON array; one entry per perf-relevant PR):
 
@@ -25,6 +35,7 @@ Optionally appends the candidate's per-cell numbers to the perf trajectory
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -53,6 +64,10 @@ def main():
                         help="fresh --timing run to gate")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="max allowed per-cell regression (0.10 = 10%%)")
+    parser.add_argument("--filter", metavar="REGEX",
+                        help="only compare cells whose name matches REGEX "
+                             "(unanchored; applied to baseline and candidate "
+                             "alike)")
     parser.add_argument("--append-trajectory", metavar="PATH",
                         help="append the candidate's cells to this JSON array")
     parser.add_argument("--label",
@@ -69,6 +84,17 @@ def main():
         print(f"compare_bench: no ns_per_event cells in {args.candidate} "
               "(was it run with --timing?)")
         return 2
+    if args.filter:
+        try:
+            pattern = re.compile(args.filter)
+        except re.error as err:
+            print(f"compare_bench: bad --filter regex: {err}")
+            return 2
+        baseline = {c: v for c, v in baseline.items() if pattern.search(c)}
+        candidate = {c: v for c, v in candidate.items() if pattern.search(c)}
+        if not baseline and not candidate:
+            print(f"compare_bench: --filter {args.filter!r} matches no cells")
+            return 2
     missing = sorted(set(baseline) - set(candidate))
     new_cells = sorted(set(candidate) - set(baseline))
 

@@ -194,6 +194,37 @@ EngineThroughputResult RunEngineThroughput(sim::EventQueueKind queue, int thread
                                            bool batch_drain = true);
 
 // ---------------------------------------------------------------------------
+// Parallel-engine throughput (DESIGN.md §10, experiment A13): the same
+// hogs-plus-sleepers workload as RunEngineThroughput, but home-hinted
+// (tid % cpus) onto a *partitioned* sharded-SFS scheduler (stealing off,
+// rebalancing off, coupling 0) and driven by sim::ParallelEngine with
+// `workers` simulation threads.  Partitioning makes the schedule a disjoint
+// union of per-shard-group subproblems, so fingerprints are kept per group
+// (group g = the CPUs worker g owns under `groups` workers): byte-equal
+// group vectors across worker counts — including the workers == 0 serial
+// sim::Engine oracle — are the parallel engine's exactness contract, at any
+// level of real parallelism.  Everything except wall_ns is a pure function
+// of (groups, threads, cpus, horizon, seed).
+struct ParallelEngineThroughputResult {
+  std::int64_t events = 0;     // events popped over the horizon (all workers)
+  std::int64_t decisions = 0;  // engine dispatches over the horizon
+  std::int64_t preemptions = 0;
+  std::int64_t mailed_wakeups = 0;  // cross-worker mailbox deliveries (0 here)
+  std::int64_t epochs = 0;          // barriers crossed (0 on serial paths)
+  // FNV-1a per shard group, indexed by group id; sized `groups`.
+  std::vector<std::uint64_t> group_schedule_fingerprints;
+  std::vector<std::uint64_t> group_lifecycle_fingerprints;
+  double wall_ns = 0.0;  // wall clock; Reporter::Timing only
+};
+// `workers` == 0 runs the serial sim::Engine oracle over the identical
+// scheduler + workload (grouping fingerprints as `groups` would); otherwise
+// 1 <= workers <= cpus drives the parallel engine, and `groups` must equal
+// `workers`.  `epoch` is the conservative synchronization horizon.
+ParallelEngineThroughputResult RunParallelEngineThroughput(
+    int workers, int groups, int threads, int cpus, Tick horizon, std::uint64_t seed,
+    Tick epoch = Msec(10), const ObsSinks& sinks = {});
+
+// ---------------------------------------------------------------------------
 // Sharded scheduling pathology (Section 1.2, generalized): `threads` threads
 // with seeded random weights on config.num_cpus processors — mostly
 // compute-bound hogs, plus a capped band of interactive sleepers (blocking)

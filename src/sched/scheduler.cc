@@ -71,6 +71,10 @@ std::unique_ptr<Entity> Scheduler::ReleaseEntity(Entity& e) {
 }
 
 void Scheduler::AddThread(ThreadId tid, Weight weight) {
+  AddThread(tid, weight, kInvalidCpu);
+}
+
+void Scheduler::AddThread(ThreadId tid, Weight weight, CpuId home) {
   SFS_CHECK(tid != kInvalidThread);
   SFS_CHECK(weight > 0);
   auto entity = std::make_unique<Entity>();
@@ -78,9 +82,14 @@ void Scheduler::AddThread(ThreadId tid, Weight weight) {
   entity->weight() = weight;
   entity->phi() = weight;
   entity->runnable = true;
+  // Placement hint: partition-aware policies admit to this shard instead of
+  // their balanced choice (OnAdmit decides); flat policies never read it.
+  if (home >= 0 && home < num_cpus()) {
+    entity->partition = home;
+  }
   Entity& e = *entity;
   StoreEntity(std::move(entity));
-  ++runnable_count_;
+  runnable_count_.fetch_add(1, std::memory_order_relaxed);
   OnAdmit(e);
 }
 
@@ -88,7 +97,7 @@ void Scheduler::RemoveThread(ThreadId tid) {
   Entity& e = FindEntity(tid);
   SFS_CHECK(!e.running);
   if (e.runnable) {
-    --runnable_count_;
+    runnable_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   OnRemove(e);
   ReleaseEntity(e);  // drops the entity
@@ -99,7 +108,7 @@ void Scheduler::Block(ThreadId tid) {
   SFS_CHECK(e.runnable);
   SFS_CHECK(!e.running);
   e.runnable = false;
-  --runnable_count_;
+  runnable_count_.fetch_sub(1, std::memory_order_relaxed);
   OnBlocked(e);
 }
 
@@ -107,7 +116,7 @@ void Scheduler::Wakeup(ThreadId tid) {
   Entity& e = FindEntity(tid);
   SFS_CHECK(!e.runnable);
   e.runnable = true;
-  ++runnable_count_;
+  runnable_count_.fetch_add(1, std::memory_order_relaxed);
   OnWoken(e);
 }
 
@@ -161,7 +170,7 @@ std::unique_ptr<Entity> Scheduler::DetachEntity(ThreadId tid) {
   Entity& e = FindEntity(tid);
   SFS_CHECK(!e.running);
   if (e.runnable) {
-    --runnable_count_;
+    runnable_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   OnRemove(e);  // the policy dequeues it; all entity fields survive
   return ReleaseEntity(e);
@@ -174,7 +183,7 @@ void Scheduler::AttachEntity(std::unique_ptr<Entity> entity) {
   SFS_CHECK(!e.running);
   StoreEntity(std::move(entity));
   if (e.runnable) {
-    ++runnable_count_;
+    runnable_count_.fetch_add(1, std::memory_order_relaxed);
     OnAttach(e);
   }
   // A blocked entity needs no policy action until Wakeup.

@@ -37,6 +37,16 @@
 //       - LockLifecycle() covers everything else: AddThread, RemoveThread,
 //         Block, Wakeup, SetWeight, SuggestPreemption, DetachEntity,
 //         AttachEntity and any introspection that races with dispatch.  It
+//         has one sanctioned relaxation: Block, Wakeup, SetWeight and
+//         SuggestPreemption on a thread whose home shard the caller knows and
+//         can pin (a blocked thread cannot migrate; a thread that just ran on
+//         `cpu` is home on `cpu`'s shard) may be bracketed by
+//         LockDispatch(home) alone — everything they touch is either guarded
+//         by that shard's mutex or atomic (the runnable count).  Structural
+//         mutations (Add/Remove/Detach/Attach) still take the full lifecycle
+//         lock; that exclusivity is what makes entity-table reads safe for
+//         holders of any single dispatch mutex.  sim::ParallelEngine's
+//         wakeup/block hot path is built on this relaxation.  It
 //         acquires every distinct dispatch mutex, so it is exclusive against
 //         every concurrent LockDispatch *and* other lifecycle calls, and a
 //         lifecycle holder may additionally perform dispatch-path operations
@@ -53,6 +63,7 @@
 #ifndef SFS_SCHED_SCHEDULER_H_
 #define SFS_SCHED_SCHEDULER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -97,6 +108,13 @@ class Scheduler {
 
   // Registers a new thread; it becomes runnable immediately.  `tid` must be unused.
   void AddThread(ThreadId tid, Weight weight);
+
+  // As AddThread, with a placement hint: partitioned/sharded policies admit
+  // the thread to shard `home` instead of their load-balanced choice, making
+  // placement a pure function of the workload (the parallel engine's
+  // partitioned determinism contract).  Flat policies ignore the hint; an
+  // out-of-range or kInvalidCpu hint falls back to plain AddThread.
+  void AddThread(ThreadId tid, Weight weight, CpuId home);
 
   // Unregisters a thread (exit).  Must not be currently running (Charge first).
   void RemoveThread(ThreadId tid);
@@ -185,8 +203,16 @@ class Scheduler {
   Weight GetPhi(ThreadId tid) const;
   Tick TotalService(ThreadId tid) const;
   ThreadId RunningOn(CpuId cpu) const;
-  int runnable_count() const { return runnable_count_; }
+  int runnable_count() const { return runnable_count_.load(std::memory_order_relaxed); }
   int thread_count() const { return static_cast<int>(live_.size()); }
+
+  // Conservative-epoch synchronization hook (sim::ParallelEngine): invoked
+  // once per epoch boundary, single-threaded, with every worker parked at the
+  // barrier, at simulated time `now`.  Policies may snapshot or republish
+  // cross-shard state here (sched::Sharded exposes per-shard virtual times);
+  // the default does nothing.  Must not change any scheduling decision —
+  // single-threaded drivers never call it.
+  virtual void OnEpochBoundary(Tick now) { (void)now; }
 
   // Threads the scheduler itself moved between internal shards: idle-pull
   // steals and periodic rebalance migrations (sched::Sharded).  Flat policies
@@ -262,7 +288,11 @@ class Scheduler {
   std::vector<std::unique_ptr<Entity>> by_tid_;
   std::vector<Entity*> live_;
   std::vector<ThreadId> running_;
-  int runnable_count_ = 0;
+  // Relaxed atomic: Block/Wakeup run under per-shard dispatch mutexes in the
+  // parallel engine, so increments on different shards race as plain ints.
+  // The count itself needs no cross-shard ordering — readers want a tally,
+  // not a synchronization point.
+  std::atomic<int> runnable_count_{0};
 
   // Concurrency contract state; untouched unless a driver uses the Lock* API.
   mutable std::mutex dispatch_mu_;

@@ -1,6 +1,7 @@
 #include "src/sim/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "src/common/assert.h"
@@ -45,6 +46,11 @@ void Engine::AddTaskAt(Tick at, std::unique_ptr<Task> task) {
   const sched::ThreadId tid = task->tid();
   SFS_CHECK(tid >= 0);
   if (static_cast<std::size_t>(tid) >= tid_to_slot_.size()) {
+    // Auto-grow with geometric capacity: a monotone stream of fresh tids
+    // (exit-hook churn) would otherwise re-resize to exactly tid+1 each time
+    // and degrade to quadratic copying.  ReserveTasks remains a pure
+    // pre-touch optimization, never a requirement.
+    tid_to_slot_.reserve(std::bit_ceil(static_cast<std::size_t>(tid) + 1));
     tid_to_slot_.resize(static_cast<std::size_t>(tid) + 1, -1);
   }
   SFS_CHECK(tid_to_slot_[static_cast<std::size_t>(tid)] < 0);  // duplicate tid
@@ -261,7 +267,7 @@ void Engine::HandleArrival(TaskSlot slot) {
       SFS_CHECK(first.duration > 0);
       t.remaining_burst_ = first.duration;
       t.state_ = Task::State::kRunnable;
-      scheduler_.AddThread(tid, t.weight());
+      scheduler_.AddThread(tid, t.weight(), t.home_cpu_);
       NotifySchedEvent(SchedEvent::kArrival, t);
       PlaceRunnable(tid, config_.preempt_on_arrival);
       break;
@@ -269,7 +275,7 @@ void Engine::HandleArrival(TaskSlot slot) {
     case Action::Kind::kBlock: {
       // Arrive asleep: register with the scheduler, then block immediately.
       SFS_CHECK(first.duration > 0);
-      scheduler_.AddThread(tid, t.weight());
+      scheduler_.AddThread(tid, t.weight(), t.home_cpu_);
       NotifySchedEvent(SchedEvent::kArrival, t);
       scheduler_.Block(tid);
       NotifySchedEvent(SchedEvent::kBlock, t);

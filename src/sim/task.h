@@ -78,8 +78,18 @@ class Task {
   int working_set_kb() const { return working_set_kb_; }
   void set_working_set_kb(int kb) { working_set_kb_ = kb; }
 
+  // Home-CPU placement hint, forwarded to Scheduler::AddThread at arrival.
+  // Partition-aware policies admit the thread to this shard instead of their
+  // load-balanced choice, making placement a pure function of the workload
+  // (the parallel engine's partitioned determinism contract; it also decides
+  // which simulation worker owns the arrival).  kInvalidCpu (default) keeps
+  // the scheduler's own placement.  Set before handing the task to the engine.
+  sched::CpuId home_cpu() const { return home_cpu_; }
+  void set_home_cpu(sched::CpuId cpu) { home_cpu_ = cpu; }
+
  private:
   friend class Engine;
+  friend class ParallelEngine;
 
   // Hot fields first: the engine's per-event path (StopRunning / Dispatch /
   // the Handle* switch) touches these and nothing below behavior_, so they
@@ -95,6 +105,9 @@ class Task {
   Tick service_ = 0;
   sched::Weight weight_;
   int working_set_kb_ = 0;
+  // Occupies what was the pre-behavior_ padding hole, so the one-line
+  // static_assert below still holds.
+  sched::CpuId home_cpu_ = sched::kInvalidCpu;
   std::unique_ptr<Behavior> behavior_;
   // Cold: read once at registration (trace thread name) and by reporting
   // paths; boxed so an unlabelled task pays a pointer, not an inline

@@ -1,0 +1,135 @@
+#include "src/common/mpsc_mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace sfs::common {
+namespace {
+
+TEST(MpscMailboxTest, StartsEmptyAndDrainsNothing) {
+  MpscMailbox<int> box;
+  EXPECT_TRUE(box.Empty());
+  EXPECT_EQ(box.DrainAll([](int&&) { FAIL() << "nothing was pushed"; }), 0u);
+}
+
+TEST(MpscMailboxTest, SingleProducerFifo) {
+  MpscMailbox<int> box;
+  for (int i = 0; i < 100; ++i) {
+    box.Push(i);
+  }
+  EXPECT_FALSE(box.Empty());
+  std::vector<int> got;
+  EXPECT_EQ(box.DrainAll([&got](int&& v) { got.push_back(v); }), 100u);
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_TRUE(box.Empty());
+}
+
+TEST(MpscMailboxTest, InterleavedPushAndDrainLosesNothing) {
+  MpscMailbox<int> box;
+  int next = 0;
+  std::vector<int> got;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < round % 7; ++i) {
+      box.Push(next++);
+    }
+    box.DrainAll([&got](int&& v) { got.push_back(v); });
+  }
+  box.DrainAll([&got](int&& v) { got.push_back(v); });
+  ASSERT_EQ(static_cast<int>(got.size()), next);
+  for (int i = 0; i < next; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(MpscMailboxTest, MoveOnlyPayload) {
+  MpscMailbox<std::unique_ptr<int>> box;
+  box.Push(std::make_unique<int>(41));
+  box.Push(std::make_unique<int>(42));
+  std::vector<int> got;
+  box.DrainAll([&got](std::unique_ptr<int>&& p) { got.push_back(*p); });
+  EXPECT_EQ(got, (std::vector<int>{41, 42}));
+}
+
+TEST(MpscMailboxTest, DestructorReclaimsUndrainedMessages) {
+  // Leak-checked under ASan/LSan builds: undrained nodes and the retained
+  // tail anchor must both be freed.
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  {
+    MpscMailbox<Probe> box;
+    box.Push(Probe{counter});
+    box.Push(Probe{counter});
+    box.DrainAll([](Probe&&) {});  // consume one batch, retaining a tail node
+    box.Push(Probe{counter});
+  }
+  // 3 payloads constructed in Push + moved-from temporaries destroyed along
+  // the way; what matters is that every *owning* Probe died.
+  EXPECT_GE(*counter, 3);
+}
+
+// The contract the parallel engine leans on: concurrent producers never lose
+// or duplicate a message, and each producer's messages arrive in push order.
+TEST(MpscMailboxConcurrencyTest, ManyProducersPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpscMailbox<std::uint32_t> box;  // (producer << 16) | seq
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, &go, p] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerProducer; ++i) {
+        box.Push(static_cast<std::uint32_t>((p << 16) | i));
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> got;
+  got.reserve(kProducers * kPerProducer);
+  std::thread consumer([&box, &go, &done, &got] {
+    go.store(true, std::memory_order_release);
+    while (!done.load(std::memory_order_acquire)) {
+      box.DrainAll([&got](std::uint32_t&& v) { got.push_back(v); });
+    }
+    box.DrainAll([&got](std::uint32_t&& v) { got.push_back(v); });
+  });
+
+  for (auto& t : producers) {
+    t.join();
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+  int next_seq[kProducers] = {};
+  for (const std::uint32_t v : got) {
+    const int p = static_cast<int>(v >> 16);
+    const int seq = static_cast<int>(v & 0xffff);
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next_seq[p]) << "producer " << p << " out of order";
+    next_seq[p] = seq + 1;
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[p], kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace sfs::common

@@ -359,6 +359,25 @@ TEST(EngineTest, DeterministicReplay) {
   EXPECT_EQ(run(), run());
 }
 
+// The tid->slot index auto-grows geometrically: a monotone stream of fresh
+// tids without ReserveTasks (exit-hook churn is exactly this shape) must stay
+// linear, and sparse out-of-order tids must resolve correctly after growth.
+TEST(EngineTest, SparseTidsAutoGrowWithoutReserve) {
+  sched::Sfs scheduler(Config(2));
+  Engine engine(scheduler);
+  const sched::ThreadId tids[] = {4096, 1, 70000, 9, 300};
+  for (const sched::ThreadId tid : tids) {
+    engine.AddTaskAt(0, workload::MakeInf(tid, 1.0, "t"));
+  }
+  engine.RunUntil(Sec(1));
+  Tick total = 0;
+  for (const sched::ThreadId tid : tids) {
+    ASSERT_TRUE(engine.HasTask(tid));
+    total += engine.ServiceIncludingRunning(tid);
+  }
+  EXPECT_EQ(total, 2 * Sec(1));
+}
+
 TEST(EngineTest, RoundRobinAlternatesFairly) {
   sched::RoundRobin scheduler(Config(1, Msec(50)));
   Engine engine(scheduler);
