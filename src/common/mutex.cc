@@ -1,0 +1,199 @@
+// Runtime lock-order validator backing common::Mutex (see mutex.h).
+//
+// Graph model: each mutex maps to a node id.  Mutexes registered via
+// SetRank(class, rank) map to a *shared* node per (class, rank), so the
+// ascending-rank discipline of a mutex family (the scheduler's per-shard
+// dispatch mutexes, rank == CPU id) is validated across every family
+// instance in the process.  Unregistered mutexes map to their address.
+//
+// A blocking acquisition while holding H1..Hk inserts edges Hi -> N.  Before
+// inserting, we check whether N already reaches any Hi: if so the new edge
+// closes a cycle — two threads interleaving those chains can deadlock — and
+// we abort with the offending edge.  A blocking acquisition of a node the
+// thread already holds is reported as a self-deadlock.  try_lock successes
+// join the held set but insert no edges (a non-blocking acquisition cannot
+// participate in a cycle of waits).
+//
+// All state lives here, keyed by mutex address, so common::Mutex itself
+// stays layout-identical to std::mutex in every build mode.
+
+#include "src/common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace sfs::common::lock_order {
+namespace {
+
+using NodeId = std::uint64_t;
+
+// High bit distinguishes rank-family nodes from address nodes (user-space
+// addresses never have bit 63 set on the platforms we target).
+constexpr NodeId kRankedBit = NodeId{1} << 63;
+
+NodeId RankedNode(std::uint32_t lock_class, std::uint32_t rank) {
+  return kRankedBit | (NodeId{lock_class} << 32) | NodeId{rank};
+}
+
+struct Held {
+  const void* mu;
+  NodeId node;
+};
+
+thread_local std::vector<Held> t_held;
+
+// Guards the rank registry and edge graph.  Deliberately a raw std::mutex:
+// common::Mutex would recurse into the validator.
+std::mutex g_mu;
+std::map<const void*, NodeId> g_ranks;        // ranked mutexes only
+std::map<NodeId, std::set<NodeId>> g_edges;   // blocking-acquisition order
+
+bool InitialEnabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  const char* env = std::getenv("SFS_DEBUG_LOCKS");
+  return env != nullptr && env[0] == '1';
+#endif
+}
+
+void DescribeNode(NodeId node, char* buf, std::size_t len) {
+  if (node & kRankedBit) {
+    std::snprintf(buf, len, "class=%u rank=%u",
+                  static_cast<std::uint32_t>((node >> 32) & 0x7fffffffu),
+                  static_cast<std::uint32_t>(node & 0xffffffffu));
+  } else {
+    std::snprintf(buf, len, "mutex@%p", reinterpret_cast<const void*>(node));
+  }
+}
+
+[[noreturn]] void Fail(const char* kind, NodeId from, NodeId to) {
+  char a[64];
+  char b[64];
+  DescribeNode(from, a, sizeof(a));
+  DescribeNode(to, b, sizeof(b));
+  std::fprintf(stderr, "LOCK ORDER: %s: acquiring [%s] while holding [%s]\n",
+               kind, b, a);
+  std::fflush(stderr);
+  std::abort();
+}
+
+// g_mu held.  True iff `to` can reach `target` along recorded edges.
+bool Reaches(NodeId from, NodeId target, std::set<NodeId>& visited) {
+  if (from == target) {
+    return true;
+  }
+  if (!visited.insert(from).second) {
+    return false;
+  }
+  auto it = g_edges.find(from);
+  if (it == g_edges.end()) {
+    return false;
+  }
+  for (NodeId next : it->second) {
+    if (Reaches(next, target, visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NodeId NodeFor(const void* mu) {
+  auto it = g_ranks.find(mu);
+  return it != g_ranks.end() ? it->second
+                             : static_cast<NodeId>(reinterpret_cast<std::uintptr_t>(mu));
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{InitialEnabled()};
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetGraphForTest() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_edges.clear();
+}
+
+void SetRank(const void* mu, std::uint32_t lock_class, std::uint32_t rank) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_ranks[mu] = RankedNode(lock_class, rank);
+}
+
+bool HeldByThisThread(const void* mu) {
+  for (const Held& h : t_held) {
+    if (h.mu == mu) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void OnAcquire(const void* mu, bool blocking) {
+  NodeId node;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    node = NodeFor(mu);
+    if (blocking && !t_held.empty()) {
+      for (const Held& h : t_held) {
+        if (h.mu == mu || h.node == node) {
+          // Blocking re-acquisition of a mutex (or of its shared rank node,
+          // which another family member should never alias while held in a
+          // correct ascending order) deadlocks this thread on itself.
+          Fail("self-deadlock", h.node, node);
+        }
+      }
+      for (const Held& h : t_held) {
+        auto [it, inserted] = g_edges[h.node].insert(node);
+        (void)it;
+        if (inserted) {
+          // New edge h.node -> node: if node already reaches h.node, the
+          // edge closes a cycle — report before this thread blocks.
+          std::set<NodeId> visited;
+          if (Reaches(node, h.node, visited)) {
+            g_edges[h.node].erase(node);
+            Fail("lock-order inversion", h.node, node);
+          }
+        }
+      }
+    }
+  }
+  t_held.push_back(Held{mu, node});
+}
+
+void OnRelease(const void* mu) {
+  // Releases are LIFO in the common case; scan backwards.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not held by this thread: tolerated, because validation can be enabled
+  // mid-process while locks taken before enablement are still held.
+}
+
+void OnDestroy(const void* mu) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = g_ranks.find(mu);
+  if (it != g_ranks.end()) {
+    // Rank-family nodes are shared across instances and stay in the graph.
+    g_ranks.erase(it);
+    return;
+  }
+  // Address nodes die with the mutex: a later mutex at the same address must
+  // not inherit these edges.
+  const NodeId node = static_cast<NodeId>(reinterpret_cast<std::uintptr_t>(mu));
+  g_edges.erase(node);
+  for (auto& [from, targets] : g_edges) {
+    (void)from;
+    targets.erase(node);
+  }
+}
+
+}  // namespace sfs::common::lock_order

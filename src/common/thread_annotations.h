@@ -1,0 +1,50 @@
+// Clang thread-safety analysis attribute macros (SFS_THREAD_ANNOTATION).
+//
+// These wrap the capability-based static analysis attributes behind macros
+// that expand to nothing on compilers without the attribute (GCC), so the
+// annotated locking primitives in mutex.h cost literally zero there.  Under
+// clang with -Wthread-safety (added automatically by the build when the
+// compiler is Clang; CI promotes it to -Werror=thread-safety) the analysis
+// turns the scheduler locking contract (sched/scheduler.h) into compile
+// errors: reads of a GUARDED_BY field outside its mutex, a REQUIRES method
+// called without the capability, a scoped lock leaking past its function.
+//
+// Conventions (DESIGN.md §11):
+//   * fields touched only under one mutex:           SFS_GUARDED_BY(mu)
+//   * methods that demand the caller hold a mutex:   SFS_REQUIRES(mu)
+//   * methods that must NOT be entered holding it:   SFS_EXCLUDES(mu)
+//   * dynamic acquisition the analysis cannot follow (movable guards,
+//     variable lock sets, descending try_lock): SFS_NO_THREAD_SAFETY_ANALYSIS
+//     with a comment naming the runtime validator or contract that covers it.
+
+#ifndef SFS_COMMON_THREAD_ANNOTATIONS_H_
+#define SFS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SFS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SFS_THREAD_ANNOTATION
+#define SFS_THREAD_ANNOTATION(x)  // no-op: GCC and pre-capability clang
+#endif
+
+// On the lock type itself.
+#define SFS_CAPABILITY(name) SFS_THREAD_ANNOTATION(capability(name))
+#define SFS_SCOPED_CAPABILITY SFS_THREAD_ANNOTATION(scoped_lockable)
+
+// On data members.
+#define SFS_GUARDED_BY(x) SFS_THREAD_ANNOTATION(guarded_by(x))
+#define SFS_PT_GUARDED_BY(x) SFS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On functions/methods.
+#define SFS_REQUIRES(...) SFS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SFS_ACQUIRE(...) SFS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SFS_RELEASE(...) SFS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SFS_TRY_ACQUIRE(...) SFS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SFS_EXCLUDES(...) SFS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SFS_ASSERT_CAPABILITY(x) SFS_THREAD_ANNOTATION(assert_capability(x))
+#define SFS_RETURN_CAPABILITY(x) SFS_THREAD_ANNOTATION(lock_returned(x))
+#define SFS_NO_THREAD_SAFETY_ANALYSIS SFS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SFS_COMMON_THREAD_ANNOTATIONS_H_

@@ -44,9 +44,9 @@ Executor::~Executor() {
     if (w->thread.joinable()) {
       w->shutdown.store(true);
       {
-        std::lock_guard<std::mutex> lk(w->mu);
+        common::MutexLock lk(w->mu);
       }
-      w->cv.notify_all();
+      w->cv.NotifyAll();
       w->thread.join();
     }
   }
@@ -69,19 +69,21 @@ void Executor::AddTask(sched::ThreadId tid, sched::Weight weight,
   });
 }
 
-std::unique_lock<std::mutex> Executor::MaybeSerialize() {
+common::UniqueMutexLock Executor::MaybeSerialize() {
   if (config_.serialize_dispatch) {
-    return std::unique_lock<std::mutex>(serial_mu_);
+    return common::UniqueMutexLock(serial_mu_);
   }
-  return std::unique_lock<std::mutex>();
+  return common::UniqueMutexLock();
 }
 
 void Executor::WorkerBody(Worker& w) {
   for (;;) {
     sched::CpuId cpu;
     {
-      std::unique_lock<std::mutex> lk(w.mu);
-      w.cv.wait(lk, [&] { return w.granted || w.shutdown.load(); });
+      common::MutexLock lk(w.mu);
+      while (!w.granted && !w.shutdown.load()) {
+        w.cv.Wait(w.mu);
+      }
       if (w.shutdown.load()) {
         return;
       }
@@ -106,7 +108,7 @@ void Executor::WorkerBody(Worker& w) {
     report.ran = std::max<Tick>(0, ToTicks(end - start));
     report.yielded_at = end;
     {
-      std::lock_guard<std::mutex> lk(w.mu);
+      common::MutexLock lk(w.mu);
       w.granted = false;
     }
     w.preempt.store(false);
@@ -114,11 +116,11 @@ void Executor::WorkerBody(Worker& w) {
     const bool done = report.kind == WorkResult::Kind::kDone;
     Cpu& mailbox = *cpus_[static_cast<std::size_t>(cpu)];
     {
-      std::lock_guard<std::mutex> lk(mailbox.mu);
+      common::MutexLock lk(mailbox.mu);
       SFS_CHECK(!mailbox.report.has_value());
       mailbox.report = report;
     }
-    mailbox.cv.notify_all();
+    mailbox.cv.NotifyAll();
     if (done) {
       return;
     }
@@ -130,11 +132,11 @@ void Executor::Grant(Worker& w, sched::CpuId cpu) {
   // same lock the timer holds while setting it), so the flag cannot be
   // erased/lost across this handoff.
   {
-    std::lock_guard<std::mutex> lk(w.mu);
+    common::MutexLock lk(w.mu);
     w.granted = true;
     w.granted_cpu = cpu;
   }
-  w.cv.notify_one();
+  w.cv.NotifyOne();
 }
 
 void Executor::KickIdleCpus() {
@@ -147,9 +149,9 @@ void Executor::KickIdleCpus() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(idle_mu_);
+    common::MutexLock lk(idle_mu_);
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 void Executor::StopAll() {
@@ -157,14 +159,14 @@ void Executor::StopAll() {
   KickIdleCpus();
   for (auto& cpu : cpus_) {
     {
-      std::lock_guard<std::mutex> lk(cpu->mu);
+      common::MutexLock lk(cpu->mu);
     }
-    cpu->cv.notify_all();
+    cpu->cv.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lk(timer_mu_);
+    common::MutexLock lk(timer_mu_);
   }
-  timer_cv_.notify_all();
+  timer_cv_.NotifyAll();
 }
 
 void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool preempt_sent,
@@ -241,10 +243,10 @@ void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool pre
         }
       }
       {
-        std::lock_guard<std::mutex> lk(timer_mu_);
+        common::MutexLock lk(timer_mu_);
         wake_queue_.push(PendingWakeup{Clock::now() + FromTicks(report.block_for), report.tid});
       }
-      timer_cv_.notify_all();
+      timer_cv_.NotifyAll();
       break;
     }
   }
@@ -296,11 +298,13 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
       // pick and this wait bumps the version and the wait falls through
       // (kickers that see idle_count_ == 0 skip the notify, so the count must
       // rise only after the version snapshot, which this ordering ensures).
-      std::unique_lock<std::mutex> lk(idle_mu_);
+      common::MutexLock lk(idle_mu_);
       idle_count_.fetch_add(1);
-      idle_cv_.wait_until(lk, wall_end_, [&] {
-        return stop_.load() || state_version_.load() != version;
-      });
+      while (!stop_.load() && state_version_.load() == version) {
+        if (idle_cv_.WaitUntil(idle_mu_, wall_end_) == std::cv_status::timeout) {
+          break;
+        }
+      }
       idle_count_.fetch_sub(1);
       continue;
     }
@@ -320,7 +324,7 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
 
     Worker* w = worker_by_tid_.at(tid);
     {
-      std::lock_guard<std::mutex> lk(cpu.mu);
+      common::MutexLock lk(cpu.mu);
       // Clear any stale preempt flag (e.g. a timer preemption that raced with
       // the worker's previous voluntary yield) before publishing running_tid:
       // the timer only stores the flag while holding cpu.mu *after* seeing
@@ -340,8 +344,13 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
     bool preempt_sent = false;
     Clock::time_point preempt_sent_at{};
     {
-      std::unique_lock<std::mutex> lk(cpu.mu);
-      if (!cpu.cv.wait_until(lk, deadline, [&] { return cpu.report.has_value(); })) {
+      common::MutexLock lk(cpu.mu);
+      while (!cpu.report.has_value()) {
+        if (cpu.cv.WaitUntil(cpu.mu, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (!cpu.report.has_value()) {
         // Quantum expired (or the run is ending): preempt the worker — unless
         // the timer already preempted this slice on a wakeup, whose earlier
         // flag-set instant must survive or the recorded preempt-to-yield
@@ -352,7 +361,9 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
           w->preempt.store(true, std::memory_order_relaxed);
         }
         // The worker is guaranteed to observe the flag within one work unit.
-        cpu.cv.wait(lk, [&] { return cpu.report.has_value(); });
+        while (!cpu.report.has_value()) {
+          cpu.cv.Wait(cpu.mu);
+        }
       }
       report = *cpu.report;
       cpu.report.reset();
@@ -398,7 +409,7 @@ void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
     KickIdleCpus();
   }
   {
-    std::lock_guard<std::mutex> lk(cpu.mu);
+    common::MutexLock lk(cpu.mu);
     SFS_CHECK(cpu.running_tid == sched::kInvalidThread);
   }
 }
@@ -407,7 +418,7 @@ void Executor::TimerLoop() {
   for (;;) {
     std::vector<sched::ThreadId> due;
     {
-      std::unique_lock<std::mutex> lk(timer_mu_);
+      common::MutexLock lk(timer_mu_);
       for (;;) {
         if (stop_.load()) {
           return;
@@ -421,7 +432,7 @@ void Executor::TimerLoop() {
         }
         const Clock::time_point until =
             wake_queue_.empty() ? wall_end_ : std::min(wake_queue_.top().at, wall_end_);
-        timer_cv_.wait_until(lk, until);
+        timer_cv_.WaitUntil(timer_mu_, until);
       }
       const Clock::time_point now = Clock::now();
       while (!wake_queue_.empty() && wake_queue_.top().at <= now) {
@@ -462,7 +473,7 @@ void Executor::TimerLoop() {
       }
       if (target_tid != sched::kInvalidThread) {
         Cpu& cpu = *cpus_[static_cast<std::size_t>(target_cpu)];
-        std::lock_guard<std::mutex> lk(cpu.mu);
+        common::MutexLock lk(cpu.mu);
         // Only preempt if that CPU's dispatcher still has this worker granted
         // and its report is not already in the mailbox; the flag store happens
         // under cpu.mu so it cannot race a Grant-time clear (which also holds
@@ -558,9 +569,9 @@ Tick Executor::Run(Tick wall_limit) {
   for (auto& w : workers_) {
     w->shutdown.store(true);
     {
-      std::lock_guard<std::mutex> lk(w->mu);
+      common::MutexLock lk(w->mu);
     }
-    w->cv.notify_all();
+    w->cv.NotifyAll();
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) {

@@ -51,7 +51,7 @@ HistogramSnapshot LogHistogram::Snapshot() const {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [known, counter] : counters_) {
     if (known == name) {
       return *counter;
@@ -62,7 +62,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 LogHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [known, histogram] : histograms_) {
     if (known == name) {
       return *histogram;

@@ -25,12 +25,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/assert.h"
+#include "src/common/mutex.h"
 
 // Same outlining contract as trace_ring.h: recording entry points live in the
 // cold text section so metrics-disabled hot loops pay only a null test.
@@ -192,20 +192,23 @@ class MetricsRegistry {
 
   // Registers on first use; returns a stable reference.  Takes a mutex — call
   // at setup time and cache the result.
-  Counter& GetCounter(std::string_view name);
-  LogHistogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) SFS_EXCLUDES(mu_);
+  LogHistogram& GetHistogram(std::string_view name) SFS_EXCLUDES(mu_);
 
   int num_shards() const { return num_shards_; }
 
   // Iterate in registration order (deterministic for deterministic setup).
+  // Lock-free by contract, not by analysis: reporting runs after every
+  // registration is done (setup-time-only registration is the class contract
+  // above), so the vectors are structurally stable here.
   template <typename Fn>
-  void ForEachCounter(Fn&& fn) const {
+  void ForEachCounter(Fn&& fn) const SFS_NO_THREAD_SAFETY_ANALYSIS {
     for (const auto& [name, counter] : counters_) {
       fn(name, *counter);
     }
   }
   template <typename Fn>
-  void ForEachHistogram(Fn&& fn) const {
+  void ForEachHistogram(Fn&& fn) const SFS_NO_THREAD_SAFETY_ANALYSIS {
     for (const auto& [name, histogram] : histograms_) {
       fn(name, *histogram);
     }
@@ -213,9 +216,11 @@ class MetricsRegistry {
 
  private:
   int num_shards_;
-  mutable std::mutex mu_;  // registration only; recording never takes it
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<LogHistogram>>> histograms_;
+  mutable common::Mutex mu_;  // registration only; recording never takes it
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      SFS_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<LogHistogram>>> histograms_
+      SFS_GUARDED_BY(mu_);
 };
 
 }  // namespace sfs::obs

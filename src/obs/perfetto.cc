@@ -5,9 +5,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace sfs::obs {
@@ -116,7 +116,9 @@ class Emitter {
   std::ostream& out_;
   double scale_ = 1.0;
   bool first_ = true;
-  std::unordered_map<std::int32_t, std::string> names_;
+  // Ordered so any future iteration over labels emits deterministically;
+  // today only keyed lookups (Label) touch it after construction.
+  std::map<std::int32_t, std::string> names_;
 };
 
 struct RunInterval {

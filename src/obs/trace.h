@@ -19,8 +19,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -179,7 +179,7 @@ class Trace {
     thread_names_[tid] = std::move(name);
   }
 
-  const std::unordered_map<std::int32_t, std::string>& thread_names() const {
+  const std::map<std::int32_t, std::string>& thread_names() const {
     return thread_names_;
   }
 
@@ -208,7 +208,9 @@ class Trace {
   std::atomic<std::int64_t> now_hint_{0};
   // [0, num_cpus) per-CPU, [num_cpus] lifecycle, then worker lifecycle rings.
   std::vector<TraceRing> rings_;
-  std::unordered_map<std::int32_t, std::string> thread_names_;
+  // Ordered map: exporters iterate this into deterministic output
+  // (tools/lint/check_determinism.py forbids unordered iteration here).
+  std::map<std::int32_t, std::string> thread_names_;
 };
 
 }  // namespace sfs::obs

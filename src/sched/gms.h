@@ -15,7 +15,7 @@
 #ifndef SFS_SCHED_GMS_H_
 #define SFS_SCHED_GMS_H_
 
-#include <unordered_map>
+#include <map>
 
 #include "src/common/time.h"
 #include "src/sched/types.h"
@@ -71,7 +71,10 @@ class GmsReference {
   Tick last_advance_ = 0;
   // Rates/phis are derived state, refreshed lazily from the runnable set.
   mutable bool rates_dirty_ = false;
-  mutable std::unordered_map<ThreadId, Member> members_;
+  // Ordered map: AdvanceTo/EnsureRates iterate it, and this reference feeds
+  // deterministic test oracles (the determinism lint forbids iterating an
+  // unordered container here).  Cold path — only tests and oracles run GMS.
+  mutable std::map<ThreadId, Member> members_;
 };
 
 }  // namespace sfs::sched

@@ -32,6 +32,7 @@
 #define SFS_SCHED_HSFS_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -165,7 +166,10 @@ class HierarchicalSfs : public Scheduler {
   void ActivateClassPath(Node& n);
 
   TagArith arith_;
-  std::unordered_map<ClassId, std::unique_ptr<Node>> nodes_;
+  // Ordered: the destructor and any future reporting iterate the class set
+  // (the determinism lint forbids unordered iteration in sched/).  The two
+  // per-thread maps below are keyed-lookup-only and may stay unordered.
+  std::map<ClassId, std::unique_ptr<Node>> nodes_;
   std::unordered_map<ThreadId, ClassId> routes_;  // pre-admission class choice
   std::unordered_map<ThreadId, ClassId> thread_class_;
 };

@@ -22,7 +22,7 @@ Scheduler::LifecycleGuard Scheduler::LockLifecycle() {
   LifecycleGuard guard;
   guard.reserve(static_cast<std::size_t>(num_cpus()));
   for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
-    std::mutex& mu = DispatchMutex(cpu);
+    common::Mutex& mu = DispatchMutex(cpu);
     bool held = false;
     for (const auto& lock : guard) {
       if (lock.mutex() == &mu) {
@@ -37,7 +37,7 @@ Scheduler::LifecycleGuard Scheduler::LockLifecycle() {
   return guard;
 }
 
-std::mutex& Scheduler::DispatchMutex(CpuId cpu) {
+common::Mutex& Scheduler::DispatchMutex(CpuId cpu) {
   (void)cpu;
   return dispatch_mu_;
 }

@@ -59,6 +59,16 @@
 //     CPU-id order (LockLifecycle and the sharded steal path both follow
 //     this; out-of-order acquisitions use try_lock), so no cycle of blocking
 //     waits can form.
+//
+// Enforcement (DESIGN.md §11): every mutex here is a common::Mutex.  Because
+// drivers may legitimately call every entry point with *no* locks held
+// (single-threaded simulators), the public methods carry no REQUIRES
+// annotations — the static analysis enforces the unconditionally-locked
+// subsystems (executor, metrics, epoch barrier), while this dynamic contract
+// is enforced at runtime by the lock-order validator (common/mutex.h):
+// sched::Sharded registers its per-shard mutexes under kLockClassDispatch
+// with rank == CPU id, so any blocking out-of-order acquisition aborts in
+// debug builds, on any interleaving, process-wide.
 
 #ifndef SFS_SCHED_SCHEDULER_H_
 #define SFS_SCHED_SCHEDULER_H_
@@ -66,10 +76,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/time.h"
 #include "src/obs/trace.h"
 #include "src/sched/entity.h"
@@ -93,9 +103,11 @@ class Scheduler {
 
   // --- Concurrency (see the thread-safety contract above) ---------------------
 
-  using DispatchGuard = std::unique_lock<std::mutex>;
+  // Movable guards (common/mutex.h): the lock set is dynamic, so these are
+  // invisible to the static analysis and policed by the runtime validator.
+  using DispatchGuard = common::UniqueMutexLock;
   // All distinct dispatch mutexes, held in ascending CPU-id order.
-  using LifecycleGuard = std::vector<std::unique_lock<std::mutex>>;
+  using LifecycleGuard = std::vector<common::UniqueMutexLock>;
 
   // Acquires the lock covering PickNext/Charge/QuantumFor on `cpu`.
   DispatchGuard LockDispatch(CpuId cpu);
@@ -253,7 +265,7 @@ class Scheduler {
   // returns one scheduler-wide mutex (flat policies touch shared queues from
   // every CPU's dispatch, so they must serialize); sched::Sharded returns the
   // per-shard mutex so independent shards dispatch concurrently.
-  virtual std::mutex& DispatchMutex(CpuId cpu);
+  virtual common::Mutex& DispatchMutex(CpuId cpu);
 
   // Lookup helpers; CHECK-fail on unknown tid.
   Entity& FindEntity(ThreadId tid);
@@ -295,7 +307,7 @@ class Scheduler {
   std::atomic<int> runnable_count_{0};
 
   // Concurrency contract state; untouched unless a driver uses the Lock* API.
-  mutable std::mutex dispatch_mu_;
+  mutable common::Mutex dispatch_mu_;
 };
 
 }  // namespace sfs::sched

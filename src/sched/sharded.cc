@@ -29,6 +29,12 @@ ShardedScheduler::ShardedScheduler(const SchedConfig& config, ShardFactory make_
     shard->scheduler = make_shard(shard_config);
     SFS_CHECK(shard->scheduler != nullptr);
     SFS_CHECK(shard->scheduler->num_cpus() == 1);
+    if (common::lock_order::Enabled()) {
+      // Rank the dispatch-mutex family so the validator checks ascending
+      // CPU-id order across every ShardedScheduler instance in the process.
+      common::lock_order::SetRank(&shard->mu, common::kLockClassDispatch,
+                                  static_cast<std::uint32_t>(cpu));
+    }
     shards_.push_back(std::move(shard));
   }
   name_ = "sharded-" + std::string(shards_.front()->scheduler->name());
@@ -66,14 +72,14 @@ const Scheduler& ShardedScheduler::shard(CpuId cpu) const { return *ShardAt(cpu)
 
 Scheduler& ShardedScheduler::shard(CpuId cpu) { return *ShardAt(cpu).scheduler; }
 
-std::mutex& ShardedScheduler::DispatchMutex(CpuId cpu) { return ShardAt(cpu).mu; }
+common::Mutex& ShardedScheduler::DispatchMutex(CpuId cpu) { return ShardAt(cpu).mu; }
 
-std::unique_lock<std::mutex> ShardedScheduler::LockVictimShard(CpuId self, CpuId victim) {
+common::UniqueMutexLock ShardedScheduler::LockVictimShard(CpuId self, CpuId victim) {
   SFS_DCHECK(victim != self);
   if (victim > self) {
-    return std::unique_lock<std::mutex>(ShardAt(victim).mu);
+    return common::UniqueMutexLock(ShardAt(victim).mu);
   }
-  return std::unique_lock<std::mutex>(ShardAt(victim).mu, std::try_to_lock);
+  return common::UniqueMutexLock(ShardAt(victim).mu, std::try_to_lock);
 }
 
 CpuId ShardedScheduler::LightestShard() const {
@@ -179,7 +185,7 @@ void ShardedScheduler::MaybeRebalance(CpuId dispatching_cpu) {
       acted = true;  // balanced from this shard's point of view: pass complete
       break;
     }
-    std::unique_lock<std::mutex> victim_lock = LockVictimShard(dispatching_cpu, heavy);
+    common::UniqueMutexLock victim_lock = LockVictimShard(dispatching_cpu, heavy);
     if (!victim_lock.owns_lock()) {
       break;  // contended victim: retry at the next decision
     }
@@ -216,7 +222,7 @@ ThreadId ShardedScheduler::TrySteal(CpuId thief) {
     if (source == thief) {
       continue;
     }
-    std::unique_lock<std::mutex> source_lock = LockVictimShard(thief, source);
+    common::UniqueMutexLock source_lock = LockVictimShard(thief, source);
     if (!source_lock.owns_lock()) {
       continue;  // contended source: its own dispatcher is serving it anyway
     }
@@ -257,7 +263,7 @@ ThreadId ShardedScheduler::TrySteal(CpuId thief) {
     victim = affine;
     victim_shard = affine_shard;
   }
-  std::unique_lock<std::mutex> victim_lock = LockVictimShard(thief, victim_shard);
+  common::UniqueMutexLock victim_lock = LockVictimShard(thief, victim_shard);
   if (!victim_lock.owns_lock()) {
     return kInvalidThread;  // contended since nomination: give up this round
   }

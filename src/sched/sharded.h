@@ -50,10 +50,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/sched/scheduler.h"
 
 namespace sfs::sched {
@@ -126,7 +126,7 @@ class ShardedScheduler : public Scheduler {
   void OnCharge(Entity& e, Tick ran_for) override;
 
   // Per-shard dispatch lock: dispatch on different CPUs does not serialize.
-  std::mutex& DispatchMutex(CpuId cpu) override;
+  common::Mutex& DispatchMutex(CpuId cpu) override;
 
  private:
   struct Shard {
@@ -139,8 +139,11 @@ class ShardedScheduler : public Scheduler {
     // Shard-local virtual time snapshotted at the last epoch boundary (see
     // ShardVirtualTime); written only inside OnEpochBoundary.
     std::atomic<double> epoch_virtual_time{0.0};
-    // The shard's dispatch mutex (see the lock-order comment above).
-    std::mutex mu;
+    // The shard's dispatch mutex (see the lock-order comment above).  The
+    // host registers it with the lock-order validator under
+    // kLockClassDispatch, rank == CPU id, so a blocking out-of-order
+    // acquisition aborts in debug builds.
+    common::Mutex mu;
   };
 
   Shard& ShardAt(CpuId cpu) { return *shards_[static_cast<std::size_t>(cpu)]; }
@@ -159,7 +162,7 @@ class ShardedScheduler : public Scheduler {
   // Acquires `victim`'s shard mutex from a dispatcher already holding
   // `self`'s: blocking when victim > self (ascending lock order), try_lock
   // when victim < self.  The returned lock may be unowned (contended skip).
-  std::unique_lock<std::mutex> LockVictimShard(CpuId self, CpuId victim);
+  common::UniqueMutexLock LockVictimShard(CpuId self, CpuId victim);
 
   // Lightest shard by runnable weight; ties go to the lowest CPU id.
   CpuId LightestShard() const;

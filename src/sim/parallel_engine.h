@@ -60,14 +60,13 @@
 #ifndef SFS_SIM_PARALLEL_ENGINE_H_
 #define SFS_SIM_PARALLEL_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/common/mpsc_mailbox.h"
+#include "src/common/mutex.h"
 #include "src/common/slot_arena.h"
 #include "src/common/time.h"
 #include "src/common/timing_wheel.h"
@@ -262,24 +261,26 @@ class ParallelEngine {
     explicit EpochBarrier(int count) : count_(count) {}
     template <typename Fn>
     void ArriveAndWait(Fn&& completion) {
-      std::unique_lock<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       const std::uint64_t generation = generation_;
       if (++waiting_ == count_) {
         completion();
         waiting_ = 0;
         ++generation_;
-        cv_.notify_all();
+        cv_.NotifyAll();
         return;
       }
-      cv_.wait(lock, [&] { return generation_ != generation; });
+      while (generation_ == generation) {
+        cv_.Wait(mu_);
+      }
     }
 
    private:
-    std::mutex mu_;
-    std::condition_variable cv_;
+    common::Mutex mu_;
+    common::CondVar cv_;
     int count_;
-    int waiting_ = 0;
-    std::uint64_t generation_ = 0;
+    int waiting_ SFS_GUARDED_BY(mu_) = 0;
+    std::uint64_t generation_ SFS_GUARDED_BY(mu_) = 0;
   };
 
   int OwnerOf(sched::CpuId cpu) const {

@@ -1,0 +1,244 @@
+// common::Mutex / lock-order validator tests (DESIGN.md §11).
+//
+// Covers the three contract halves the validator enforces at runtime:
+//   * an injected A→B / B→A inversion and a blocking self-deadlock abort
+//     with a "LOCK ORDER" report (death tests);
+//   * the blessed ascending rank order (LockLifecycle's discipline) passes,
+//     across threads and across instances of a ranked family;
+//   * descending acquisition via try_lock — the sharded steal path — is
+//     legal, while the same acquisition done blocking is not;
+// plus the release-parity guarantee: common::Mutex is layout-identical to
+// std::mutex in every build mode.
+
+#include "src/common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+
+namespace sfs::common {
+namespace {
+
+// The zero-overhead contract: validator state lives in side tables, never in
+// the mutex, so the annotated type is free to replace std::mutex anywhere.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "common::Mutex must stay layout-identical to std::mutex");
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Death tests fork; "threadsafe" re-executes the binary so the child's
+    // validator state is pristine regardless of what the parent did.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    was_enabled_ = lock_order::Enabled();
+    lock_order::SetEnabled(true);
+    lock_order::ResetGraphForTest();
+  }
+  void TearDown() override {
+    lock_order::ResetGraphForTest();
+    lock_order::SetEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(LockOrderTest, ConsistentOrderPasses) {
+  Mutex a;
+  Mutex b;
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+    EXPECT_TRUE(lock_order::HeldByThisThread(&a));
+    EXPECT_TRUE(lock_order::HeldByThisThread(&b));
+  }
+  EXPECT_FALSE(lock_order::HeldByThisThread(&a));
+  EXPECT_FALSE(lock_order::HeldByThisThread(&b));
+}
+
+TEST_F(LockOrderTest, InversionAborts) {
+  EXPECT_DEATH(
+      {
+        lock_order::SetEnabled(true);
+        Mutex a;
+        Mutex b;
+        {
+          MutexLock la(a);
+          MutexLock lb(b);  // records a -> b
+        }
+        MutexLock lb(b);
+        MutexLock la(a);  // b -> a closes the cycle: abort, not deadlock
+      },
+      "LOCK ORDER: lock-order inversion");
+}
+
+TEST_F(LockOrderTest, SelfDeadlockAborts) {
+  EXPECT_DEATH(
+      {
+        lock_order::SetEnabled(true);
+        Mutex a;
+        a.lock();
+        a.lock();  // blocking re-acquisition deadlocks this thread on itself
+      },
+      "LOCK ORDER: self-deadlock");
+}
+
+// Three-lock cycle: no single pair inverts, but a->b, b->c, then c->a closes
+// a cycle the pairwise view cannot see.
+TEST_F(LockOrderTest, TransitiveCycleAborts) {
+  EXPECT_DEATH(
+      {
+        lock_order::SetEnabled(true);
+        Mutex a;
+        Mutex b;
+        Mutex c;
+        {
+          MutexLock la(a);
+          MutexLock lb(b);
+        }
+        {
+          MutexLock lb(b);
+          MutexLock lc(c);
+        }
+        MutexLock lc(c);
+        MutexLock la(a);  // c -> a: cycle through b
+      },
+      "LOCK ORDER: lock-order inversion");
+}
+
+// The blessed LockLifecycle discipline: every distinct dispatch mutex,
+// blocking, in ascending rank order — from any thread, repeatedly.
+TEST_F(LockOrderTest, AscendingRankedFamilyPasses) {
+  constexpr int kShards = 4;
+  Mutex mu[kShards];
+  for (int i = 0; i < kShards; ++i) {
+    lock_order::SetRank(&mu[i], kLockClassDispatch, static_cast<std::uint32_t>(i));
+  }
+  auto lifecycle = [&] {
+    for (int round = 0; round < 8; ++round) {
+      for (int i = 0; i < kShards; ++i) {
+        mu[i].lock();
+      }
+      for (int i = kShards - 1; i >= 0; --i) {
+        mu[i].unlock();
+      }
+    }
+  };
+  std::thread peer(lifecycle);
+  lifecycle();
+  peer.join();
+}
+
+// Rank nodes are shared across family instances: a second "scheduler" using
+// the same (class, rank) pairs keeps the same global order and still passes.
+TEST_F(LockOrderTest, RankedFamilySharedAcrossInstancesPasses) {
+  Mutex first[2];
+  Mutex second[2];
+  for (int i = 0; i < 2; ++i) {
+    lock_order::SetRank(&first[i], kLockClassDispatch, static_cast<std::uint32_t>(i));
+    lock_order::SetRank(&second[i], kLockClassDispatch, static_cast<std::uint32_t>(i));
+  }
+  {
+    MutexLock l0(first[0]);
+    MutexLock l1(first[1]);
+  }
+  {
+    MutexLock l0(second[0]);
+    MutexLock l1(second[1]);
+  }
+}
+
+// The sharded steal path: descending acquisition is legal via try_lock (no
+// blocking wait, so no cycle of waits can involve it)...
+TEST_F(LockOrderTest, DescendingTryLockPasses) {
+  Mutex low;
+  Mutex high;
+  lock_order::SetRank(&low, kLockClassDispatch, 0);
+  lock_order::SetRank(&high, kLockClassDispatch, 1);
+  {
+    MutexLock l(low);
+    MutexLock h(high);  // ascending blocking: records low -> high
+  }
+  MutexLock h(high);
+  UniqueMutexLock l(low, std::try_to_lock);  // descending, non-blocking: fine
+  ASSERT_TRUE(l.owns_lock());
+  EXPECT_TRUE(lock_order::HeldByThisThread(&low));
+}
+
+// ...while the same descending acquisition done *blocking* is the inversion
+// the contract forbids.
+TEST_F(LockOrderTest, DescendingBlockingAborts) {
+  EXPECT_DEATH(
+      {
+        lock_order::SetEnabled(true);
+        Mutex low;
+        Mutex high;
+        lock_order::SetRank(&low, kLockClassDispatch, 0);
+        lock_order::SetRank(&high, kLockClassDispatch, 1);
+        {
+          MutexLock l(low);
+          MutexLock h(high);
+        }
+        MutexLock h(high);
+        MutexLock l(low);  // blocking wait against the recorded order
+      },
+      "LOCK ORDER: lock-order inversion");
+}
+
+TEST_F(LockOrderTest, UniqueMutexLockMovePreservesOwnership) {
+  Mutex mu;
+  UniqueMutexLock outer;
+  {
+    UniqueMutexLock inner(mu);
+    EXPECT_TRUE(lock_order::HeldByThisThread(&mu));
+    outer = std::move(inner);
+  }
+  EXPECT_TRUE(outer.owns_lock());
+  EXPECT_TRUE(lock_order::HeldByThisThread(&mu));
+  outer.unlock();
+  EXPECT_FALSE(lock_order::HeldByThisThread(&mu));
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST_F(LockOrderTest, CondVarWaitReleasesAndReacquires) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.Wait(mu);
+    }
+    EXPECT_TRUE(lock_order::HeldByThisThread(&mu));
+  }
+  producer.join();
+  EXPECT_FALSE(lock_order::HeldByThisThread(&mu));
+}
+
+// With validation off (the release default), locking records nothing and the
+// would-be inversion is silent — the parity half of the zero-overhead claim.
+TEST_F(LockOrderTest, DisabledValidatorRecordsNothing) {
+  lock_order::SetEnabled(false);
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+    EXPECT_FALSE(lock_order::HeldByThisThread(&a));
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // inverted, but nobody is watching
+  }
+  lock_order::SetEnabled(true);
+}
+
+}  // namespace
+}  // namespace sfs::common

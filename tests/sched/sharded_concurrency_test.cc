@@ -14,11 +14,22 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/sched/sfs.h"
 #include "src/sched/sharded.h"
 
 namespace sfs::sched {
 namespace {
+
+// Force the lock-order validator on before any scheduler is constructed so
+// the shard dispatch mutexes register their CPU-id ranks and every blessed
+// acquisition below (LockLifecycle ascending, LockDispatch, descending
+// try_lock steals) runs under validation — even in release builds where the
+// validator defaults off.
+[[maybe_unused]] const bool kValidatorOn = [] {
+  common::lock_order::SetEnabled(true);
+  return true;
+}();
 
 TEST(ShardedConcurrencyTest, ConcurrentDispatchersKeepStateConsistent) {
   SchedConfig config;
