@@ -43,6 +43,7 @@
 #include "src/harness/registry.h"
 #include "src/harness/runner.h"
 #include "src/obs/metrics.h"
+#include "src/runtime/executor.h"
 #include "src/sched/factory.h"
 
 namespace {
@@ -149,6 +150,68 @@ ModeResult RunMode(const ModeSpec& mode, int cpus) {
   return result;
 }
 
+// --- wake-path section: the real runtime, broadcast vs targeted ---------------
+//
+// Unlike the protocol harness above, this runs the actual runtime::Executor on
+// a blocking workload and A/Bs its two wake modes over identical tasks:
+// kBroadcast reproduces the old executor's mechanics (timer applies wakeups
+// under the exclusive lifecycle lock, then wakes EVERY parked dispatcher),
+// kTargeted is the new path (wait-free mailbox push + one targeted kick; the
+// home dispatcher applies the wakeup inside its next dispatch-lock hold).
+
+struct WakeResult {
+  HistogramSnapshot lock_wait;      // per-decision dispatch-lock wait, ns
+  HistogramSnapshot wake_apply;     // timer-due -> Wakeup applied, ns
+  HistogramSnapshot wake_dispatch;  // timer-due -> woken thread granted, ns
+  std::int64_t wakeups = 0;
+  std::int64_t kicks = 0;
+  std::int64_t dispatches = 0;
+};
+
+WakeResult RunWakeMode(sfs::runtime::Executor::WakeMode wake_mode, int cpus) {
+  using sfs::runtime::Executor;
+  SchedConfig config;
+  config.num_cpus = cpus;
+  auto scheduler = CreateScheduler(SchedKind::kShardedSfs, config);
+
+  Executor::Config exec_config;
+  exec_config.quantum = sfs::Msec(1);
+  exec_config.wake_mode = wake_mode;
+  exec_config.batch_dispatch = true;
+  Executor executor(*scheduler, exec_config);
+
+  auto spin = [](sfs::Tick us) {
+    const auto end = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+    while (std::chrono::steady_clock::now() < end) {
+    }
+  };
+  // One spinner per CPU keeps every shard busy (so broadcast kicks really do
+  // hit sleeping AND working dispatchers), two blockers per CPU generate a
+  // steady wakeup stream through the timer.
+  for (ThreadId tid = 0; tid < cpus; ++tid) {
+    executor.AddTask(tid, 1.0, [spin] {
+      spin(20);
+      return true;  // until the wall limit
+    });
+  }
+  for (ThreadId tid = cpus; tid < 3 * cpus; ++tid) {
+    executor.AddTask(tid, 2.0, [spin, tid]() -> Executor::WorkResult {
+      spin(30);
+      return Executor::WorkResult::Block(sfs::Usec(200) * (1 + tid % 3));
+    });
+  }
+  executor.Run(sfs::Msec(300));
+
+  WakeResult result;
+  result.lock_wait = executor.lock_wait_latencies();
+  result.wake_apply = executor.wake_apply_latencies();
+  result.wake_dispatch = executor.wake_to_dispatch_latencies();
+  result.wakeups = executor.wakeups();
+  result.kicks = executor.kicks();
+  result.dispatches = executor.dispatches();
+  return result;
+}
+
 }  // namespace
 
 SFS_EXPERIMENT(abl_lock_contention,
@@ -207,4 +270,58 @@ SFS_EXPERIMENT(abl_lock_contention,
       << "dispatch critical sections at once — >1 proves per-shard dispatch is\n"
       << "not serialized, while the global lock pins it at 1 and its lock wait\n"
       << "grows with p as every dispatcher convoys behind one holder.\n";
+
+  // --- wake path: broadcast herd vs targeted parking/mailbox ------------------
+  struct WakeModeSpec {
+    const char* label;
+    sfs::runtime::Executor::WakeMode mode;
+  };
+  const WakeModeSpec wake_modes[] = {
+      {"broadcast", sfs::runtime::Executor::WakeMode::kBroadcast},
+      {"targeted", sfs::runtime::Executor::WakeMode::kTargeted},
+  };
+  sfs::common::Table wake_table({"p", "wake mode", "wakeups", "apply p99 (us)",
+                                 "w2d p50 (us)", "w2d p99 (us)", "lock wait (us)",
+                                 "kicks/wakeup"});
+  for (const int cpus : {2, 8}) {
+    for (const WakeModeSpec& mode : wake_modes) {
+      const WakeResult result = RunWakeMode(mode.mode, cpus);
+      const double apply_p99_us = result.wake_apply.Percentile(99) / 1000.0;
+      const double w2d_p50_us = result.wake_dispatch.Percentile(50) / 1000.0;
+      const double w2d_p99_us = result.wake_dispatch.Percentile(99) / 1000.0;
+      const double mean_wait_us = result.lock_wait.mean() / 1000.0;
+      const double kicks_per_wakeup =
+          result.wakeups > 0
+              ? static_cast<double>(result.kicks) / static_cast<double>(result.wakeups)
+              : 0.0;
+      wake_table.AddRow({std::to_string(cpus), mode.label,
+                         sfs::common::Table::Cell(result.wakeups),
+                         sfs::common::Table::Cell(apply_p99_us, 2),
+                         sfs::common::Table::Cell(w2d_p50_us, 2),
+                         sfs::common::Table::Cell(w2d_p99_us, 2),
+                         sfs::common::Table::Cell(mean_wait_us, 3),
+                         sfs::common::Table::Cell(kicks_per_wakeup, 2)});
+      const std::string prefix =
+          "p" + std::to_string(cpus) + "/wake/" + std::string(mode.label) + "/";
+      reporter.Timing(prefix + "wake_apply_p99_us", apply_p99_us);
+      reporter.Timing(prefix + "wake_to_dispatch_p50_us", w2d_p50_us);
+      reporter.Timing(prefix + "wake_to_dispatch_p99_us", w2d_p99_us);
+      reporter.Timing(prefix + "mean_lock_wait_us", mean_wait_us);
+      reporter.Timing(prefix + "kicks_per_wakeup", kicks_per_wakeup);
+      reporter.Metric(prefix + "wakeups", result.wakeups);
+      reporter.Metric(prefix + "dispatches", result.dispatches);
+      reporter.TimingHistogram(prefix + "wake_to_dispatch_ns", result.wake_dispatch);
+      reporter.TimingHistogram(prefix + "lock_wait_ns", result.lock_wait);
+    }
+  }
+  reporter.out() << "\n=== Wake path: broadcast herd vs targeted parking/mailbox "
+                    "(real runtime::Executor) ===\n\n";
+  wake_table.Print(reporter.out());
+  reporter.out()
+      << "\nSame blocking workload (1 spinner + 2 blockers per CPU, sharded SFS,\n"
+      << "300 ms wall) under both wake modes.  'apply' = timer-due to Wakeup\n"
+      << "applied; 'w2d' = timer-due to the woken thread granted a CPU;\n"
+      << "'lock wait' = mean dispatch-lock wait per decision; 'kicks/wakeup' =\n"
+      << "parking-slot kicks issued per wakeup (broadcast wakes the whole herd,\n"
+      << "targeted wakes the home CPU plus at most one baton pass).\n";
 }

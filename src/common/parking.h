@@ -1,0 +1,183 @@
+// common::ParkingSlot — one thread's private park/kick slot.
+//
+// The runtime gives every dispatcher its own slot so a wakeup targets exactly
+// the CPU whose shard received work, instead of broadcasting through one
+// process-wide condition variable (the executor's old state_version_/idle_cv_
+// kick loop woke *every* idle dispatcher on *every* scheduler-state change —
+// a thundering herd that grows with p).
+//
+// Protocol (the futex idiom: SNAPSHOT -> RE-CHECK -> SLEEP):
+//
+//   consumer                                  producer
+//   --------                                  --------
+//   token = slot.Prepare();                   ...make work visible...
+//   ...look for work: drain mailbox, pick...  slot.Kick();   // epoch++, wake
+//   if (none) slot.ParkUntil(token, dl);
+//
+// Kick() bumps the slot's epoch; ParkUntil() refuses to sleep (and any sleep
+// in progress is woken) once the epoch has moved past `token`.  Because the
+// token is snapshotted BEFORE the consumer's final look for work, a kick that
+// races between the empty look and the park is never lost: either the look
+// already saw the producer's work, or the kick's epoch bump makes ParkUntil
+// fall through.  (A kick can only go unseen if exactly 2^32 kicks land inside
+// one Prepare/Park window — not a reachable interleaving for a dispatcher
+// that parks at most once per pick loop.)
+//
+// Two backends behind one type:
+//
+//   kFutex    (Linux) the epoch word itself is the futex; sleeping costs no
+//             mutex and a kick with no waiter is one relaxed load — no
+//             syscall.  FUTEX_WAIT_BITSET takes the deadline as an absolute
+//             CLOCK_MONOTONIC timespec, which is exactly
+//             std::chrono::steady_clock on Linux, so no relative-timeout
+//             re-arithmetic on spurious wakes.
+//   kCondVar  portable fallback (and the forced-backend mode the unit tests
+//             use to cover both implementations on any host): common::Mutex +
+//             CondVar with the epoch re-checked under the mutex.
+//
+// Synchronization: Kick()'s epoch bump is a release operation matched by the
+// acquire loads in Prepare()/ParkUntil(), so anything written before Kick()
+// (e.g. a mailbox push) is visible to the parked thread when it wakes.  The
+// futex syscall itself is only a sleeping mechanism and carries no ordering —
+// which also keeps ThreadSanitizer accurate: the atomics it understands are
+// the whole protocol.
+
+#ifndef SFS_COMMON_PARKING_H_
+#define SFS_COMMON_PARKING_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "src/common/mutex.h"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace sfs::common {
+
+class ParkingSlot {
+ public:
+  enum class Backend : std::uint8_t {
+    kAuto,     // futex on Linux, condvar elsewhere
+    kFutex,    // Linux only; CHECKable via backend() in tests
+    kCondVar,  // portable fallback
+  };
+
+  using Token = std::uint32_t;
+
+  explicit ParkingSlot(Backend backend = Backend::kAuto) {
+#if defined(__linux__)
+    use_futex_ = backend != Backend::kCondVar;
+#else
+    (void)backend;
+    use_futex_ = false;
+#endif
+  }
+
+  ParkingSlot(const ParkingSlot&) = delete;
+  ParkingSlot& operator=(const ParkingSlot&) = delete;
+
+  Backend backend() const { return use_futex_ ? Backend::kFutex : Backend::kCondVar; }
+
+  // Snapshots the epoch.  Call BEFORE the final look for work (see the
+  // protocol comment): kicks after this instant cancel the next ParkUntil.
+  Token Prepare() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Blocks until a Kick() lands after `token` was taken, or until `deadline`.
+  // Returns true if a kick (or an epoch already past `token`) ended the wait,
+  // false on timeout.  At most one thread may park on a slot at a time.
+  bool ParkUntil(Token token, std::chrono::steady_clock::time_point deadline) {
+    if (use_futex_) {
+      return ParkFutex(token, deadline);
+    }
+    return ParkCondVar(token, deadline);
+  }
+
+  // Wakes the parked thread (if any) and cancels the next park attempt made
+  // with a token taken before this call.  Safe from any thread; a kick at an
+  // empty slot is one atomic add plus one relaxed load.
+  void Kick() {
+    // The bump and the waiter check are both seq_cst, pairing with the
+    // seq_cst waiter increment + epoch re-check in ParkFutex — the classic
+    // Dekker store/load pair: in the seq_cst total order either this bump
+    // precedes the parker's epoch check (the parker falls through and never
+    // sleeps) or the parker's increment precedes our waiter check (we see it
+    // and issue the wake).  "Both sides read the old value" — the lost-wakeup
+    // interleaving — is impossible.  Spelled as seq_cst accesses rather than
+    // a standalone fence because GCC's -Wtsan (correctly) flags
+    // atomic_thread_fence as invisible to ThreadSanitizer.
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (use_futex_) {
+#if defined(__linux__)
+      if (waiters_.load(std::memory_order_seq_cst) > 0) {
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+                FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+      }
+#endif
+    } else {
+      {
+        MutexLock lk(mu_);  // a parker between its epoch check and cv wait
+      }                     // must not miss the notify
+      cv_.NotifyOne();
+    }
+  }
+
+ private:
+#if defined(__linux__)
+  bool ParkFutex(Token token, std::chrono::steady_clock::time_point deadline) {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    bool kicked = false;
+    for (;;) {
+      // seq_cst: the second half of the Dekker pair with Kick() (see there).
+      if (epoch_.load(std::memory_order_seq_cst) != token) {
+        kicked = true;
+        break;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        break;
+      }
+      // Absolute CLOCK_MONOTONIC deadline == steady_clock time_point on Linux.
+      const auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(deadline.time_since_epoch())
+              .count();
+      struct timespec ts;
+      ts.tv_sec = static_cast<time_t>(ns / 1'000'000'000);
+      ts.tv_nsec = static_cast<long>(ns % 1'000'000'000);
+      // Returns 0 on wake, EAGAIN if the epoch already moved, ETIMEDOUT or
+      // EINTR otherwise; every case just re-checks the epoch above.
+      syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+              FUTEX_WAIT_BITSET_PRIVATE, token, &ts, nullptr, FUTEX_BITSET_MATCH_ANY);
+    }
+    waiters_.fetch_sub(1, std::memory_order_release);
+    return kicked;
+  }
+#else
+  bool ParkFutex(Token, std::chrono::steady_clock::time_point) { return false; }
+#endif
+
+  bool ParkCondVar(Token token, std::chrono::steady_clock::time_point deadline) {
+    MutexLock lk(mu_);
+    while (epoch_.load(std::memory_order_acquire) == token) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+        return epoch_.load(std::memory_order_acquire) != token;
+      }
+    }
+    return true;
+  }
+
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<int> waiters_{0};  // futex backend: skip the wake syscall when 0
+  bool use_futex_ = false;
+  common::Mutex mu_;  // condvar backend only
+  common::CondVar cv_;
+};
+
+}  // namespace sfs::common
+
+#endif  // SFS_COMMON_PARKING_H_

@@ -1,293 +1,17 @@
-// User-level real-thread executor.
-//
-// Runs genuine std::threads under the control of any sched::Scheduler, mirroring
-// the kernel arrangement at user level:
-//
-//   * at most `num_cpus` workers are granted the CPU at once (the "processors");
-//   * one dispatcher thread *per CPU* plays the role of that processor's
-//     scheduler invocation: it picks, grants, times the quantum, sets the
-//     worker's preempt flag on expiry, charges the scheduler with the
-//     *measured* run time, and dispatches the next pick — concurrently with
-//     every other CPU's dispatcher, exactly as kernel CPUs run schedule() in
-//     parallel (Section 3.1: quanta on different processors are not
-//     synchronized);
-//   * a timer thread delivers simulated-I/O completions: tasks may return
-//     WorkResult::Block(d) to sleep, the scheduler sees Block/Wakeup, and every
-//     wakeup (or any other scheduler-state change) re-dispatches all idle CPUs
-//     so the executor stays work-conserving;
-//   * preemption is cooperative: worker bodies perform a small unit of work per
-//     call and re-check the flag, like a kernel preemption point.
-//
-// Scheduler calls follow the sched::Scheduler thread-safety contract
-// (scheduler.h): the dispatch path runs under LockDispatch(cpu) — a per-shard
-// mutex for sched::Sharded, one coarse mutex for flat policies — and
-// lifecycle transitions (block, wakeup, exit) run under the exclusive
-// LockLifecycle.  Config::serialize_dispatch additionally funnels every
-// scheduler call through one executor-wide mutex, restoring the old
-// single-dispatcher serialization (bench/abl_lock_contention measures what
-// that costs, with a protocol-level harness of the same shape).
-//
-// This is how the repository demonstrates real proportional sharing on the host
-// (examples/realtime_exec, examples/blocking_workload) and how Table 1's
-// context-switch latencies get a real-code analogue (bench/table1): the
-// dispatch latency measured here includes the actual scheduler data-structure
-// work plus any lock contention between concurrent dispatchers.
+// Compatibility shim: the real-thread executor was promoted to the
+// sfs::runtime library (src/runtime/executor.h) — per-dispatcher parking,
+// mailbox wakeups, decision batching, pinning.  This header keeps existing
+// call sites compiling under the old name; new code should include the
+// runtime header and link sfs::runtime directly.
 
 #ifndef SFS_EXEC_EXECUTOR_H_
 #define SFS_EXEC_EXECUTOR_H_
 
-#include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <optional>
-#include <queue>
-#include <thread>
-#include <unordered_map>
-#include <vector>
-
-#include "src/common/mutex.h"
-#include "src/common/stats.h"
-#include "src/common/time.h"
-#include "src/obs/metrics.h"
-#include "src/obs/trace.h"
-#include "src/sched/scheduler.h"
+#include "src/runtime/executor.h"
 
 namespace sfs::exec {
 
-class Executor {
- public:
-  struct Config {
-    // Quantum handed to each dispatch.  Shorter than the kernel's 200 ms default
-    // so that demo runs interleave visibly.
-    Tick quantum = Msec(20);
-
-    // Funnel every scheduler operation through one executor-wide mutex, even
-    // when the scheduler offers per-CPU dispatch locks.  Emulates the
-    // pre-concurrent single-dispatcher executor's serialization (the
-    // global-lock side of the abl_lock_contention comparison).
-    bool serialize_dispatch = false;
-
-    // Defer each voluntary-continue charge into this CPU's next dispatch-lock
-    // hold instead of acquiring the lock twice per slice (once to charge, once
-    // to pick).  Safe because the yielded thread stays "running" in scheduler
-    // state until the charge lands, so no other dispatcher can pick or steal
-    // it in the window: the deferral halves lock traffic on the continue path
-    // without changing the scheduling contract.  Block/Done charges are
-    // lifecycle transitions and are never deferred.
-    bool batch_dispatch = false;
-
-    // Observability sink (wall-nanosecond clock domain; Clock must be
-    // kWallNanos and the trace must have at least the scheduler's num_cpus
-    // rings).  Each dispatcher records pick/lock-wait spans, grants, run
-    // slices and preemptions into its own CPU ring; block/wakeup lifecycle
-    // events go to the lifecycle ring under the lifecycle lock.  nullptr
-    // (the default) costs one predicted branch per site and the executor's
-    // behaviour is unchanged.
-    obs::Trace* trace = nullptr;
-
-    // Metrics registry the latency histograms live in.  When null the
-    // executor creates a private registry; pass a shared one so experiments
-    // serialize the histograms through the Reporter.  Must be sharded at
-    // least num_cpus ways.
-    obs::MetricsRegistry* metrics = nullptr;
-  };
-
-  // Outcome of one work unit: keep running, finish, or sleep on simulated I/O
-  // for `block_for` ticks (the timer thread wakes the task afterwards).
-  struct WorkResult {
-    enum class Kind { kContinue, kDone, kBlock };
-
-    static WorkResult Continue() { return {Kind::kContinue, 0}; }
-    static WorkResult Done() { return {Kind::kDone, 0}; }
-    static WorkResult Block(Tick block_for) { return {Kind::kBlock, block_for}; }
-
-    Kind kind = Kind::kContinue;
-    Tick block_for = 0;
-  };
-
-  // The scheduler decides who runs; its num_cpus() bounds concurrency.
-  Executor(sched::Scheduler& scheduler, const Config& config);
-  ~Executor();
-
-  Executor(const Executor&) = delete;
-  Executor& operator=(const Executor&) = delete;
-
-  // Registers a worker before Run().  `work` is invoked repeatedly while the
-  // task holds a CPU; each call should do a small unit (tens of microseconds)
-  // of work and report through its WorkResult whether to continue, finish, or
-  // block.
-  void AddTask(sched::ThreadId tid, sched::Weight weight,
-               std::function<WorkResult()> work);
-
-  // Convenience overload: `work` returns true to continue, false when done
-  // (never blocks).
-  void AddTask(sched::ThreadId tid, sched::Weight weight, std::function<bool()> work);
-
-  // Runs until every task finishes or `wall_limit` elapses.  Returns the wall
-  // time actually spent (ticks).
-  Tick Run(Tick wall_limit);
-
-  // Measured CPU time granted to a task (ticks of wall time while scheduled).
-  Tick CpuTime(sched::ThreadId tid) const;
-
-  // Latency from preempt-flag set to the worker actually yielding; a user-level
-  // proxy for context-switch cost.  Computed from raw steady_clock time points
-  // (flag-set and yield instants are subtracted *before* any truncation to
-  // ticks, so the samples carry no quantization bias).
-  const common::SampleSet& preempt_latencies() const { return preempt_latencies_; }
-
-  // Latency of one scheduling decision in NANOSECONDS: acquiring the dispatch
-  // lock (including any contention with other CPUs' dispatchers) plus
-  // PickNext.  Idle picks (nothing runnable) are not sampled.  Accumulated in
-  // a bounded per-CPU obs::LogHistogram rather than an unbounded sample
-  // vector, so arbitrarily long runs cost constant memory; the snapshot keeps
-  // the count/mean/min/max/Percentile shape of the SampleSet it replaced.
-  obs::HistogramSnapshot dispatch_latencies() const { return dispatch_hist_->Snapshot(); }
-
-  // Time spent waiting to acquire the dispatch lock alone (nanoseconds); the
-  // contention component of dispatch_latencies(), sampled on every acquisition
-  // including idle picks.
-  obs::HistogramSnapshot lock_wait_latencies() const { return lock_wait_hist_->Snapshot(); }
-
-  // Wall length of each completed run slice (nanoseconds, grant to yield).
-  obs::HistogramSnapshot run_interval_lengths() const { return run_hist_->Snapshot(); }
-
-  // The registry the executor's histograms live in (the Config::metrics one,
-  // or the private fallback).
-  obs::MetricsRegistry& metrics() { return *metrics_; }
-
-  std::int64_t dispatches() const { return dispatches_.load(std::memory_order_relaxed); }
-  std::int64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
-  std::int64_t preemptions() const { return preemptions_.load(std::memory_order_relaxed); }
-
- private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Report {
-    sched::ThreadId tid = sched::kInvalidThread;
-    Tick ran = 0;
-    WorkResult::Kind kind = WorkResult::Kind::kContinue;
-    Tick block_for = 0;
-    bool preempt_observed = false;   // yielded because the flag was set
-    Clock::time_point yielded_at{};  // raw instant the work loop exited
-  };
-
-  struct Worker {
-    sched::ThreadId tid = sched::kInvalidThread;
-    sched::Weight weight = 1.0;
-    std::function<WorkResult()> work;
-
-    common::Mutex mu;
-    common::CondVar cv;
-    bool granted SFS_GUARDED_BY(mu) = false;
-    sched::CpuId granted_cpu SFS_GUARDED_BY(mu) = sched::kInvalidCpu;
-    std::atomic<bool> preempt{false};
-    std::atomic<bool> shutdown{false};
-
-    std::thread thread;
-    Tick cpu_time = 0;  // written under the dispatch/lifecycle lock of the charging CPU
-  };
-
-  // Per-processor dispatcher state.  The mailbox (report/cv) carries the
-  // running worker's yield report back to this CPU's dispatcher.
-  struct Cpu {
-    common::Mutex mu;
-    common::CondVar cv;
-    std::optional<Report> report SFS_GUARDED_BY(mu);
-    sched::ThreadId running_tid SFS_GUARDED_BY(mu) = sched::kInvalidThread;
-    bool preempt_sent SFS_GUARDED_BY(mu) = false;
-    Clock::time_point preempt_sent_at SFS_GUARDED_BY(mu){};
-    // Grant instant in ticks since run start, for the elapsed[] vector handed
-    // to SuggestPreemption; advisory, hence lock-free.
-    std::atomic<Tick> grant_at{0};
-    // This dispatcher's preempt-latency samples; written only by its own
-    // thread and merged after the run, so sampling never serializes
-    // dispatchers.  (Dispatch latencies go straight to the sharded
-    // histograms, which are per-CPU by construction.)
-    common::SampleSet preempt_latencies;
-    // Config::batch_dispatch: the previous slice's continue charge, parked
-    // here between HandleReport and this dispatcher's next LockDispatch hold.
-    // Only this CPU's own dispatcher thread reads or writes these.
-    sched::ThreadId pending_charge_tid = sched::kInvalidThread;
-    Tick pending_charge_ran = 0;
-  };
-
-  struct PendingWakeup {
-    Clock::time_point at;
-    sched::ThreadId tid;
-    bool operator>(const PendingWakeup& other) const { return at > other.at; }
-  };
-
-  void WorkerBody(Worker& w);
-  void Grant(Worker& w, sched::CpuId cpu);
-  void DispatcherLoop(sched::CpuId cpu);
-  void TimerLoop();
-  void HandleReport(sched::CpuId cpu, const Report& report, bool preempt_sent,
-                    Clock::time_point preempt_sent_at);
-  // Wakes every idle dispatcher so it re-picks; call after any scheduler-state
-  // change that may have made a CPU's idleness stale (work conservation).
-  void KickIdleCpus();
-  void StopAll();
-
-  // Serialization point for Config::serialize_dispatch (no-op lock otherwise).
-  // Movable guard: the lock is conditional, so the static analysis cannot
-  // track it; the runtime validator covers ordering (serial_mu_ is always
-  // acquired before any dispatch mutex, never after).
-  common::UniqueMutexLock MaybeSerialize();
-
-  // Wall nanoseconds since the run started (the trace epoch).
-  std::int64_t WallNs(Clock::time_point tp) const {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - t0_).count();
-  }
-
-  sched::Scheduler& scheduler_;
-  Config config_;
-
-  // Metrics plumbing: external registry or private fallback, plus resolved
-  // histogram handles (registration takes a lock; recording must not).
-  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::LogHistogram* dispatch_hist_ = nullptr;
-  obs::LogHistogram* lock_wait_hist_ = nullptr;
-  obs::LogHistogram* run_hist_ = nullptr;
-  obs::Trace* trace_ = nullptr;  // == config_.trace
-
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::unordered_map<sched::ThreadId, Worker*> worker_by_tid_;  // built in Run
-  std::vector<std::unique_ptr<Cpu>> cpus_;
-
-  Clock::time_point t0_;
-  Clock::time_point wall_end_;
-
-  std::atomic<bool> stop_{false};
-  std::atomic<int> active_{0};
-
-  // Idle dispatchers wait here; state_version_ advances on every kick so a
-  // dispatcher that observed version v before an empty pick cannot miss a
-  // wakeup that raced with it, and idle_count_ lets the all-busy kick path
-  // skip the mutex entirely.
-  common::Mutex idle_mu_;
-  common::CondVar idle_cv_;
-  std::atomic<std::uint64_t> state_version_{0};
-  std::atomic<int> idle_count_{0};
-
-  // Sleeping tasks, ordered by wake time; drained by the timer thread.
-  common::Mutex timer_mu_;
-  common::CondVar timer_cv_;
-  std::priority_queue<PendingWakeup, std::vector<PendingWakeup>, std::greater<>>
-      wake_queue_ SFS_GUARDED_BY(timer_mu_);
-
-  common::Mutex serial_mu_;  // Config::serialize_dispatch
-
-  // Merged from the per-CPU sample sets after the dispatchers join.
-  common::SampleSet preempt_latencies_;
-  std::atomic<std::int64_t> dispatches_{0};
-  std::atomic<std::int64_t> wakeups_{0};
-  std::atomic<std::int64_t> preemptions_{0};
-  bool started_ = false;
-};
+using Executor = runtime::Executor;
 
 }  // namespace sfs::exec
 

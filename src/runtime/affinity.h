@@ -1,0 +1,21 @@
+// CPU-affinity helpers for Config::pin_dispatchers: shard-to-core placement
+// of dispatcher threads.  Thin, best-effort wrappers — on platforms without
+// an affinity syscall pinning reports failure and the runtime simply runs
+// unpinned, so no caller needs platform guards.
+
+#ifndef SFS_RUNTIME_AFFINITY_H_
+#define SFS_RUNTIME_AFFINITY_H_
+
+namespace sfs::runtime {
+
+// Number of hardware cores visible to this process (>= 1; falls back to 1
+// when the platform reports nothing).
+int HardwareCores();
+
+// Pins the calling thread to `core` (0-based).  Returns true on success,
+// false when unsupported or the syscall fails.
+bool PinCurrentThreadToCore(int core);
+
+}  // namespace sfs::runtime
+
+#endif  // SFS_RUNTIME_AFFINITY_H_

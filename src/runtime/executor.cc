@@ -1,0 +1,852 @@
+#include "src/runtime/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/assert.h"
+#include "src/runtime/affinity.h"
+
+namespace sfs::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Tick ToTicks(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+std::chrono::microseconds FromTicks(Tick t) { return std::chrono::microseconds(t); }
+
+std::int64_t DurationNs(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+}  // namespace
+
+Executor::Executor(sched::Scheduler& scheduler, const Config& config)
+    : scheduler_(scheduler), config_(config), trace_(config.trace) {
+  SFS_CHECK(config_.quantum > 0);
+  idle_recheck_ = config_.idle_recheck > 0 ? config_.idle_recheck : config_.quantum;
+  if (config_.metrics != nullptr) {
+    SFS_CHECK(config_.metrics->num_shards() >= scheduler.num_cpus());
+    metrics_ = config_.metrics;
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>(scheduler.num_cpus());
+    metrics_ = own_metrics_.get();
+  }
+  dispatch_hist_ = &metrics_->GetHistogram("exec/dispatch_latency_ns");
+  lock_wait_hist_ = &metrics_->GetHistogram("exec/lock_wait_ns");
+  run_hist_ = &metrics_->GetHistogram("exec/run_interval_ns");
+  wake_apply_hist_ = &metrics_->GetHistogram("exec/wake_apply_ns");
+  wake_dispatch_hist_ = &metrics_->GetHistogram("exec/wake_to_dispatch_ns");
+  if (trace_ != nullptr) {
+    SFS_CHECK(trace_->clock() == obs::Trace::Clock::kWallNanos);
+    SFS_CHECK(trace_->num_cpus() >= scheduler.num_cpus());
+    scheduler_.SetTrace(trace_);
+  }
+}
+
+Executor::~Executor() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->shutdown.store(true);
+      {
+        common::MutexLock lk(w->mu);
+      }
+      w->cv.NotifyAll();
+      w->thread.join();
+    }
+  }
+}
+
+void Executor::AddTask(sched::ThreadId tid, sched::Weight weight,
+                       std::function<WorkResult()> work) {
+  SFS_CHECK(!started_);
+  auto worker = std::make_unique<Worker>();
+  worker->tid = tid;
+  worker->weight = weight;
+  worker->work = std::move(work);
+  workers_.push_back(std::move(worker));
+}
+
+void Executor::AddTask(sched::ThreadId tid, sched::Weight weight,
+                       std::function<bool()> work) {
+  AddTask(tid, weight, [body = std::move(work)] {
+    return body() ? WorkResult::Continue() : WorkResult::Done();
+  });
+}
+
+common::UniqueMutexLock Executor::MaybeSerialize() {
+  if (config_.serialize_dispatch) {
+    return common::UniqueMutexLock(serial_mu_);
+  }
+  return common::UniqueMutexLock();
+}
+
+void Executor::WorkerBody(Worker& w) {
+  for (;;) {
+    sched::CpuId cpu;
+    {
+      common::MutexLock lk(w.mu);
+      while (!w.granted && !w.shutdown.load()) {
+        w.cv.Wait(w.mu);
+      }
+      if (w.shutdown.load()) {
+        return;
+      }
+      cpu = w.granted_cpu;
+    }
+    const Clock::time_point start = Clock::now();
+    Report report;
+    report.tid = w.tid;
+    while (true) {
+      if (w.preempt.load(std::memory_order_relaxed)) {
+        report.preempt_observed = true;
+        break;
+      }
+      const WorkResult result = w.work();
+      if (result.kind != WorkResult::Kind::kContinue) {
+        report.kind = result.kind;
+        report.block_for = result.block_for;
+        break;
+      }
+    }
+    const Clock::time_point end = Clock::now();
+    report.ran = std::max<Tick>(0, ToTicks(end - start));
+    report.yielded_at = end;
+    {
+      common::MutexLock lk(w.mu);
+      w.granted = false;
+    }
+    w.preempt.store(false);
+
+    const bool done = report.kind == WorkResult::Kind::kDone;
+    Cpu& mailbox = *cpus_[static_cast<std::size_t>(cpu)];
+    {
+      common::MutexLock lk(mailbox.mu);
+      SFS_CHECK(!mailbox.report.has_value());
+      mailbox.report = report;
+    }
+    mailbox.cv.NotifyAll();
+    if (done) {
+      return;
+    }
+  }
+}
+
+void Executor::Grant(Worker& w, sched::CpuId cpu) {
+  // The caller has already cleared any stale preempt flag under cpu.mu (the
+  // same lock pokes hold while setting it), so the flag cannot be erased/lost
+  // across this handoff.
+  {
+    common::MutexLock lk(w.mu);
+    w.granted = true;
+    w.granted_cpu = cpu;
+  }
+  w.cv.NotifyOne();
+}
+
+void Executor::KickOneParked(sched::CpuId hint) {
+  // Round-robin from hint+1 so repeated kicks fan work out across CPUs
+  // instead of hammering one neighbour.  The parked flag is advisory: a CPU
+  // between its empty pick and its park is invisible here, and one that just
+  // woke may eat a kick for nothing — either way the idle_recheck backstop
+  // bounds the cost, and the unconditional home-CPU kick on every wakeup
+  // means no wakeup depends on this scan for liveness.
+  const std::size_t n = cpus_.size();
+  for (std::size_t i = 1; i <= n; ++i) {
+    Cpu& c = *cpus_[(static_cast<std::size_t>(hint) + i) % n];
+    if (c.parked.load(std::memory_order_acquire)) {
+      c.park.Kick();
+      kicks_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void Executor::KickAllParked() {
+  // Epoch bumps on every slot (parked or not) preserve the old
+  // version-counter semantics: a dispatcher between its token snapshot and
+  // its park re-checks and falls through.  A kick at an empty slot skips the
+  // wake syscall, so the all-busy case stays cheap.
+  for (auto& c : cpus_) {
+    c->park.Kick();
+  }
+  kicks_.fetch_add(static_cast<std::int64_t>(cpus_.size()), std::memory_order_relaxed);
+}
+
+void Executor::KickAfterStateChange(sched::CpuId hint) {
+  if (!targeted()) {
+    KickAllParked();
+    return;
+  }
+  // Only fan out when there is runnable work nobody is running
+  // (runnable_count counts running threads too, so compare against the
+  // granted-CPU count).  Both loads are racy snapshots; a stale read at worst
+  // delays the fan-out by one idle recheck.
+  if (scheduler_.runnable_count() > running_cpus_.load(std::memory_order_relaxed)) {
+    KickOneParked(hint);
+  }
+}
+
+void Executor::StopAll() {
+  stop_.store(true);
+  KickAllParked();
+  for (auto& cpu : cpus_) {
+    {
+      common::MutexLock lk(cpu->mu);
+    }
+    cpu->cv.NotifyAll();
+  }
+  {
+    common::MutexLock lk(timer_mu_);
+  }
+  timer_cv_.NotifyAll();
+}
+
+bool Executor::ApplyWakeupLocked(sched::CpuId home, sched::ThreadId tid,
+                                 Clock::time_point due, std::vector<Tick>& elapsed_scratch,
+                                 PreemptPoke* poke) {
+  *poke = PreemptPoke{};
+  // The producer validated nothing (the timer holds no scheduler lock when it
+  // routes or try-locks); do it here.  The thread may have exited since
+  // blocking (stale wakeup), and the runnable re-check is defensive against
+  // duplicate deliveries.
+  if (!scheduler_.Contains(tid) || scheduler_.IsRunnable(tid)) {
+    return false;
+  }
+  // The home recorded at Block time must still be the shard this dispatch
+  // lock covers — a blocked thread cannot migrate (scheduler contract).
+  SFS_DCHECK(scheduler_.HomeCpu(tid) == sched::kInvalidCpu ||
+             scheduler_.HomeCpu(tid) == home);
+  scheduler_.Wakeup(tid);
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point now = Clock::now();
+  wake_apply_hist_->Record(home, std::max<std::int64_t>(0, DurationNs(now - due)));
+  WorkerByTid(tid).wake_pending_ns.store(WallNs(due), std::memory_order_relaxed);
+  if (trace_) {
+    // Own ring: in targeted mode the wakeup transition belongs to the home
+    // dispatcher, keeping the per-CPU rings single-writer.
+    trace_->Record(home, obs::TraceEventKind::kWakeup, WallNs(now), tid);
+  }
+  // reschedule_idle(): does the wakeup warrant preempting a running thread?
+  // elapsed[c] approximates each CPU's uncharged run time from the
+  // executor's own grant bookkeeping (advisory atomics — reading the
+  // scheduler's per-CPU running table here would race foreign shards).
+  const Tick now_ticks = ToTicks(now - t0_);
+  elapsed_scratch.assign(cpus_.size(), 0);
+  for (std::size_t c = 0; c < cpus_.size(); ++c) {
+    if (cpus_[c]->running_hint.load(std::memory_order_relaxed) != sched::kInvalidThread) {
+      elapsed_scratch[c] = std::max<Tick>(
+          0, now_ticks - cpus_[c]->grant_at.load(std::memory_order_relaxed));
+    }
+  }
+  const sched::CpuId target_cpu = scheduler_.SuggestPreemption(tid, elapsed_scratch);
+  if (target_cpu != sched::kInvalidCpu) {
+    // Safe under this dispatch lock: sharded policies only ever suggest the
+    // woken thread's home shard (ours), and flat policies' dispatch lock is
+    // global.
+    const sched::ThreadId target_tid = scheduler_.RunningOn(target_cpu);
+    if (target_tid != sched::kInvalidThread) {
+      *poke = PreemptPoke{target_cpu, target_tid};
+    }
+  }
+  return true;
+}
+
+int Executor::DrainMailboxLocked(sched::CpuId cpu_idx) {
+  Cpu& cpu = *cpus_[static_cast<std::size_t>(cpu_idx)];
+  int woken = 0;
+  cpu.mailbox.DrainAll([&](WakeMsg&& msg) {
+    PreemptPoke poke;
+    if (!ApplyWakeupLocked(cpu_idx, msg.tid, msg.due, cpu.elapsed_scratch, &poke)) {
+      return;
+    }
+    if (poke.cpu != sched::kInvalidCpu) {
+      cpu.pokes.push_back(poke);
+    }
+    ++woken;
+  });
+  return woken;
+}
+
+void Executor::PokePreempt(const PreemptPoke& poke) {
+  Cpu& target = *cpus_[static_cast<std::size_t>(poke.cpu)];
+  common::MutexLock lk(target.mu);
+  // Only preempt if that CPU's dispatcher still has this worker granted and
+  // its report is not already in the mailbox; the flag store happens under
+  // target.mu so it cannot race a Grant-time clear (which also holds
+  // target.mu) and truncate an unrelated fresh slice.
+  if (target.running_tid == poke.tid && !target.preempt_sent && !target.report.has_value()) {
+    target.preempt_sent = true;
+    target.preempt_sent_at = Clock::now();
+    WorkerByTid(poke.tid).preempt.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Executor::ApplyPreemptPokes(Cpu& cpu) {
+  for (const PreemptPoke& poke : cpu.pokes) {
+    PokePreempt(poke);
+  }
+  cpu.pokes.clear();
+}
+
+void Executor::HandleReport(sched::CpuId cpu_idx, const Report& report, bool preempt_sent,
+                            Clock::time_point preempt_sent_at) {
+  Worker* w = &WorkerByTid(report.tid);
+  if (preempt_sent && report.preempt_observed) {
+    // Raw time-point subtraction: both instants keep the clock's native
+    // resolution, so the latency is not the difference of two independently
+    // truncated values.  (A negative value is still possible if the worker
+    // was already past its flag check when the flag landed; clamp to zero.)
+    const double latency_us =
+        static_cast<double>(DurationNs(report.yielded_at - preempt_sent_at)) / 1000.0;
+    cpus_[static_cast<std::size_t>(cpu_idx)]->preempt_latencies.Add(
+        std::max(0.0, latency_us));
+    preemptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (trace_) {
+    // Own ring: HandleReport always runs on cpu_idx's dispatcher thread.
+    trace_->Record(cpu_idx, obs::TraceEventKind::kCharge, WallNs(report.yielded_at),
+                   report.tid, report.ran * 1000);
+  }
+  switch (report.kind) {
+    case WorkResult::Kind::kContinue: {
+      if (config_.batch_dispatch) {
+        // Park the charge; the dispatcher applies it under its next
+        // LockDispatch hold, just before PickNext.  The thread stays "running"
+        // in scheduler state until then, so no kick is needed either — nothing
+        // another dispatcher could newly pick has appeared.
+        Cpu& cpu = *cpus_[static_cast<std::size_t>(cpu_idx)];
+        cpu.pending_charge_tid = report.tid;
+        cpu.pending_charge_ran = report.ran;
+        return;
+      }
+      auto serial = MaybeSerialize();
+      auto guard = scheduler_.LockDispatch(cpu_idx);
+      scheduler_.Charge(report.tid, report.ran);
+      w->cpu_time += report.ran;
+      break;
+    }
+    case WorkResult::Kind::kDone: {
+      {
+        auto serial = MaybeSerialize();
+        auto guard = scheduler_.LockLifecycle();
+        scheduler_.Charge(report.tid, report.ran);
+        w->cpu_time += report.ran;
+        scheduler_.RemoveThread(report.tid);
+        if (trace_) {
+          trace_->RecordLifecycle(obs::TraceEventKind::kDeparture,
+                                  WallNs(report.yielded_at), report.tid);
+        }
+      }
+      if (active_.fetch_sub(1) == 1) {
+        StopAll();
+      }
+      break;
+    }
+    case WorkResult::Kind::kBlock: {
+      {
+        auto serial = MaybeSerialize();
+        if (targeted()) {
+          // Sanctioned lifecycle relaxation (scheduler.h): the thread just
+          // ran on this CPU, so this is its home shard and LockDispatch alone
+          // brackets Charge-then-Block atomically against picks and steals
+          // (both lock this shard).  The block record goes to our own CPU
+          // ring, keeping the per-CPU rings single-writer.
+          auto guard = scheduler_.LockDispatch(cpu_idx);
+          scheduler_.Charge(report.tid, report.ran);
+          w->cpu_time += report.ran;
+          scheduler_.Block(report.tid);
+          if (trace_) {
+            trace_->Record(cpu_idx, obs::TraceEventKind::kBlock, WallNs(report.yielded_at),
+                           report.tid, report.block_for * 1000);
+          }
+        } else {
+          // Charge-then-Block must be atomic against other dispatchers:
+          // between the two calls the thread is runnable and not running, so
+          // a concurrent PickNext could grab it and Block would fire on a
+          // running thread.
+          auto guard = scheduler_.LockLifecycle();
+          scheduler_.Charge(report.tid, report.ran);
+          w->cpu_time += report.ran;
+          scheduler_.Block(report.tid);
+          if (trace_) {
+            trace_->RecordLifecycle(obs::TraceEventKind::kBlock, WallNs(report.yielded_at),
+                                    report.tid, report.block_for * 1000);
+          }
+        }
+      }
+      bool nudge_timer = false;
+      {
+        common::MutexLock lk(timer_mu_);
+        const Clock::time_point at = Clock::now() + FromTicks(report.block_for);
+        // The timer parks until the earliest pending deadline; only a new
+        // front-of-queue deadline (or the empty->nonempty edge) moves it.
+        nudge_timer = wake_queue_.empty() || at < wake_queue_.top().at;
+        wake_queue_.push(PendingWakeup{at, report.tid, cpu_idx});
+      }
+      if (nudge_timer) {
+        timer_cv_.NotifyAll();
+      }
+      break;
+    }
+  }
+  // Work conservation: the charge (and any block/exit) changed scheduler
+  // state; an idle CPU may now have work to pick or steal.
+  KickAfterStateChange(cpu_idx);
+}
+
+void Executor::DispatcherLoop(sched::CpuId cpu_idx) {
+  Cpu& cpu = *cpus_[static_cast<std::size_t>(cpu_idx)];
+  if (config_.pin_dispatchers) {
+    // Shard-to-core placement: dispatcher c (and every slice it grants) runs
+    // on core c mod cores.  Best-effort — a failed pin just leaves the thread
+    // floating, as before.
+    PinCurrentThreadToCore(static_cast<int>(cpu_idx) % std::max(1, HardwareCores()));
+  }
+  while (!stop_.load()) {
+    if (Clock::now() >= wall_end_) {
+      break;
+    }
+    // Park-token snapshot BEFORE the final look for work (parking.h
+    // protocol): any kick landing after this instant cancels the park below,
+    // so a wakeup pushed between our empty pick and our park is never lost.
+    const common::ParkingSlot::Token park_token = cpu.park.Prepare();
+    sched::ThreadId tid = sched::kInvalidThread;
+    Tick quantum = config_.quantum;
+    const Clock::time_point pick_start = Clock::now();
+    Clock::time_point lock_acquired;
+    {
+      auto serial = MaybeSerialize();
+      auto guard = scheduler_.LockDispatch(cpu_idx);
+      lock_acquired = Clock::now();
+      if (trace_) {
+        // Timestamp hint for the scheduler's own steal/rebalance records.
+        trace_->PublishNow(WallNs(lock_acquired));
+      }
+      // One decision batch per lock hold: queued wakeups, the previous
+      // slice's deferred charge, then the pick.
+      if (targeted()) {
+        DrainMailboxLocked(cpu_idx);
+      }
+      if (cpu.pending_charge_tid != sched::kInvalidThread) {
+        // Config::batch_dispatch: the previous slice's deferred charge shares
+        // this lock hold with the pick.
+        scheduler_.Charge(cpu.pending_charge_tid, cpu.pending_charge_ran);
+        WorkerByTid(cpu.pending_charge_tid).cpu_time += cpu.pending_charge_ran;
+        cpu.pending_charge_tid = sched::kInvalidThread;
+      }
+      tid = scheduler_.PickNext(cpu_idx);
+      if (tid != sched::kInvalidThread) {
+        quantum = std::min(quantum, std::max<Tick>(1, scheduler_.QuantumFor(tid)));
+      }
+    }
+    ApplyPreemptPokes(cpu);  // outside the guard: Cpu::mu is a leaf lock
+    const Clock::time_point picked = Clock::now();
+    const std::int64_t lock_wait_ns = DurationNs(lock_acquired - pick_start);
+    lock_wait_hist_->Record(cpu_idx, lock_wait_ns);
+
+    if (tid == sched::kInvalidThread) {
+      // Nothing runnable here: park on our own slot.  Every producer that
+      // could create work for us kicks this slot (wakeup routing, baton
+      // passing, broadcast mode, shutdown); the bounded deadline is only the
+      // backstop for the advisory parked-flag scan in KickOneParked.
+      const Clock::time_point park_deadline =
+          std::min(wall_end_, Clock::now() + FromTicks(idle_recheck_));
+      cpu.parked.store(true, std::memory_order_seq_cst);
+      if (!stop_.load()) {
+        cpu.park.ParkUntil(park_token, park_deadline);
+      }
+      cpu.parked.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    const std::int64_t dispatch_ns = DurationNs(picked - pick_start);
+    dispatch_hist_->Record(cpu_idx, dispatch_ns);
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_) {
+      trace_->Record(cpu_idx, obs::TraceEventKind::kLockWait, WallNs(lock_acquired), tid,
+                     lock_wait_ns);
+      trace_->Record(cpu_idx, obs::TraceEventKind::kPick, WallNs(picked), tid,
+                     dispatch_ns - lock_wait_ns);
+      trace_->Record(cpu_idx, obs::TraceEventKind::kGrant, WallNs(picked), tid,
+                     quantum * 1000);  // granted quantum, ns
+    }
+
+    Worker* w = &WorkerByTid(tid);
+    // Wake-to-dispatch sample: if this grant ends a pending wakeup, the
+    // latency runs from the timer deadline to this pick.
+    const std::int64_t wake_due_ns =
+        w->wake_pending_ns.exchange(-1, std::memory_order_relaxed);
+    if (wake_due_ns >= 0) {
+      wake_dispatch_hist_->Record(cpu_idx,
+                                  std::max<std::int64_t>(0, WallNs(picked) - wake_due_ns));
+    }
+    {
+      common::MutexLock lk(cpu.mu);
+      // Clear any stale preempt flag (e.g. a poke that raced with the
+      // worker's previous voluntary yield) before publishing running_tid:
+      // pokes only store the flag while holding cpu.mu *after* seeing
+      // running_tid, so a wakeup preemption can never be erased by this clear.
+      w->preempt.store(false);
+      cpu.running_tid = tid;
+      cpu.preempt_sent = false;
+    }
+    cpu.grant_at.store(ToTicks(picked - t0_), std::memory_order_relaxed);
+    cpu.running_hint.store(tid, std::memory_order_relaxed);
+    running_cpus_.fetch_add(1, std::memory_order_relaxed);
+    Grant(*w, cpu_idx);
+    // A dispatch is itself a state change: a previously unstealable shard may
+    // now be busy, making its queued threads fair game for idle thieves.  In
+    // targeted mode this is the baton pass — one more parked CPU wakes if
+    // runnable work remains beyond what is running.
+    KickAfterStateChange(cpu_idx);
+
+    const Clock::time_point deadline = std::min(picked + FromTicks(quantum), wall_end_);
+    Report report;
+    bool have_report = false;
+    bool preempt_sent = false;
+    Clock::time_point preempt_sent_at{};
+    while (!have_report) {
+      bool want_drain = false;
+      {
+        common::MutexLock lk(cpu.mu);
+        for (;;) {
+          if (cpu.report.has_value()) {
+            break;
+          }
+          // Mid-quantum mailbox service: a wakeup routed here while we are
+          // busy must become runnable (and possibly preempt, or be stolen by
+          // a kicked peer) now, not when this slice ends.  The timer nudges
+          // cpu.cv after every push; checking before the first wait covers a
+          // push that landed before we got here.
+          if (targeted() && !cpu.mailbox.Empty()) {
+            want_drain = true;
+            break;
+          }
+          if (cpu.cv.WaitUntil(cpu.mu, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
+        if (!cpu.report.has_value() && !want_drain) {
+          // Quantum expired (or the run is ending): preempt the worker —
+          // unless a wakeup poke already preempted this slice, whose earlier
+          // flag-set instant must survive or the recorded preempt-to-yield
+          // latency would shrink.
+          if (!cpu.preempt_sent) {
+            cpu.preempt_sent = true;
+            cpu.preempt_sent_at = Clock::now();
+            w->preempt.store(true, std::memory_order_relaxed);
+          }
+          // The worker is guaranteed to observe the flag within one work unit.
+          while (!cpu.report.has_value()) {
+            cpu.cv.Wait(cpu.mu);
+          }
+        }
+        if (cpu.report.has_value()) {
+          report = *cpu.report;
+          cpu.report.reset();
+          preempt_sent = cpu.preempt_sent;
+          preempt_sent_at = cpu.preempt_sent_at;
+          cpu.preempt_sent = false;
+          cpu.running_tid = sched::kInvalidThread;
+          have_report = true;
+        }
+      }
+      if (!have_report) {
+        // want_drain: apply the queued wakeups under our dispatch lock, poke
+        // any suggested preemption (possibly our own slice), hand spare work
+        // to a parked peer, then resume waiting out the quantum.
+        {
+          auto serial = MaybeSerialize();
+          auto guard = scheduler_.LockDispatch(cpu_idx);
+          if (trace_) {
+            trace_->PublishNow(WallNs(Clock::now()));
+          }
+          DrainMailboxLocked(cpu_idx);
+        }
+        ApplyPreemptPokes(cpu);
+        KickAfterStateChange(cpu_idx);
+      }
+    }
+    cpu.running_hint.store(sched::kInvalidThread, std::memory_order_relaxed);
+    running_cpus_.fetch_sub(1, std::memory_order_relaxed);
+    const std::int64_t slice_ns = DurationNs(report.yielded_at - picked);
+    run_hist_->Record(cpu_idx, slice_ns);
+    if (trace_) {
+      trace_->Record(cpu_idx, obs::TraceEventKind::kRun, WallNs(picked), tid, slice_ns);
+      if (preempt_sent && report.preempt_observed) {
+        // Recorded here (not where the flag was set) so pokers never write
+        // another CPU's ring; arg = flag-set-to-yield latency, ns.
+        trace_->Record(cpu_idx, obs::TraceEventKind::kPreempt, WallNs(preempt_sent_at),
+                       tid,
+                       std::max<std::int64_t>(
+                           0, DurationNs(report.yielded_at - preempt_sent_at)));
+      }
+    }
+    HandleReport(cpu_idx, report, preempt_sent, preempt_sent_at);
+  }
+  // No slice is ever in flight here: an iteration that grants always waits
+  // out the report (preempting at deadline = min(quantum end, wall_end_), so
+  // the wall limit itself winds the last slice down) and charges it before
+  // the loop re-checks stop_/wall_end_ — except a batch_dispatch charge parked
+  // by the final slice, flushed here so the thread is not left "running" in
+  // scheduler state (Run()'s RemoveThread pass depends on that) and its CPU
+  // time is fully accounted.
+  if (cpu.pending_charge_tid != sched::kInvalidThread) {
+    {
+      auto serial = MaybeSerialize();
+      auto guard = scheduler_.LockDispatch(cpu_idx);
+      scheduler_.Charge(cpu.pending_charge_tid, cpu.pending_charge_ran);
+      WorkerByTid(cpu.pending_charge_tid).cpu_time += cpu.pending_charge_ran;
+      cpu.pending_charge_tid = sched::kInvalidThread;
+    }
+    KickAfterStateChange(cpu_idx);
+  }
+  {
+    common::MutexLock lk(cpu.mu);
+    SFS_CHECK(cpu.running_tid == sched::kInvalidThread);
+  }
+}
+
+void Executor::TimerLoop() {
+  std::vector<PendingWakeup> due;
+  std::vector<Tick> elapsed;
+  for (;;) {
+    due.clear();
+    {
+      common::MutexLock lk(timer_mu_);
+      for (;;) {
+        if (stop_.load()) {
+          return;
+        }
+        const Clock::time_point now = Clock::now();
+        if (now >= wall_end_) {
+          return;
+        }
+        if (!wake_queue_.empty() && wake_queue_.top().at <= now) {
+          break;
+        }
+        if (wake_queue_.empty()) {
+          // Nothing can come due until a Block enqueues a deadline (which
+          // nudges timer_cv_) or the run ends (StopAll nudges it): park
+          // indefinitely instead of polling.
+          timer_cv_.Wait(timer_mu_);
+        } else {
+          timer_cv_.WaitUntil(timer_mu_, std::min(wake_queue_.top().at, wall_end_));
+        }
+      }
+      const Clock::time_point now = Clock::now();
+      while (!wake_queue_.empty() && wake_queue_.top().at <= now) {
+        due.push_back(wake_queue_.top());
+        wake_queue_.pop();
+      }
+    }
+    for (const PendingWakeup& wake : due) {
+      if (targeted()) {
+        Cpu& home = *cpus_[static_cast<std::size_t>(wake.home)];
+        // Fast path: if the home shard's dispatch lock is free RIGHT NOW,
+        // apply the wakeup here — the thread becomes runnable (pickable and
+        // steal-visible) immediately, instead of after the OS gets around to
+        // scheduling the home dispatcher to drain its mailbox, which on an
+        // oversubscribed host can take a full scheduling round.  TryLock
+        // means a descheduled lock holder can never convoy the timer; the
+        // mailbox below stays the contended-case fallback.  Excluded when
+        // tracing (per-CPU rings are single-writer: only the home dispatcher
+        // may write ring `home`) and under serialize_dispatch (serial_mu_
+        // must precede any dispatch mutex; the mailbox path keeps that
+        // ordering trivially by taking no scheduler lock at all).
+        if (!config_.serialize_dispatch && trace_ == nullptr) {
+          PreemptPoke poke;
+          bool applied = false;
+          {
+            auto guard = scheduler_.TryLockDispatch(wake.home);
+            if (guard.owns_lock()) {
+              applied = true;
+              ApplyWakeupLocked(wake.home, wake.tid, wake.at, elapsed, &poke);
+            }
+          }
+          if (applied) {
+            if (poke.tid != sched::kInvalidThread) {
+              PokePreempt(poke);  // guard released above: Cpu::mu is a leaf
+            }
+            // Unconditional home kick (wakeup liveness must not depend on the
+            // advisory parked-flag scan), then the usual single-kick fan-out
+            // for a busy home whose queued thread a parked peer could steal.
+            home.park.Kick();
+            kicks_.fetch_add(1, std::memory_order_relaxed);
+            KickAfterStateChange(wake.home);
+            continue;
+          }
+        }
+        // Contended (or excluded) path: route the wakeup to its home CPU —
+        // one wait-free push, one targeted kick.  The home dispatcher applies
+        // Wakeup under its own dispatch lock (mailbox drain), so this thread
+        // touches no scheduler state.
+        home.mailbox.Push(WakeMsg{wake.tid, wake.at});
+        home.park.Kick();
+        kicks_.fetch_add(1, std::memory_order_relaxed);
+        {
+          common::MutexLock lk(home.mu);  // a busy dispatcher between its
+        }                                 // mailbox check and its report wait
+        home.cv.NotifyAll();              // must not miss the nudge
+        continue;
+      }
+      // Broadcast mode: the legacy wake path — apply the wakeup here under
+      // the exclusive lifecycle lock, then wake every parked CPU.
+      sched::ThreadId target_tid = sched::kInvalidThread;
+      sched::CpuId target_cpu = sched::kInvalidCpu;
+      {
+        auto serial = MaybeSerialize();
+        auto guard = scheduler_.LockLifecycle();
+        if (!scheduler_.Contains(wake.tid)) {
+          continue;
+        }
+        scheduler_.Wakeup(wake.tid);
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+        const Clock::time_point now = Clock::now();
+        wake_apply_hist_->Record(0, std::max<std::int64_t>(0, DurationNs(now - wake.at)));
+        WorkerByTid(wake.tid).wake_pending_ns.store(WallNs(wake.at),
+                                                    std::memory_order_relaxed);
+        if (trace_) {
+          const std::int64_t wake_ns = WallNs(now);
+          trace_->PublishNow(wake_ns);
+          trace_->RecordLifecycle(obs::TraceEventKind::kWakeup, wake_ns, wake.tid);
+        }
+        // reschedule_idle(): does the wakeup warrant preempting a running
+        // thread?  elapsed[c] approximates each CPU's uncharged run time.
+        const Tick now_ticks = ToTicks(now - t0_);
+        elapsed.assign(cpus_.size(), 0);
+        for (std::size_t c = 0; c < cpus_.size(); ++c) {
+          if (scheduler_.RunningOn(static_cast<sched::CpuId>(c)) != sched::kInvalidThread) {
+            elapsed[c] = std::max<Tick>(
+                0, now_ticks - cpus_[c]->grant_at.load(std::memory_order_relaxed));
+          }
+        }
+        target_cpu = scheduler_.SuggestPreemption(wake.tid, elapsed);
+        if (target_cpu != sched::kInvalidCpu) {
+          target_tid = scheduler_.RunningOn(target_cpu);
+        }
+      }
+      if (target_tid != sched::kInvalidThread) {
+        PokePreempt(PreemptPoke{target_cpu, target_tid});
+      }
+      // Work conservation: the woken thread must be picked up by an idle CPU
+      // immediately, not whenever that CPU happens to produce its own report.
+      KickAllParked();
+    }
+  }
+}
+
+Tick Executor::Run(Tick wall_limit) {
+  SFS_CHECK(!started_);
+  started_ = true;
+
+  t0_ = Clock::now();
+  wall_end_ = t0_ + FromTicks(wall_limit);
+
+  cpus_.clear();
+  for (int c = 0; c < scheduler_.num_cpus(); ++c) {
+    cpus_.push_back(std::make_unique<Cpu>(config_.park_backend));
+  }
+
+  // Dispatch routing: tid-indexed flat vector (the scheduler's by_tid_
+  // idiom), so the wakeup path costs an indexed load instead of a hash probe.
+  worker_by_tid_.clear();
+  sched::ThreadId max_tid = -1;
+  for (const auto& w : workers_) {
+    SFS_CHECK(w->tid >= 0);  // flat routing needs small non-negative task ids
+    max_tid = std::max(max_tid, w->tid);
+  }
+  worker_by_tid_.assign(static_cast<std::size_t>(max_tid + 1), nullptr);
+  for (auto& w : workers_) {
+    Worker*& slot = worker_by_tid_[static_cast<std::size_t>(w->tid)];
+    SFS_CHECK(slot == nullptr);  // duplicate task ids would corrupt dispatch routing
+    slot = w.get();
+  }
+
+  active_.store(static_cast<int>(workers_.size()));
+  if (workers_.empty()) {
+    stop_.store(true);
+  }
+
+  if (trace_) {
+    trace_->set_epoch_ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t0_.time_since_epoch())
+            .count());
+    trace_->PublishNow(0);
+  }
+
+  // Register and launch every worker (they start waiting for a grant).
+  {
+    auto guard = scheduler_.LockLifecycle();
+    for (auto& w : workers_) {
+      scheduler_.AddThread(w->tid, w->weight);
+      if (trace_) {
+        trace_->RecordLifecycle(obs::TraceEventKind::kArrival, WallNs(Clock::now()),
+                                w->tid);
+      }
+    }
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { WorkerBody(*worker); });
+  }
+
+  std::thread timer([this] { TimerLoop(); });
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(cpus_.size());
+  for (std::size_t c = 0; c < cpus_.size(); ++c) {
+    dispatchers.emplace_back(
+        [this, c] { DispatcherLoop(static_cast<sched::CpuId>(c)); });
+  }
+
+  for (auto& d : dispatchers) {
+    d.join();
+  }
+  StopAll();
+  timer.join();
+
+  for (const auto& cpu : cpus_) {
+    for (const double sample : cpu->preempt_latencies.samples()) {
+      preempt_latencies_.Add(sample);
+    }
+  }
+
+  // Unregister tasks that never finished, then stop their (waiting) threads.
+  {
+    auto guard = scheduler_.LockLifecycle();
+    for (auto& w : workers_) {
+      if (scheduler_.Contains(w->tid)) {
+        scheduler_.RemoveThread(w->tid);
+      }
+    }
+  }
+  for (auto& w : workers_) {
+    w->shutdown.store(true);
+    {
+      common::MutexLock lk(w->mu);
+    }
+    w->cv.NotifyAll();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+  return ToTicks(Clock::now() - t0_);
+}
+
+Tick Executor::CpuTime(sched::ThreadId tid) const {
+  for (const auto& w : workers_) {
+    if (w->tid == tid) {
+      return w->cpu_time;
+    }
+  }
+  SFS_CHECK(false);
+  return 0;
+}
+
+}  // namespace sfs::runtime

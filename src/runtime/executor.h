@@ -1,0 +1,473 @@
+// sfs::runtime — the user-level scheduling runtime.
+//
+// Runs genuine std::threads under the control of any sched::Scheduler,
+// mirroring the kernel arrangement at user level:
+//
+//   * at most `num_cpus` workers are granted the CPU at once (the
+//     "processors");
+//   * one dispatcher thread *per CPU* plays the role of that processor's
+//     scheduler invocation: it picks, grants, times the quantum, sets the
+//     worker's preempt flag on expiry, charges the scheduler with the
+//     *measured* run time, and dispatches the next pick — concurrently with
+//     every other CPU's dispatcher, exactly as kernel CPUs run schedule() in
+//     parallel (Section 3.1: quanta on different processors are not
+//     synchronized);
+//   * a timer thread delivers simulated-I/O completions: tasks may return
+//     WorkResult::Block(d) to sleep, the scheduler sees Block/Wakeup, and the
+//     runtime stays work-conserving;
+//   * preemption is cooperative: worker bodies perform a small unit of work
+//     per call and re-check the flag, like a kernel preemption point.
+//
+// Wake and dispatch mechanics (WakeMode::kTargeted, the default):
+//
+//   * PARKING — each dispatcher owns a common::ParkingSlot (futex on Linux,
+//     condvar fallback).  An idle CPU parks on its own slot; a kick wakes
+//     exactly one targeted CPU instead of broadcasting through a process-wide
+//     condition variable.  The Prepare-token-before-final-look protocol
+//     (parking.h) makes a kick that races between an empty pick and the park
+//     impossible to lose.
+//   * MAILBOX — each dispatcher owns a wait-free MPSC mailbox
+//     (common::MpscMailbox).  The timer routes each expired wakeup to the
+//     woken thread's *home* CPU — the one whose LockDispatch covers the
+//     lifecycle relaxation of the scheduler contract (Scheduler::HomeCpu) —
+//     by pushing a message and kicking that slot; it never touches a
+//     scheduler lock itself.
+//   * DECISION BATCHING — the home dispatcher drains its mailbox (applying
+//     Wakeup + SuggestPreemption per message), lands any deferred
+//     batch_dispatch charge, and runs PickNext all under ONE LockDispatch
+//     hold.  Preempt pokes suggested by the drain are applied after the hold
+//     is released (the runtime never holds a dispatch mutex and a Cpu::mu
+//     together — see the lock-order note below).
+//   * A dispatcher mid-quantum drains its mailbox too: the timer's kick also
+//     nudges the CPU's report wait, which exits the wait, drains under
+//     LockDispatch, applies pokes, and resumes waiting.  A wakeup whose home
+//     CPU is busy therefore still becomes runnable immediately (and may
+//     preempt, or be stolen by a kicked peer) rather than languishing until
+//     the current slice ends.
+//
+// Work conservation with single kicks: every wakeup kicks its home CPU
+// unconditionally; after a successful pick, the dispatcher passes the baton —
+// if runnable work remains beyond what is running, it kicks one more parked
+// CPU (round-robin) so queued work fans out one CPU at a time instead of
+// waking the whole herd.  A parked dispatcher also re-checks on a bounded
+// timeout (Config::idle_recheck, default = quantum) as a belt-and-braces
+// backstop, so a missed heuristic kick costs at most one recheck period, not
+// liveness.
+//
+// WakeMode::kBroadcast preserves the previous executor's wake path — the
+// timer applies Wakeup under LockLifecycle and every state change kicks ALL
+// parked CPUs — as an honest A/B baseline for bench/abl_lock_contention.
+//
+// Lock order (validated in debug builds): serial_mu_ < dispatch mutexes <
+// everything else.  Cpu::mu and Worker::mu are leaf locks; the runtime never
+// acquires a scheduler lock while holding them, and never acquires them while
+// holding a scheduler lock.  Preempt pokes discovered under LockDispatch are
+// therefore parked in a per-dispatcher scratch vector and applied after the
+// guard is released.
+//
+// Scheduler calls follow the sched::Scheduler thread-safety contract
+// (scheduler.h).  In targeted mode the runtime uses the contract's sanctioned
+// lifecycle relaxation: Block for a thread that just ran on this CPU and
+// Wakeup for a thread whose home shard this dispatcher holds are bracketed by
+// LockDispatch(home) alone; thread exit keeps the exclusive LockLifecycle.
+// Trace discipline follows from that: targeted-mode block/wakeup records go
+// to the acting dispatcher's own per-CPU ring (single writer), not the
+// lifecycle ring.
+//
+// This is how the repository demonstrates real proportional sharing on the
+// host (examples/realtime_exec, examples/blocking_workload,
+// examples/runtime_quickstart) and how Table 1's context-switch latencies get
+// a real-code analogue (bench/table1): the dispatch latency measured here
+// includes the actual scheduler data-structure work plus any lock contention
+// between concurrent dispatchers.
+//
+// src/exec/executor.h re-exports this class as sfs::exec::Executor for
+// existing call sites; new code should link sfs::runtime and use this header.
+
+#ifndef SFS_RUNTIME_EXECUTOR_H_
+#define SFS_RUNTIME_EXECUTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/common/mpsc_mailbox.h"
+#include "src/common/mutex.h"
+#include "src/common/parking.h"
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sched/scheduler.h"
+
+namespace sfs::runtime {
+
+class Executor {
+ public:
+  // How wakeups reach dispatchers and how many CPUs a state change wakes.
+  enum class WakeMode : std::uint8_t {
+    // Timer pushes each wakeup to the home CPU's mailbox and kicks that one
+    // slot; dispatchers drain the mailbox inside their pick lock hold.
+    kTargeted,
+    // Legacy wake path: the timer applies Wakeup itself under LockLifecycle
+    // and every scheduler-state change kicks every parked CPU (thundering
+    // herd).  Kept as the A/B baseline for bench/abl_lock_contention.
+    kBroadcast,
+  };
+
+  struct Config {
+    // Quantum handed to each dispatch.  Shorter than the kernel's 200 ms
+    // default so that demo runs interleave visibly.
+    Tick quantum = Msec(20);
+
+    // Wake/dispatch mechanics; see the header comment.
+    WakeMode wake_mode = WakeMode::kTargeted;
+
+    // Pin each dispatcher thread to core (cpu % hardware cores) so shard c
+    // lives on core c — kernel-style shard-to-core placement.  Dispatch and
+    // park/kick still work unpinned; pinning removes OS migrations of the
+    // dispatcher itself (bench/table1 measures the difference).  Ignored on
+    // platforms without an affinity syscall.
+    bool pin_dispatchers = false;
+
+    // How long a parked dispatcher sleeps before re-checking for work on its
+    // own (the backstop for the single-kick heuristics above).  0 = use
+    // `quantum`.
+    Tick idle_recheck = 0;
+
+    // Force the parking backend (tests cover both on any host); kAuto picks
+    // futex on Linux.
+    common::ParkingSlot::Backend park_backend = common::ParkingSlot::Backend::kAuto;
+
+    // Funnel every scheduler operation through one executor-wide mutex, even
+    // when the scheduler offers per-CPU dispatch locks.  Emulates the
+    // pre-concurrent single-dispatcher executor's serialization (the
+    // global-lock side of the abl_lock_contention comparison).
+    bool serialize_dispatch = false;
+
+    // Defer each voluntary-continue charge into this CPU's next dispatch-lock
+    // hold instead of acquiring the lock twice per slice (once to charge, once
+    // to pick).  Safe because the yielded thread stays "running" in scheduler
+    // state until the charge lands, so no other dispatcher can pick or steal
+    // it in the window: the deferral halves lock traffic on the continue path
+    // without changing the scheduling contract.  Block/Done charges are
+    // lifecycle transitions and are never deferred.
+    bool batch_dispatch = false;
+
+    // Observability sink (wall-nanosecond clock domain; Clock must be
+    // kWallNanos and the trace must have at least the scheduler's num_cpus
+    // rings).  Each dispatcher records pick/lock-wait spans, grants, run
+    // slices, preemptions — and, in targeted mode, the block/wakeup
+    // transitions it applies — into its own CPU ring; broadcast-mode
+    // block/wakeup events go to the lifecycle ring under the lifecycle lock.
+    // nullptr (the default) costs one predicted branch per site and the
+    // executor's behaviour is unchanged.
+    obs::Trace* trace = nullptr;
+
+    // Metrics registry the latency histograms live in.  When null the
+    // executor creates a private registry; pass a shared one so experiments
+    // serialize the histograms through the Reporter.  Must be sharded at
+    // least num_cpus ways.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  // Outcome of one work unit: keep running, finish, or sleep on simulated I/O
+  // for `block_for` ticks (the timer thread wakes the task afterwards).
+  struct WorkResult {
+    enum class Kind { kContinue, kDone, kBlock };
+
+    static WorkResult Continue() { return {Kind::kContinue, 0}; }
+    static WorkResult Done() { return {Kind::kDone, 0}; }
+    static WorkResult Block(Tick block_for) { return {Kind::kBlock, block_for}; }
+
+    Kind kind = Kind::kContinue;
+    Tick block_for = 0;
+  };
+
+  // The scheduler decides who runs; its num_cpus() bounds concurrency.
+  Executor(sched::Scheduler& scheduler, const Config& config);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Registers a worker before Run().  `work` is invoked repeatedly while the
+  // task holds a CPU; each call should do a small unit (tens of microseconds)
+  // of work and report through its WorkResult whether to continue, finish, or
+  // block.  Task ids should be small and dense: dispatch routing uses a
+  // tid-indexed flat vector (the scheduler's by_tid_ idiom).
+  void AddTask(sched::ThreadId tid, sched::Weight weight,
+               std::function<WorkResult()> work);
+
+  // Convenience overload: `work` returns true to continue, false when done
+  // (never blocks).
+  void AddTask(sched::ThreadId tid, sched::Weight weight, std::function<bool()> work);
+
+  // Runs until every task finishes or `wall_limit` elapses.  Returns the wall
+  // time actually spent (ticks).
+  Tick Run(Tick wall_limit);
+
+  // Measured CPU time granted to a task (ticks of wall time while scheduled).
+  Tick CpuTime(sched::ThreadId tid) const;
+
+  // Latency from preempt-flag set to the worker actually yielding; a user-level
+  // proxy for context-switch cost.  Computed from raw steady_clock time points
+  // (flag-set and yield instants are subtracted *before* any truncation to
+  // ticks, so the samples carry no quantization bias).
+  const common::SampleSet& preempt_latencies() const { return preempt_latencies_; }
+
+  // Latency of one scheduling decision in NANOSECONDS: acquiring the dispatch
+  // lock (including any contention with other CPUs' dispatchers) plus the
+  // mailbox drain plus PickNext.  Idle picks (nothing runnable) are not
+  // sampled.  Accumulated in a bounded per-CPU obs::LogHistogram rather than
+  // an unbounded sample vector, so arbitrarily long runs cost constant
+  // memory; the snapshot keeps the count/mean/min/max/Percentile shape of the
+  // SampleSet it replaced.
+  obs::HistogramSnapshot dispatch_latencies() const { return dispatch_hist_->Snapshot(); }
+
+  // Time spent waiting to acquire the dispatch lock alone (nanoseconds); the
+  // contention component of dispatch_latencies(), sampled on every acquisition
+  // including idle picks.
+  obs::HistogramSnapshot lock_wait_latencies() const { return lock_wait_hist_->Snapshot(); }
+
+  // Wall length of each completed run slice (nanoseconds, grant to yield).
+  obs::HistogramSnapshot run_interval_lengths() const { return run_hist_->Snapshot(); }
+
+  // Timer-due instant -> Scheduler::Wakeup applied (nanoseconds): the wake
+  // path's queueing delay through mailbox + kick + drain (targeted) or the
+  // lifecycle lock (broadcast).
+  obs::HistogramSnapshot wake_apply_latencies() const {
+    return wake_apply_hist_->Snapshot();
+  }
+
+  // Timer-due instant -> the woken thread actually granted a CPU
+  // (nanoseconds): the end-to-end wake-to-dispatch latency the ISSUE gates
+  // on.  One sample per wakeup, recorded at the grant that first runs the
+  // thread again.
+  obs::HistogramSnapshot wake_to_dispatch_latencies() const {
+    return wake_dispatch_hist_->Snapshot();
+  }
+
+  // The registry the executor's histograms live in (the Config::metrics one,
+  // or the private fallback).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+  std::int64_t dispatches() const { return dispatches_.load(std::memory_order_relaxed); }
+  std::int64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  std::int64_t preemptions() const { return preemptions_.load(std::memory_order_relaxed); }
+  // Parking-slot kicks issued (targeted: at most one CPU per kick; broadcast:
+  // counts every slot of every herd wake — the A/B wake-traffic number).
+  std::int64_t kicks() const { return kicks_.load(std::memory_order_relaxed); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Report {
+    sched::ThreadId tid = sched::kInvalidThread;
+    Tick ran = 0;
+    WorkResult::Kind kind = WorkResult::Kind::kContinue;
+    Tick block_for = 0;
+    bool preempt_observed = false;   // yielded because the flag was set
+    Clock::time_point yielded_at{};  // raw instant the work loop exited
+  };
+
+  struct Worker {
+    sched::ThreadId tid = sched::kInvalidThread;
+    sched::Weight weight = 1.0;
+    std::function<WorkResult()> work;
+
+    common::Mutex mu;
+    common::CondVar cv;
+    bool granted SFS_GUARDED_BY(mu) = false;
+    sched::CpuId granted_cpu SFS_GUARDED_BY(mu) = sched::kInvalidCpu;
+    std::atomic<bool> preempt{false};
+    std::atomic<bool> shutdown{false};
+
+    // Wall-ns instant (trace epoch) the pending wakeup came due; -1 when no
+    // wakeup is in flight.  Stored where Wakeup is applied, exchanged out at
+    // the grant that runs the thread again — the wake_to_dispatch sample.
+    std::atomic<std::int64_t> wake_pending_ns{-1};
+
+    std::thread thread;
+    Tick cpu_time = 0;  // written under the dispatch/lifecycle lock of the charging CPU
+  };
+
+  // A wakeup routed to its home CPU's mailbox (targeted mode).
+  struct WakeMsg {
+    sched::ThreadId tid = sched::kInvalidThread;
+    Clock::time_point due{};  // the timer deadline that expired
+  };
+
+  // A preemption suggested by a mailbox drain, applied after the dispatch
+  // guard is released (never hold a dispatch mutex and a Cpu::mu together).
+  struct PreemptPoke {
+    sched::CpuId cpu = sched::kInvalidCpu;
+    sched::ThreadId tid = sched::kInvalidThread;
+  };
+
+  // Per-processor dispatcher state.  report/cv carry the running worker's
+  // yield report back to this CPU's dispatcher; park/mailbox carry wakeups in.
+  struct Cpu {
+    common::Mutex mu;
+    common::CondVar cv;
+    std::optional<Report> report SFS_GUARDED_BY(mu);
+    sched::ThreadId running_tid SFS_GUARDED_BY(mu) = sched::kInvalidThread;
+    bool preempt_sent SFS_GUARDED_BY(mu) = false;
+    Clock::time_point preempt_sent_at SFS_GUARDED_BY(mu){};
+
+    // This dispatcher's private parking slot; anyone may Kick() it.
+    common::ParkingSlot park;
+    // True only while the owning dispatcher is inside ParkUntil; targeted
+    // kicks scan these flags to pick ONE sleeping CPU instead of waking all.
+    std::atomic<bool> parked{false};
+    // Wakeups (and future cross-CPU hints) bound for this CPU; producers are
+    // the timer (and potentially peers), consumer is this CPU's dispatcher,
+    // which drains under its own LockDispatch hold.
+    common::MpscMailbox<WakeMsg> mailbox;
+
+    // Grant instant in ticks since run start, for the elapsed[] vector handed
+    // to SuggestPreemption; advisory, hence lock-free.
+    std::atomic<Tick> grant_at{0};
+    // What this CPU is running, readable without cpu.mu (advisory mirror of
+    // running_tid for the elapsed[] estimate; exact values go through mu).
+    std::atomic<sched::ThreadId> running_hint{sched::kInvalidThread};
+
+    // This dispatcher's preempt-latency samples; written only by its own
+    // thread and merged after the run, so sampling never serializes
+    // dispatchers.  (Dispatch latencies go straight to the sharded
+    // histograms, which are per-CPU by construction.)
+    common::SampleSet preempt_latencies;
+    // Config::batch_dispatch: the previous slice's continue charge, parked
+    // here between HandleReport and this dispatcher's next LockDispatch hold.
+    // Only this CPU's own dispatcher thread reads or writes these.
+    sched::ThreadId pending_charge_tid = sched::kInvalidThread;
+    Tick pending_charge_ran = 0;
+
+    // Drain scratch (own dispatcher only): pokes collected under the dispatch
+    // guard, applied after it; elapsed[] reused across drains.
+    std::vector<PreemptPoke> pokes;
+    std::vector<Tick> elapsed_scratch;
+
+    explicit Cpu(common::ParkingSlot::Backend backend) : park(backend) {}
+  };
+
+  struct PendingWakeup {
+    Clock::time_point at;
+    sched::ThreadId tid;
+    // The CPU that charged the Block — the thread's home while blocked (a
+    // blocked thread cannot migrate), recorded here so the timer can route
+    // the wakeup without taking any scheduler lock.
+    sched::CpuId home;
+    bool operator>(const PendingWakeup& other) const { return at > other.at; }
+  };
+
+  void WorkerBody(Worker& w);
+  void Grant(Worker& w, sched::CpuId cpu);
+  void DispatcherLoop(sched::CpuId cpu);
+  void TimerLoop();
+  void HandleReport(sched::CpuId cpu, const Report& report, bool preempt_sent,
+                    Clock::time_point preempt_sent_at);
+
+  // Applies every queued wakeup for `cpu`: Wakeup + wake bookkeeping +
+  // SuggestPreemption per message, pokes parked into cpu.pokes.  Caller holds
+  // LockDispatch(cpu).  Returns the number of threads woken.
+  int DrainMailboxLocked(sched::CpuId cpu);
+  // Applies ONE wakeup for a thread homed on `home`; caller holds
+  // LockDispatch(home).  Stale wakeups (thread exited, or already runnable
+  // from a duplicate delivery) return false untouched.  *poke receives any
+  // suggested preemption (cpu == kInvalidCpu when none) for the caller to
+  // deliver after releasing the guard.  When trace_ is set the caller must be
+  // `home`'s own dispatcher (the wakeup record goes to ring `home`).
+  bool ApplyWakeupLocked(sched::CpuId home, sched::ThreadId tid, Clock::time_point due,
+                         std::vector<Tick>& elapsed_scratch, PreemptPoke* poke);
+  // Applies (and clears) cpu.pokes; caller must NOT hold any scheduler lock.
+  void ApplyPreemptPokes(Cpu& cpu);
+  // Sets poke.tid's preempt flag if it is still the thread granted on
+  // poke.cpu; caller must NOT hold any scheduler lock (Cpu::mu is a leaf).
+  void PokePreempt(const PreemptPoke& poke);
+
+  // Targeted: wake one parked CPU (round-robin from `hint`+1), or none if all
+  // are busy.  The parked-flag scan is advisory — a miss costs one
+  // idle_recheck period, never liveness.
+  void KickOneParked(sched::CpuId hint);
+  // Kick every slot (broadcast mode, and shutdown).
+  void KickAllParked();
+  // Mode dispatch for "scheduler state changed, somebody idle may have work".
+  void KickAfterStateChange(sched::CpuId hint);
+
+  void StopAll();
+
+  Worker& WorkerByTid(sched::ThreadId tid) {
+    return *worker_by_tid_[static_cast<std::size_t>(tid)];
+  }
+
+  // Serialization point for Config::serialize_dispatch (no-op lock otherwise).
+  // Movable guard: the lock is conditional, so the static analysis cannot
+  // track it; the runtime validator covers ordering (serial_mu_ is always
+  // acquired before any dispatch mutex, never after).
+  common::UniqueMutexLock MaybeSerialize();
+
+  bool targeted() const { return config_.wake_mode == WakeMode::kTargeted; }
+
+  // Wall nanoseconds since the run started (the trace epoch).
+  std::int64_t WallNs(Clock::time_point tp) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - t0_).count();
+  }
+
+  sched::Scheduler& scheduler_;
+  Config config_;
+  Tick idle_recheck_ = 0;  // resolved from config (0 -> quantum)
+
+  // Metrics plumbing: external registry or private fallback, plus resolved
+  // histogram handles (registration takes a lock; recording must not).
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LogHistogram* dispatch_hist_ = nullptr;
+  obs::LogHistogram* lock_wait_hist_ = nullptr;
+  obs::LogHistogram* run_hist_ = nullptr;
+  obs::LogHistogram* wake_apply_hist_ = nullptr;
+  obs::LogHistogram* wake_dispatch_hist_ = nullptr;
+  obs::Trace* trace_ = nullptr;  // == config_.trace
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Worker*> worker_by_tid_;  // tid-indexed flat vector, built in Run
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+
+  Clock::time_point t0_;
+  Clock::time_point wall_end_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_{0};
+  // CPUs currently between Grant and report pickup; the baton-kick predicate
+  // compares it with scheduler_.runnable_count() (which counts running
+  // threads too) to estimate queued-but-not-running work.
+  std::atomic<int> running_cpus_{0};
+
+  // Sleeping tasks, ordered by wake time; drained by the timer thread, which
+  // parks until the earliest pending deadline (indefinitely when empty) and
+  // is nudged only when a new deadline becomes the earliest.
+  common::Mutex timer_mu_;
+  common::CondVar timer_cv_;
+  std::priority_queue<PendingWakeup, std::vector<PendingWakeup>, std::greater<>>
+      wake_queue_ SFS_GUARDED_BY(timer_mu_);
+
+  common::Mutex serial_mu_;  // Config::serialize_dispatch
+
+  // Merged from the per-CPU sample sets after the dispatchers join.
+  common::SampleSet preempt_latencies_;
+  std::atomic<std::int64_t> dispatches_{0};
+  std::atomic<std::int64_t> wakeups_{0};
+  std::atomic<std::int64_t> preemptions_{0};
+  std::atomic<std::int64_t> kicks_{0};
+  bool started_ = false;
+};
+
+}  // namespace sfs::runtime
+
+#endif  // SFS_RUNTIME_EXECUTOR_H_

@@ -16,6 +16,10 @@ Scheduler::DispatchGuard Scheduler::LockDispatch(CpuId cpu) {
   return DispatchGuard(DispatchMutex(cpu));
 }
 
+Scheduler::DispatchGuard Scheduler::TryLockDispatch(CpuId cpu) {
+  return DispatchGuard(DispatchMutex(cpu), std::try_to_lock);
+}
+
 Scheduler::LifecycleGuard Scheduler::LockLifecycle() {
   // Every distinct dispatch mutex in ascending CPU-id order (flat schedulers
   // return the same mutex for every CPU — lock it once, not num_cpus times).

@@ -112,6 +112,13 @@ class Scheduler {
   // Acquires the lock covering PickNext/Charge/QuantumFor on `cpu`.
   DispatchGuard LockDispatch(CpuId cpu);
 
+  // Non-blocking LockDispatch: the returned guard is unowned (owns_lock()
+  // false) when the mutex is contended.  The runtime's timer uses this for
+  // its wakeup fast path — apply the wakeup directly while the home shard is
+  // free, fall back to the mailbox when its dispatcher holds the lock —
+  // so a descheduled lock holder can never convoy the timer.
+  DispatchGuard TryLockDispatch(CpuId cpu);
+
   // Acquires the exclusive lock covering every other entry point (and, while
   // held, the dispatch path on any CPU as well).
   LifecycleGuard LockLifecycle();
@@ -163,6 +170,21 @@ class Scheduler {
   // CPU, so policies can evaluate up-to-date tags/counters.  Policies override
   // with their own criterion; the default never preempts.
   virtual CpuId SuggestPreemption(ThreadId woken, const std::vector<Tick>& elapsed);
+
+  // Targeted-kick hook (sfs::runtime): the CPU whose LockDispatch satisfies
+  // the sanctioned lifecycle relaxation for `tid` — i.e. the dispatch mutex
+  // that alone covers Block/Wakeup/SetWeight/SuggestPreemption on it.  Flat
+  // policies return kInvalidCpu meaning *any* CPU works (they have one
+  // dispatch mutex, so every LockDispatch is the lock); sched::Sharded
+  // returns the thread's current shard.  Call while holding LockDispatch on
+  // the result (or LockLifecycle); for a *blocked* thread the answer is
+  // additionally stable without any lock — a blocked thread cannot migrate —
+  // which is what lets a driver route a wakeup message to the home
+  // dispatcher's mailbox and kick only that CPU.
+  virtual CpuId HomeCpu(ThreadId tid) const {
+    (void)tid;
+    return kInvalidCpu;
+  }
 
   // --- Migration protocol (sched::Sharded) ------------------------------------
   //

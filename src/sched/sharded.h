@@ -94,6 +94,10 @@ class ShardedScheduler : public Scheduler {
   // migrations).
   CpuId ShardOf(ThreadId tid) const;
 
+  // Targeted-kick hook (scheduler.h): per-shard dispatch mutexes make the
+  // home shard the one whose LockDispatch covers the lifecycle relaxation.
+  CpuId HomeCpu(ThreadId tid) const override { return ShardOf(tid); }
+
   // Runnable weight per shard (placement/rebalance balance target).
   std::vector<double> ShardRunnableWeights() const;
 

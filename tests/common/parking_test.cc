@@ -1,0 +1,140 @@
+#include "src/common/parking.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sfs::common {
+namespace {
+
+using Backend = ParkingSlot::Backend;
+using std::chrono::steady_clock;
+
+steady_clock::time_point After(steady_clock::duration d) {
+  return steady_clock::now() + d;
+}
+
+class ParkingSlotTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ParkingSlotTest, BackendSelection) {
+  ParkingSlot slot(GetParam());
+#if defined(__linux__)
+  EXPECT_EQ(slot.backend(), GetParam());
+#else
+  EXPECT_EQ(slot.backend(), Backend::kCondVar);
+#endif
+}
+
+TEST_P(ParkingSlotTest, TimesOutWithoutKick) {
+  ParkingSlot slot(GetParam());
+  const auto token = slot.Prepare();
+  const auto start = steady_clock::now();
+  EXPECT_FALSE(slot.ParkUntil(token, After(std::chrono::milliseconds(10))));
+  EXPECT_GE(steady_clock::now() - start, std::chrono::milliseconds(5));
+}
+
+TEST_P(ParkingSlotTest, PastDeadlineReturnsImmediately) {
+  ParkingSlot slot(GetParam());
+  const auto token = slot.Prepare();
+  EXPECT_FALSE(slot.ParkUntil(token, steady_clock::now() - std::chrono::milliseconds(1)));
+}
+
+// THE race regression: a kick that lands between the consumer's (empty) final
+// look for work and its park must not be lost.  Simulated deterministically:
+// the kick happens after Prepare but before ParkUntil, so ParkUntil must fall
+// through without sleeping.
+TEST_P(ParkingSlotTest, KickBetweenPrepareAndParkIsNotLost) {
+  ParkingSlot slot(GetParam());
+  const auto token = slot.Prepare();
+  slot.Kick();  // producer races in here
+  const auto start = steady_clock::now();
+  EXPECT_TRUE(slot.ParkUntil(token, After(std::chrono::hours(1))));
+  // Fell through instead of sleeping anywhere near the deadline.
+  EXPECT_LT(steady_clock::now() - start, std::chrono::seconds(10));
+}
+
+TEST_P(ParkingSlotTest, KickWakesSleeper) {
+  ParkingSlot slot(GetParam());
+  std::atomic<bool> woke{false};
+  const auto token = slot.Prepare();
+  std::thread sleeper([&] {
+    EXPECT_TRUE(slot.ParkUntil(token, After(std::chrono::seconds(30))));
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  slot.Kick();
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+// Park timeout and a targeted kick racing: whichever wins, the parker returns
+// promptly and the slot stays usable for the next round.
+TEST_P(ParkingSlotTest, TimeoutVsKickRaceStaysUsable) {
+  ParkingSlot slot(GetParam());
+  std::atomic<bool> stop{false};
+  std::thread kicker([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      slot.Kick();
+    }
+  });
+  for (int round = 0; round < 2000; ++round) {
+    const auto token = slot.Prepare();
+    // Zero/near-zero deadlines collide timeout with the kicker's bumps.
+    slot.ParkUntil(token, After(std::chrono::microseconds(round % 3)));
+  }
+  stop.store(true);
+  kicker.join();
+  // Slot still works as a plain sleeper afterwards.
+  const auto token = slot.Prepare();
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    slot.Kick();
+  });
+  EXPECT_TRUE(slot.ParkUntil(token, After(std::chrono::seconds(30))));
+  late.join();
+}
+
+// Producer/consumer handoff loop: each kick is preceded by publishing a value;
+// the woken consumer must observe it (Kick release / Prepare-Park acquire).
+TEST_P(ParkingSlotTest, KickPublishesPriorWrites) {
+  ParkingSlot slot(GetParam());
+  std::atomic<int> published{0};
+  constexpr int kRounds = 500;
+  std::thread producer([&] {
+    for (int i = 1; i <= kRounds; ++i) {
+      published.store(i, std::memory_order_relaxed);
+      slot.Kick();
+      std::this_thread::yield();
+    }
+  });
+  int seen = 0;
+  while (seen < kRounds) {
+    const auto token = slot.Prepare();
+    const int now = published.load(std::memory_order_relaxed);
+    if (now > seen) {
+      seen = now;
+      continue;
+    }
+    slot.ParkUntil(token, After(std::chrono::milliseconds(1)));
+    seen = std::max(seen, published.load(std::memory_order_relaxed));
+  }
+  producer.join();
+  EXPECT_EQ(seen, kRounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ParkingSlotTest,
+#if defined(__linux__)
+                         ::testing::Values(Backend::kFutex, Backend::kCondVar),
+#else
+                         ::testing::Values(Backend::kCondVar),
+#endif
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kFutex ? "futex" : "condvar";
+                         });
+
+}  // namespace
+}  // namespace sfs::common

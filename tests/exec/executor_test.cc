@@ -403,11 +403,19 @@ TEST(ExecutorTest, TracedMultiDispatcherStress) {
     EXPECT_GT(trace.ring(cpu).size(), 0u) << "cpu " << cpu;
   }
   EXPECT_GE(trace.lifecycle_ring().appended(), 8u);
+  // Targeted wake mode records wakeups in the applying dispatcher's own CPU
+  // ring (single-writer discipline), so count across all rings.
   std::uint64_t wakeup_records = 0;
-  trace.lifecycle_ring().ForEach([&](const obs::TraceRecord& r) {
+  std::uint64_t dropped = trace.lifecycle_ring().dropped();
+  const auto count_wakeups = [&](const obs::TraceRecord& r) {
     wakeup_records += r.kind == obs::TraceEventKind::kWakeup ? 1 : 0;
-  });
-  EXPECT_GT(wakeup_records + trace.lifecycle_ring().dropped(), 0u);
+  };
+  trace.lifecycle_ring().ForEach(count_wakeups);
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    trace.ring(cpu).ForEach(count_wakeups);
+    dropped += trace.ring(cpu).dropped();
+  }
+  EXPECT_GT(wakeup_records + dropped, 0u);
 }
 
 TEST(ExecutorTest, PreemptLatenciesRecorded) {
